@@ -1,0 +1,238 @@
+(* Benchmark harness: regenerates every table and figure of the paper at a
+   scaled-down budget (part 1), then times the code behind each experiment
+   with Bechamel, one Test.make per table/figure (part 2).
+
+   Paper-scale budgets are available from the CLI, e.g.:
+     gpuwmm table 2 --all-chips --full *)
+
+open Bechamel
+open Toolkit
+
+let seed = 42
+
+(* Two chips covering both patch-size architectures keep the printing
+   phase inside minutes; the CLI reproduces everything on all seven. *)
+let bench_chips = [ Gpusim.Chip.titan; Gpusim.Chip.c2075 ]
+
+let bench_budget = Core.Budget.default
+
+let section title =
+  Fmt.pr "@.==================================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "==================================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: print the (scaled) tables and figures                        *)
+
+let print_table1 () =
+  section "Table 1 (chip inventory)";
+  Core.Report.table1 Fmt.stdout
+
+let print_fig3 () =
+  section
+    (Printf.sprintf
+       "Figure 3 (patch finding; %d runs/point, locations at stride %d)"
+       bench_budget.Core.Budget.runs_patch
+       bench_budget.Core.Budget.location_stride);
+  List.map
+    (fun chip ->
+      let r = Core.Patch_finder.run ~chip ~seed ~budget:bench_budget () in
+      Core.Report.figure3 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
+      (chip, r))
+    bench_chips
+
+let print_table2_3 patches =
+  section "Tables 2 and 3 (tuned parameters; scaled campaign)";
+  let results =
+    List.map
+      (fun (chip, patch) ->
+        let t0 = Unix.gettimeofday () in
+        let sequences =
+          Core.Seq_finder.run ~chip ~seed ~budget:bench_budget
+            ~patch:patch.Core.Patch_finder.chosen ()
+        in
+        let spreads =
+          Core.Spread_finder.run ~chip ~seed ~budget:bench_budget
+            ~patch:patch.Core.Patch_finder.chosen
+            ~sequence:sequences.Core.Seq_finder.winner ()
+        in
+        let tuned =
+          { Core.Stress.sequence = sequences.Core.Seq_finder.winner;
+            spread = spreads.Core.Spread_finder.winner;
+            regions = bench_budget.Core.Budget.max_spread }
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        ( { Core.Tuning.chip = chip.Gpusim.Chip.name; patch; sequences;
+            spreads; tuned; elapsed_s = elapsed },
+          elapsed /. 60.0 ))
+      patches
+  in
+  Core.Report.table2 Fmt.stdout results;
+  (match results with
+  | (r, _) :: _ -> Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences
+  | [] -> ());
+  results
+
+let print_fig4 results =
+  section "Figure 4 (spread finding)";
+  List.iter
+    (fun ((r : Core.Tuning.result), _) ->
+      Core.Report.figure4 Fmt.stdout ~chip:r.Core.Tuning.chip
+        r.Core.Tuning.spreads)
+    results
+
+let print_table4 () =
+  section "Table 4 (application case studies)";
+  Core.Report.table4 Fmt.stdout
+
+let campaign_runs = 25
+
+let print_table5 () =
+  section
+    (Printf.sprintf "Table 5 (testing environments; %d runs per combination)"
+       campaign_runs);
+  let rows =
+    Core.Campaign.run ~chips:bench_chips
+      ~environments_for:(fun chip ->
+        Core.Environment.all ~tuned:(Core.Tuning.shipped ~chip))
+      ~apps:Apps.Registry.all ~runs:campaign_runs ~seed ()
+  in
+  Core.Report.table5 Fmt.stdout rows
+
+let harden_config chip =
+  { (Core.Harden.default_config ~chip) with stability_runs = 100 }
+
+let print_table6 () =
+  section "Table 6 (empirical fence insertion)";
+  let results =
+    List.concat_map
+      (fun app ->
+        List.map
+          (fun chip ->
+            Core.Harden.insert ~chip ~config:(harden_config chip) ~app ~seed ())
+          bench_chips)
+      Apps.Registry.fence_free
+  in
+  Core.Report.table6 Fmt.stdout results;
+  results
+
+let print_fig5 harden_results =
+  section "Figure 5 (cost of fences)";
+  let emp_for chip app =
+    match
+      List.find_opt
+        (fun r ->
+          r.Core.Harden.app = app.Apps.App.name
+          && r.Core.Harden.chip = chip.Gpusim.Chip.name)
+        harden_results
+    with
+    | Some r -> r.Core.Harden.fences
+    | None -> []
+  in
+  let points =
+    Core.Cost.run ~chips:bench_chips ~apps:Apps.Registry.fence_free ~emp_for
+      ~runs:15 ~seed ()
+  in
+  Core.Report.figure5 Fmt.stdout points
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks, one per table/figure              *)
+
+let quick = Core.Budget.quick
+
+let bench_tests =
+  let chip = Gpusim.Chip.titan in
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let tuned = Core.Tuning.shipped ~chip in
+  [ Test.make ~name:"table1_chips"
+      (Staged.stage (fun () -> Fmt.str "%t" Core.Report.table1));
+    Test.make ~name:"fig3_patch_finding"
+      (Staged.stage (fun () ->
+           Core.Patch_finder.run ~chip ~seed:1 ~budget:quick ()));
+    Test.make ~name:"table2_tuning"
+      (Staged.stage (fun () -> Core.Tuning.run ~chip ~seed:1 ~budget:quick ()));
+    Test.make ~name:"table3_sequences"
+      (Staged.stage (fun () ->
+           Core.Seq_finder.run ~chip ~seed:1 ~budget:quick ~patch:32 ()));
+    Test.make ~name:"fig4_spread"
+      (Staged.stage (fun () ->
+           Core.Spread_finder.run ~chip ~seed:1 ~budget:quick ~patch:32
+             ~sequence:tuned.Core.Stress.sequence ()));
+    Test.make ~name:"table4_app_execution"
+      (Staged.stage (fun () ->
+           let sim = Gpusim.Sim.create ~chip ~seed:1 () in
+           app.Apps.App.run sim Apps.App.Original));
+    Test.make ~name:"table5_campaign_cell"
+      (Staged.stage (fun () ->
+           Core.Campaign.test_app ~chip
+             ~env:(Core.Environment.sys_plus ~tuned)
+             ~app ~runs:5 ~seed:1));
+    Test.make ~name:"table6_harden"
+      (Staged.stage (fun () ->
+           Core.Harden.insert ~chip
+             ~config:
+               { (Core.Harden.default_config ~chip) with
+                 initial_iterations = 8; stability_runs = 16 }
+             ~app ~seed:1 ()));
+    Test.make ~name:"fig5_cost_point"
+      (Staged.stage (fun () ->
+           Core.Cost.measure ~chip ~app ~fencing:Apps.App.Conservative ~runs:3
+             ~seed:1));
+    Test.make ~name:"litmus_execution"
+      (Staged.stage (fun () ->
+           Litmus.Runner.run_once ~chip ~seed:1
+             { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 })) ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (one per table/figure)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let grouped =
+    Test.make_grouped ~name:"gpuwmm" ~fmt:"%s/%s" bench_tests
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.sort compare
+  in
+  Fmt.pr "%-32s %14s %10s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, r) ->
+      let time_ns =
+        match Analyze.OLS.estimates r with
+        | Some [ t ] -> t
+        | Some _ | None -> nan
+      in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Fmt.str "%.2f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Fmt.str "%.2f ms" (time_ns /. 1e6)
+        else if time_ns > 1e3 then Fmt.str "%.2f us" (time_ns /. 1e3)
+        else Fmt.str "%.0f ns" time_ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square r with
+        | Some v -> Fmt.str "%.3f" v
+        | None -> "-"
+      in
+      Fmt.pr "%-32s %14s %10s@." name pretty r2)
+    rows
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_table1 ();
+  let patches = print_fig3 () in
+  let tuning = print_table2_3 patches in
+  print_fig4 tuning;
+  print_table4 ();
+  print_table5 ();
+  let harden_results = print_table6 () in
+  print_fig5 harden_results;
+  run_bechamel ();
+  Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,537 @@
+(* Command-line interface: reproduce every table and figure of the paper,
+   tune chips, test and harden applications, and run litmus tests. *)
+
+open Cmdliner
+
+let setup_log verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let progress msg = Logs.info (fun m -> m "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                     *)
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print progress messages.")
+
+let seed =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed; equal seeds reproduce runs exactly.")
+
+let chip_conv =
+  let parse s =
+    match Gpusim.Chip.by_name s with
+    | Some c -> Ok c
+    | None ->
+      if String.lowercase_ascii s = "sc" then Ok Gpusim.Chip.sequential
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown chip %S (known: %s)" s
+               (String.concat ", "
+                  (List.map (fun c -> c.Gpusim.Chip.name) Gpusim.Chip.all))))
+  in
+  Arg.conv (parse, fun ppf c -> Fmt.string ppf c.Gpusim.Chip.name)
+
+let chip =
+  Arg.(
+    value
+    & opt chip_conv Gpusim.Chip.k20
+    & info [ "chip" ] ~docv:"CHIP" ~doc:"Target chip (default K20).")
+
+let chips =
+  Arg.(
+    value
+    & opt (list chip_conv) [ Gpusim.Chip.k20 ]
+    & info [ "chips" ] ~docv:"CHIPS"
+        ~doc:"Comma-separated chips; use --all-chips for all seven.")
+
+let all_chips =
+  Arg.(value & flag & info [ "all-chips" ] ~doc:"Use all seven chips.")
+
+let app_conv =
+  let parse s =
+    match Apps.Registry.by_name s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown application %S (known: %s)" s
+             (String.concat ", "
+                (List.map (fun a -> a.Apps.App.name) Apps.Registry.all))))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf a.Apps.App.name)
+
+let budget_term =
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Use the paper-scale campaign budget (D = L = 256, C = 1000); \
+             hours per chip.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "runs-scale" ] ~docv:"F"
+          ~doc:"Scale per-point execution counts by F.")
+  in
+  let make full scale =
+    let b = if full then Core.Budget.paper else Core.Budget.default in
+    if scale = 1.0 then b else Core.Budget.scale_runs b scale
+  in
+  Term.(const make $ full $ scale)
+
+let resolve_chips chips all = if all then Gpusim.Chip.all else chips
+
+let csv_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write raw data as CSV to FILE.")
+
+let write_csv path contents =
+  match path with
+  | None -> ()
+  | Some p ->
+    let oc = open_out p in
+    output_string oc contents;
+    close_out oc;
+    Fmt.pr "wrote %s@." p
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+
+let chips_cmd =
+  let run verbose =
+    setup_log verbose;
+    Core.Report.table1 Fmt.stdout
+  in
+  Cmd.v (Cmd.info "chips" ~doc:"List the seven simulated GPUs (Table 1).")
+    Term.(const run $ verbose)
+
+let tuned_envs chip =
+  Core.Environment.all ~tuned:(Core.Tuning.shipped ~chip)
+
+let litmus_cmd =
+  let idiom_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.uppercase_ascii s with
+          | "MP" -> Ok Litmus.Test.MP
+          | "LB" -> Ok Litmus.Test.LB
+          | "SB" -> Ok Litmus.Test.SB
+          | _ -> Error (`Msg "idiom must be MP, LB or SB")),
+        fun ppf i -> Fmt.string ppf (Litmus.Test.idiom_name i) )
+  in
+  let idiom =
+    Arg.(value & opt idiom_conv Litmus.Test.MP & info [ "idiom" ] ~docv:"T")
+  in
+  let distance =
+    Arg.(value & opt int 64 & info [ "distance" ] ~docv:"D")
+  in
+  let runs = Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N") in
+  let env_name =
+    Arg.(
+      value & opt string "sys-str-"
+      & info [ "env" ] ~docv:"ENV"
+          ~doc:"Environment: no-str-, sys-str-, sys-str+, rand-str-, ...")
+  in
+  let run verbose seed chip idiom distance runs env_name =
+    setup_log verbose;
+    let envs = tuned_envs chip in
+    match
+      List.find_opt (fun e -> e.Core.Environment.label = env_name) envs
+    with
+    | None ->
+      Fmt.epr "unknown environment %s@." env_name;
+      exit 1
+    | Some env ->
+      let inst = { Litmus.Test.idiom; distance } in
+      let weak =
+        Litmus.Runner.count_weak ~chip ~seed
+          ~env:(Core.Environment.for_litmus env)
+          ~runs inst
+      in
+      Fmt.pr "%s with d=%d on %s under %s: %d/%d weak@."
+        (Litmus.Test.idiom_name idiom)
+        distance chip.Gpusim.Chip.name env_name weak runs;
+      Fmt.pr "SC-reachable outcomes: %a@."
+        Fmt.(list ~sep:sp (parens (pair ~sep:comma int int)))
+        (Litmus.Test.sc_outcomes inst)
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Run a litmus test under a testing environment and count weak \
+             behaviours.")
+    Term.(
+      const run $ verbose $ seed $ chip $ idiom $ distance $ runs $ env_name)
+
+let tune_cmd =
+  let run verbose seed chip budget =
+    setup_log verbose;
+    let r = Core.Tuning.run ~chip ~seed ~budget ~progress () in
+    Core.Report.table2 Fmt.stdout [ (r, r.Core.Tuning.elapsed_s /. 60.0) ];
+    Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Run the full Sec. 3 tuning pipeline for one chip.")
+    Term.(const run $ verbose $ seed $ chip $ budget_term)
+
+let test_cmd =
+  let app_term =
+    Arg.(
+      value
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"Single application (default: all ten).")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N") in
+  let env_name =
+    Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
+  in
+  let run verbose seed chip app runs env_name =
+    setup_log verbose;
+    let envs = tuned_envs chip in
+    match
+      List.find_opt (fun e -> e.Core.Environment.label = env_name) envs
+    with
+    | None ->
+      Fmt.epr "unknown environment %s@." env_name;
+      exit 1
+    | Some env ->
+      let apps =
+        match app with Some a -> [ a ] | None -> Apps.Registry.all
+      in
+      List.iter
+        (fun app ->
+          let cell = Core.Campaign.test_app ~chip ~env ~app ~runs ~seed in
+          Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
+            cell.Core.Campaign.app chip.Gpusim.Chip.name env_name
+            cell.Core.Campaign.errors cell.Core.Campaign.runs
+            (if cell.Core.Campaign.example = "" then ""
+             else "  (e.g. " ^ cell.Core.Campaign.example ^ ")"))
+        apps
+  in
+  Cmd.v
+    (Cmd.info "test"
+       ~doc:"Repeatedly execute applications under a testing environment \
+             and count erroneous runs (Sec. 4).")
+    Term.(const run $ verbose $ seed $ chip $ app_term $ runs $ env_name)
+
+let harden_cmd =
+  let app_term =
+    Arg.(
+      required
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"Application to harden (fence-free).")
+  in
+  let stability =
+    Arg.(value & opt int 200 & info [ "stability-runs" ] ~docv:"N")
+  in
+  let run verbose seed chip app stability =
+    setup_log verbose;
+    let config =
+      { (Core.Harden.default_config ~chip) with stability_runs = stability }
+    in
+    let r = Core.Harden.insert ~chip ~config ~app ~seed ~progress () in
+    Core.Report.table6 Fmt.stdout [ r ];
+    (* Show the hardened kernels. *)
+    List.iter
+      (fun k ->
+        let fenced =
+          Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences) k
+        in
+        if
+          Gpusim.Kernel.fence_sites fenced <> []
+        then Fmt.pr "@.%s@." (Gpusim.Kernel_pp.to_string ~sids:true fenced))
+      app.Apps.App.kernels
+  in
+  Cmd.v
+    (Cmd.info "harden"
+       ~doc:"Empirical fence insertion (Alg. 1) for one application.")
+    Term.(const run $ verbose $ seed $ chip $ app_term $ stability)
+
+let inspect_cmd =
+  let app_term =
+    Arg.(
+      required
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP")
+  in
+  let fencing =
+    let fencing_conv =
+      Arg.conv
+        ( (fun s ->
+            match String.lowercase_ascii s with
+            | "original" -> Ok Apps.App.Original
+            | "stripped" | "nf" -> Ok Apps.App.Stripped
+            | "conservative" | "cons" -> Ok Apps.App.Conservative
+            | _ -> Error (`Msg "fencing: original, stripped or conservative")),
+          fun ppf _ -> Fmt.string ppf "<fencing>" )
+    in
+    Arg.(value & opt fencing_conv Apps.App.Original & info [ "fencing" ] ~docv:"F")
+  in
+  let run verbose app fencing =
+    setup_log verbose;
+    List.iter
+      (fun k ->
+        Fmt.pr "%s@."
+          (Gpusim.Kernel_pp.to_string ~sids:true
+             (Apps.App.apply_fencing fencing k)))
+      app.Apps.App.kernels
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print an application's kernels (CUDA-like syntax).")
+    Term.(const run $ verbose $ app_term $ fencing)
+
+let target_cmd =
+  let app_term =
+    Arg.(
+      required
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"Application to analyse and test.")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N") in
+  let run verbose seed chip app runs =
+    setup_log verbose;
+    (* Phase 1: one native run with the race detector attached. *)
+    let sim = Gpusim.Sim.create ~chip ~seed () in
+    let det = Gpusim.Race.attach sim in
+    (match app.Apps.App.run sim Apps.App.Original with
+    | Ok () -> ()
+    | Error e -> Fmt.pr "(native observation run failed: %s)@." e);
+    Gpusim.Race.detach sim;
+    Fmt.pr "communication locations observed in %s:@." app.Apps.App.name;
+    Gpusim.Race.pp_findings Fmt.stdout (Gpusim.Race.findings det);
+    let addresses = Gpusim.Race.data_locations det in
+    (* Phase 2: targeted stress vs the tuned blind strategies. *)
+    let tuned = Core.Tuning.shipped ~chip in
+    let targeted =
+      Core.Environment.make
+        (Core.Stress.Targeted
+           { sequence = tuned.Core.Stress.sequence; addresses })
+        ~randomise:true
+    in
+    Fmt.pr "@.%d data location(s) targeted@." (List.length addresses);
+    List.iter
+      (fun env ->
+        let cell = Core.Campaign.test_app ~chip ~env ~app ~runs ~seed in
+        Fmt.pr "  %-10s %3d/%3d erroneous runs@." env.Core.Environment.label
+          cell.Core.Campaign.errors cell.Core.Campaign.runs)
+      [ Core.Environment.make Core.Stress.No_stress ~randomise:false;
+        Core.Environment.sys_plus ~tuned; targeted ]
+  in
+  Cmd.v
+    (Cmd.info "target"
+       ~doc:"Detect an application's communication locations with the              dynamic race detector and stress exactly their memory              partitions (the paper's future-work item (e)).")
+    Term.(const run $ verbose $ seed $ chip $ app_term $ runs)
+
+let ablate_cmd =
+  let runs = Arg.(value & opt int 150 & info [ "runs" ] ~docv:"N") in
+  let run verbose seed chip runs =
+    setup_log verbose;
+    (* Ablate each ingredient of the tuned environment on one litmus
+       instance, showing what each design choice buys. *)
+    let inst = { Litmus.Test.idiom = Litmus.Test.SB; distance = 64 } in
+    let tuned = Core.Tuning.shipped ~chip in
+    let weak label strategy randomise =
+      let env =
+        Core.Environment.for_litmus (Core.Environment.make strategy ~randomise)
+      in
+      let n = Litmus.Runner.count_weak ~chip ~seed ~env ~runs inst in
+      Fmt.pr "  %-34s %4d / %d weak@." label n runs
+    in
+    Fmt.pr "Ablation on %s, SB litmus test at distance 64:@."
+      chip.Gpusim.Chip.name;
+    let nat = Litmus.Runner.count_weak ~chip ~seed ~runs inst in
+    Fmt.pr "  %-34s %4d / %d weak@." "no stress (baseline)" nat runs;
+    weak "tuned (sequence + spread 2)" (Core.Stress.Sys tuned) false;
+    weak "tuned + thread randomisation"
+      (Core.Stress.Sys tuned) true;
+    weak "worst sequence (pure stores)"
+      (Core.Stress.Sys { tuned with sequence = [ Core.Access_seq.St ] })
+      false;
+    weak "over-spread (all 16 regions)"
+      (Core.Stress.Sys { tuned with spread = 16 })
+      false;
+    weak "under-spread (1 region)"
+      (Core.Stress.Sys { tuned with spread = 1 })
+      false;
+    weak "random locations (rand-str)"
+      (Core.Stress.Rand { scratch_words = 1024 })
+      false;
+    weak "L2-walk (cache-str)" Core.Stress.Cache false
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Ablate the tuned environment's design choices (sequence,              spread, randomisation) on a litmus test.")
+    Term.(const run $ verbose $ seed $ chip $ runs)
+
+let run_litmus_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A .litmus test file.")
+  in
+  let runs = Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N") in
+  let env_name =
+    Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
+  in
+  let run verbose seed chip file runs env_name =
+    setup_log verbose;
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    match Litmus.Lang.parse src with
+    | Error e ->
+      Fmt.epr "%s: %s@." file e;
+      exit 1
+    | Ok t -> (
+      Fmt.pr "%a@." Litmus.Lang.pp t;
+      let sc = Litmus.Lang.sc_allows t in
+      Fmt.pr "condition reachable under SC: %b@." sc;
+      match
+        List.find_opt
+          (fun e -> e.Core.Environment.label = env_name)
+          (tuned_envs chip)
+      with
+      | None ->
+        Fmt.epr "unknown environment %s@." env_name;
+        exit 1
+      | Some env ->
+        let n =
+          Litmus.Lang.count_satisfied ~chip ~seed
+            ~env:(Core.Environment.for_litmus env) ~runs t
+        in
+        Fmt.pr "observed on %s under %s: %d/%d%s@." chip.Gpusim.Chip.name
+          env_name n runs
+          (if (not sc) && n > 0 then "  ** WEAK BEHAVIOUR **" else ""))
+  in
+  Cmd.v
+    (Cmd.info "run-litmus"
+       ~doc:"Parse a .litmus file, check its condition against the SC              oracle, and run it on the weak machine.")
+    Term.(const run $ verbose $ seed $ chip $ file $ runs $ env_name)
+
+(* ------------------------------------------------------------------ *)
+(* Tables and figures                                                   *)
+
+let table_cmd =
+  let number =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-6).")
+  in
+  let runs = Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N") in
+  let run verbose seed chips all number budget runs =
+    setup_log verbose;
+    let chips = resolve_chips chips all in
+    match number with
+    | 1 -> Core.Report.table1 Fmt.stdout
+    | 2 ->
+      let results =
+        List.map
+          (fun chip ->
+            let r = Core.Tuning.run ~chip ~seed ~budget ~progress () in
+            (r, r.Core.Tuning.elapsed_s /. 60.0))
+          chips
+      in
+      Core.Report.table2 Fmt.stdout results
+    | 3 ->
+      let chip = List.hd chips in
+      let patch = Core.Patch_finder.run ~chip ~seed ~budget ~progress () in
+      let r =
+        Core.Seq_finder.run ~chip ~seed ~budget
+          ~patch:patch.Core.Patch_finder.chosen ~progress ()
+      in
+      Core.Report.table3 Fmt.stdout r
+    | 4 -> Core.Report.table4 Fmt.stdout
+    | 5 ->
+      let rows =
+        Core.Campaign.run ~chips ~environments_for:tuned_envs
+          ~apps:Apps.Registry.all ~runs ~seed ~progress ()
+      in
+      Core.Report.table5 Fmt.stdout rows
+    | 6 ->
+      let results =
+        List.concat_map
+          (fun app ->
+            List.map
+              (fun chip ->
+                Core.Harden.insert ~chip ~app ~seed ~progress ())
+              chips)
+          Apps.Registry.fence_free
+      in
+      Core.Report.table6 Fmt.stdout results
+    | n ->
+      Fmt.epr "no table %d (the paper has tables 1-6)@." n;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Reproduce a table of the paper.")
+    Term.(
+      const run $ verbose $ seed $ chips $ all_chips $ number $ budget_term
+      $ runs)
+
+let figure_cmd =
+  let number =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (3-5).")
+  in
+  let runs = Arg.(value & opt int 30 & info [ "runs" ] ~docv:"N") in
+  let run verbose seed chips all number budget runs csv =
+    setup_log verbose;
+    let chips = resolve_chips chips all in
+    match number with
+    | 3 ->
+      List.iter
+        (fun chip ->
+          let r = Core.Patch_finder.run ~chip ~seed ~budget ~progress () in
+          Core.Report.figure3 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
+          write_csv csv (Core.Report.patch_csv r))
+        chips
+    | 4 ->
+      List.iter
+        (fun chip ->
+          let patch = Core.Patch_finder.run ~chip ~seed ~budget ~progress () in
+          let sequence = (Core.Tuning.shipped ~chip).Core.Stress.sequence in
+          let r =
+            Core.Spread_finder.run ~chip ~seed ~budget
+              ~patch:patch.Core.Patch_finder.chosen ~sequence ~progress ()
+          in
+          Core.Report.figure4 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
+          write_csv csv (Core.Report.spread_csv r))
+        chips
+    | 5 ->
+      let apps = Apps.Registry.fence_free in
+      let emp_for chip app =
+        (Core.Harden.insert ~chip ~app ~seed ~progress ()).Core.Harden.fences
+      in
+      let points =
+        Core.Cost.run ~chips ~apps ~emp_for ~runs ~seed ~progress ()
+      in
+      Core.Report.figure5 Fmt.stdout points;
+      write_csv csv (Core.Report.cost_csv points)
+    | n ->
+      Fmt.epr "no figure %d here (the paper's figures 3-5 are reproducible)@." n;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Reproduce a figure of the paper.")
+    Term.(
+      const run $ verbose $ seed $ chips $ all_chips $ number $ budget_term
+      $ runs $ csv_out)
+
+let main =
+  Cmd.group
+    (Cmd.info "gpuwmm" ~version:"1.0.0"
+       ~doc:
+         "Exposing errors related to weak memory in (simulated) GPU \
+          applications — reproduction of Sorensen & Donaldson, PLDI 2016.")
+    [ chips_cmd; litmus_cmd; run_litmus_cmd; tune_cmd; test_cmd; harden_cmd;
+      target_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd ]
+
+let () = exit (Cmd.eval main)

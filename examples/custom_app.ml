@@ -1,0 +1,86 @@
+(* Testing your own kernel, black-box: the end-user workflow.
+
+   We write a small message-passing pipeline in the kernel eDSL, give it a
+   post-condition, and hand it to the testing environment — without
+   telling the tester anything about the communication idiom inside.
+
+     dune exec examples/custom_app.exe *)
+
+let n_stages = 6
+
+(* Each block computes a value and passes it to the next block through a
+   mailbox guarded by a ready flag — an MP handshake with no fence.  The
+   tester does not know this. *)
+let pipeline_kernel =
+  let open Gpusim.Kbuild in
+  kernel "pipeline" ~params:[ "mailbox"; "flags"; "out" ]
+    [ when_
+        (tid = int 0)
+        [ if_
+            (bid = int 0)
+            [ store (param "mailbox" + int 0) (int 1000);
+              store (param "flags" + int 0) (int 1) ]
+            [ def "f" (int 0);
+              while_ (reg "f" <> int 1)
+                [ load "f" (param "flags" + (bid - int 1)) ];
+              load "v" (param "mailbox" + (bid - int 1));
+              store (param "mailbox" + bid) (reg "v" + int 1);
+              store (param "flags" + bid) (int 1) ];
+          store (param "out" + bid) (int 1) ] ]
+
+let my_app =
+  { Apps.App.name = "my-pipeline";
+    source = "examples/custom_app.ml";
+    communication = "per-block mailbox published under a ready flag";
+    post_condition = "stage k holds 1000 + k";
+    has_fences = false;
+    kernels = [ pipeline_kernel ];
+    max_ticks = 200_000;
+    run =
+      (fun sim fencing ->
+        Apps.App.guard (fun () ->
+            let mailbox = Gpusim.Sim.alloc sim n_stages in
+            let flags = Gpusim.Sim.alloc sim n_stages in
+            let out = Gpusim.Sim.alloc sim n_stages in
+            Apps.App.exec sim fencing ~max_ticks:200_000 ~grid:n_stages
+              ~block:2 pipeline_kernel
+              ~args:[ ("mailbox", mailbox); ("flags", flags); ("out", out) ];
+            for k = 0 to n_stages - 1 do
+              let got = Gpusim.Sim.read sim (mailbox + k) in
+              Apps.App.check
+                (got = 1000 + k)
+                (Printf.sprintf "stage %d holds %d, expected %d" k got
+                   (1000 + k))
+            done)) }
+
+let () =
+  let chip = Gpusim.Chip.titan in
+  let tuned = Core.Tuning.shipped ~chip in
+  let env = Core.Environment.sys_plus ~tuned in
+  Fmt.pr "Black-box testing a custom pipeline kernel on %s:@.@."
+    chip.Gpusim.Chip.full_name;
+  List.iter
+    (fun (label, e) ->
+      let cell =
+        Core.Campaign.test_app ~chip ~env:e ~app:my_app ~runs:60 ~seed:5
+      in
+      Fmt.pr "  %-9s %2d / %2d erroneous runs%s@." label
+        cell.Core.Campaign.errors cell.Core.Campaign.runs
+        (if cell.Core.Campaign.example = "" then ""
+         else "   e.g. " ^ cell.Core.Campaign.example))
+    [ ("no-str-", Core.Environment.make Core.Stress.No_stress ~randomise:false);
+      ("sys-str+", env) ];
+  Fmt.pr "@.Now let empirical fence insertion repair it:@.";
+  let config =
+    { (Core.Harden.default_config ~chip) with stability_runs = 120 }
+  in
+  let r = Core.Harden.insert ~chip ~config ~app:my_app ~seed:6 () in
+  Fmt.pr "  suggested fences: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (k, s) -> Printf.sprintf "%s after site %d" k s)
+          r.Core.Harden.fences));
+  Fmt.pr "@.%s@."
+    (Gpusim.Kernel_pp.to_string
+       (Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences)
+          pipeline_kernel))

@@ -1,0 +1,43 @@
+(* Quickstart: the paper's Sec. 1 narrative on cbe-dot.
+
+   The dot-product application from CUDA by Example guards its final
+   reduction with a spinlock, but the unlock can become visible before the
+   critical section's store.  Run natively it looks correct; run under the
+   tuned testing environment the bug appears in a large fraction of
+   executions.
+
+     dune exec examples/quickstart.exe *)
+
+let runs = 200
+
+let count_errors ~env =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let chip = Gpusim.Chip.k20 in
+  let master = Gpusim.Rng.create 2024 in
+  let errors = ref 0 in
+  let sample = ref "" in
+  for _ = 1 to runs do
+    let sim = Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.bits30 master) () in
+    (match env with Some e -> Gpusim.Sim.set_environment sim e | None -> ());
+    match app.Apps.App.run sim Apps.App.Original with
+    | Ok () -> ()
+    | Error msg ->
+      incr errors;
+      if !sample = "" then sample := msg
+  done;
+  (!errors, !sample)
+
+let () =
+  Fmt.pr "cbe-dot on the (simulated) Tesla K20, %d executions each:@.@." runs;
+  let native, _ = count_errors ~env:None in
+  Fmt.pr "  natively:        %3d / %d erroneous runs@." native runs;
+  let tuned = Core.Tuning.shipped ~chip:Gpusim.Chip.k20 in
+  let env = Core.Environment.for_app (Core.Environment.sys_plus ~tuned) in
+  let stressed, msg = count_errors ~env:(Some env) in
+  Fmt.pr "  under sys-str+:  %3d / %d erroneous runs@." stressed runs;
+  if msg <> "" then Fmt.pr "  example failure: %s@." msg;
+  Fmt.pr
+    "@.A developer who only ever runs the application natively would \
+     conclude it is correct; the tuned stressing environment exposes the \
+     missing fence immediately.  Try:@.";
+  Fmt.pr "  dune exec bin/gpuwmm_cli.exe -- harden --app cbe-dot --chip K20@."

@@ -1,0 +1,71 @@
+type fencing =
+  | Original
+  | Stripped
+  | Conservative
+  | Sites of (string * int) list
+
+let stripped_basis k = Gpusim.Kernel.label (Gpusim.Kernel.strip_fences k)
+
+let apply_fencing fencing k =
+  match fencing with
+  | Original -> k
+  | Stripped -> stripped_basis k
+  | Conservative ->
+    Gpusim.Kernel.insert_fences_after ~scope:Gpusim.Kernel.Device
+      ~sites:(fun _ -> true)
+      (stripped_basis k)
+  | Sites sites ->
+    let base = stripped_basis k in
+    let mine =
+      List.filter_map
+        (fun (kname, sid) ->
+          if kname = base.Gpusim.Kernel.name then Some sid else None)
+        sites
+    in
+    Gpusim.Kernel.insert_fences_after ~scope:Gpusim.Kernel.Device
+      ~sites:(fun sid -> List.mem sid mine)
+      base
+
+type t = {
+  name : string;
+  source : string;
+  communication : string;
+  post_condition : string;
+  has_fences : bool;
+  kernels : Gpusim.Kernel.t list;
+  max_ticks : int;
+  run : Gpusim.Sim.t -> fencing -> (unit, string) result;
+}
+
+let fence_sites app =
+  List.concat_map
+    (fun k ->
+      let base = stripped_basis k in
+      List.map
+        (fun sid -> (base.Gpusim.Kernel.name, sid))
+        (Gpusim.Kernel.global_access_sites base))
+    app.kernels
+
+exception Run_error of string
+
+let exec sim fencing ?shared_words ~max_ticks ~grid ~block kernel ~args =
+  let kernel = apply_fencing fencing kernel in
+  let result =
+    Gpusim.Sim.launch sim ?shared_words ~max_ticks ~grid ~block kernel ~args
+  in
+  (match result.Gpusim.Sim.outcome with
+  | Gpusim.Sim.Finished -> ()
+  | Gpusim.Sim.Timeout ->
+    raise (Run_error (kernel.Gpusim.Kernel.name ^ ": timeout"))
+  | Gpusim.Sim.Trapped msg ->
+    raise (Run_error (kernel.Gpusim.Kernel.name ^ ": trap: " ^ msg)));
+  if result.Gpusim.Sim.barrier_divergence then
+    raise (Run_error (kernel.Gpusim.Kernel.name ^ ": barrier divergence"))
+
+let guard f =
+  match f () with
+  | () -> Ok ()
+  | exception Run_error msg -> Error msg
+  | exception Failure msg -> Error msg
+
+let check cond msg = if not cond then raise (Run_error msg)

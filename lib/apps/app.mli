@@ -1,0 +1,65 @@
+(** Application case studies (Table 4 of the paper).
+
+    An application is a host program against the {!Gpusim.Sim} API plus a
+    user-supplied functional post-condition.  The testing environment is
+    ambient on the device, so applications are tested black-box: they
+    allocate memory, launch kernels and check their own results without
+    knowing whether stressing blocks were appended.
+
+    Fencing is a compiler-pass parameter: the same application can run as
+    written, with all fences stripped (the [-nf] variants), with a
+    conservative fence after every global access, or with an explicit set
+    of fence sites (the representation manipulated by empirical fence
+    insertion, Sec. 5). *)
+
+type fencing =
+  | Original  (** the kernels as written *)
+  | Stripped  (** all fences removed *)
+  | Conservative  (** a device fence after every global memory access *)
+  | Sites of (string * int) list
+      (** device fences after the listed (kernel name, access site id)
+          pairs; site ids refer to the labelled, fence-stripped kernel *)
+
+val apply_fencing : fencing -> Gpusim.Kernel.t -> Gpusim.Kernel.t
+
+type t = {
+  name : string;
+  source : string;  (** provenance, e.g. "CUDA by Example, ch. A1.2" *)
+  communication : string;  (** Table 4 "communication" column *)
+  post_condition : string;  (** Table 4 "post-condition" column *)
+  has_fences : bool;  (** whether the original code contains fences *)
+  kernels : Gpusim.Kernel.t list;
+  max_ticks : int;  (** per-launch budget; exceeding it is an error *)
+  run : Gpusim.Sim.t -> fencing -> (unit, string) result;
+      (** one full execution: set up inputs, launch kernel(s), check the
+          post-condition.  [Error] carries a reason (post-condition
+          violation, timeout, trap, barrier divergence). *)
+}
+
+val fence_sites : t -> (string * int) list
+(** All candidate fence sites: every global-access site of every kernel,
+    on the fence-stripped labelled basis.  The initial fence set of
+    empirical fence insertion is exactly this list. *)
+
+exception Run_error of string
+
+val exec :
+  Gpusim.Sim.t ->
+  fencing ->
+  ?shared_words:int ->
+  max_ticks:int ->
+  grid:int ->
+  block:int ->
+  Gpusim.Kernel.t ->
+  args:(string * int) list ->
+  unit
+(** Launch helper for application [run] functions: applies the fencing
+    pass and raises {!Run_error} on timeout, trap or barrier
+    divergence. *)
+
+val guard : (unit -> unit) -> (unit, string) result
+(** Convert {!Run_error} (and [Failure]) into [Error]. *)
+
+val check : bool -> string -> unit
+(** [check cond msg] raises {!Run_error} [msg] when the post-condition
+    [cond] fails. *)

@@ -1,0 +1,81 @@
+(* Dot product from CUDA by Example, ch. A1.2 (Fig. 1 of the paper):
+   block-local reduction in shared memory, then a global accumulation
+   guarded by a custom spinlock.  The critical section's store can be
+   overtaken by the lock release, losing updates. *)
+
+let grid = 4
+let block = 8
+let n = 64
+
+let kernel =
+  let open Gpusim.Kbuild in
+  kernel "dot" ~params:[ "mutex"; "a"; "b"; "c"; "n" ]
+    ([ global_tid "tid";
+       def "cache_index" tid;
+       def "temp" (int 0);
+       while_
+         (reg "tid" < param "n")
+         [ load "va" (param "a" + reg "tid");
+           load "vb" (param "b" + reg "tid");
+           def "temp" (reg "temp" + (reg "va" * reg "vb"));
+           def "tid" (reg "tid" + (bdim * gdim)) ];
+       store ~space:Gpusim.Kernel.Shared (reg "cache_index") (reg "temp");
+       barrier;
+       (* Tree reduction in shared memory. *)
+       def "i" (bdim / int 2);
+       while_
+         (reg "i" > int 0)
+         [ when_
+             (reg "cache_index" < reg "i")
+             [ load ~space:Gpusim.Kernel.Shared "lo" (reg "cache_index");
+               load ~space:Gpusim.Kernel.Shared "hi"
+                 (reg "cache_index" + reg "i");
+               store ~space:Gpusim.Kernel.Shared (reg "cache_index")
+                 (reg "lo" + reg "hi") ];
+           barrier;
+           def "i" (reg "i" / int 2) ] ]
+    @ [ when_
+          (reg "cache_index" = int 0)
+          (Gpusim.Kbuild.lock (param "mutex")
+          @ [ load "old_c" (param "c");
+              load ~space:Gpusim.Kernel.Shared "cache0" (int 0);
+              store (param "c") (reg "old_c" + reg "cache0");
+              unlock (param "mutex") ]) ])
+
+let max_ticks = 120_000
+
+let input seed =
+  let rng = Gpusim.Rng.create (seed lxor 0x5eed) in
+  (Array.init n (fun _ -> Gpusim.Rng.int rng 50),
+   Array.init n (fun _ -> Gpusim.Rng.int rng 50))
+
+let run sim fencing =
+  App.guard (fun () ->
+      let a, b = input 1 in
+      let mutex = Gpusim.Sim.alloc sim 1 in
+      let pa = Gpusim.Sim.alloc sim n in
+      let pb = Gpusim.Sim.alloc sim n in
+      let pc = Gpusim.Sim.alloc sim 1 in
+      Gpusim.Sim.write_array sim ~base:pa a;
+      Gpusim.Sim.write_array sim ~base:pb b;
+      App.exec sim fencing ~shared_words:block ~max_ticks ~grid ~block kernel
+        ~args:
+          [ ("mutex", mutex); ("a", pa); ("b", pb); ("c", pc); ("n", n) ];
+      let expected = ref 0 in
+      for i = 0 to n - 1 do
+        expected := !expected + (a.(i) * b.(i))
+      done;
+      let got = Gpusim.Sim.read sim pc in
+      App.check (got = !expected)
+        (Printf.sprintf "dot product mismatch: got %d, expected %d" got
+           !expected))
+
+let app =
+  { App.name = "cbe-dot";
+    source = "CUDA by Example, ch. A1.2";
+    communication = "global final reduction across blocks protected by a custom mutex";
+    post_condition = "GPU result matches a CPU reference result";
+    has_fences = false;
+    kernels = [ kernel ];
+    max_ticks;
+    run }

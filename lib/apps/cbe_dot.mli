@@ -1,0 +1,6 @@
+(** Dot product from CUDA by Example ch. A1.2 — the paper's running
+    example (Fig. 1): a spinlock-guarded global reduction whose critical
+    section store can be overtaken by the lock release. *)
+
+val app : App.t
+val kernel : Gpusim.Kernel.t

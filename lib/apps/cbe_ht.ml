@@ -1,0 +1,83 @@
+(* Concurrent hash table from CUDA by Example, ch. A1.3: array-based
+   bucket lists with one spinlock per bucket.  Publication of the new list
+   head races with the lock release under weak memory, losing entries. *)
+
+let grid = 4
+let block = 4
+let items = 32
+let buckets = 8
+
+let nil = -1
+
+let kernel =
+  let open Gpusim.Kbuild in
+  kernel "hashtable_insert"
+    ~params:[ "keys"; "heads"; "next"; "mutexes"; "items"; "buckets" ]
+    [ global_tid "gtid";
+      def "i" (reg "gtid");
+      while_
+        (reg "i" < param "items")
+        ([ load "key" (param "keys" + reg "i");
+           def "h" (reg "key" mod param "buckets") ]
+        @ Gpusim.Kbuild.lock (param "mutexes" + reg "h")
+        @ [ load "head" (param "heads" + reg "h");
+            store (param "next" + reg "i") (reg "head");
+            store (param "heads" + reg "h") (reg "i");
+            unlock (param "mutexes" + reg "h");
+            def "i" (reg "i" + (bdim * gdim)) ]) ]
+
+let max_ticks = 200_000
+
+let keys_for seed =
+  let rng = Gpusim.Rng.create (seed lxor 0x4ab) in
+  Array.init items (fun _ -> Gpusim.Rng.int rng 1000)
+
+let run sim fencing =
+  App.guard (fun () ->
+      let keys = keys_for 1 in
+      let pkeys = Gpusim.Sim.alloc sim items in
+      let heads = Gpusim.Sim.alloc sim buckets in
+      let next = Gpusim.Sim.alloc sim items in
+      let mutexes = Gpusim.Sim.alloc sim buckets in
+      Gpusim.Sim.write_array sim ~base:pkeys keys;
+      Gpusim.Sim.fill sim ~base:heads ~len:buckets nil;
+      Gpusim.Sim.fill sim ~base:next ~len:items nil;
+      App.exec sim fencing ~max_ticks ~grid ~block kernel
+        ~args:
+          [ ("keys", pkeys); ("heads", heads); ("next", next);
+            ("mutexes", mutexes); ("items", items); ("buckets", buckets) ];
+      (* Post-condition: every inserted element is in the final table,
+         exactly once, in the right bucket. *)
+      let seen = Array.make items false in
+      for b = 0 to buckets - 1 do
+        let steps = ref 0 in
+        let cursor = ref (Gpusim.Sim.read sim (heads + b)) in
+        while !cursor <> nil do
+          incr steps;
+          App.check (!steps <= items) "cycle in bucket list";
+          let i = !cursor in
+          App.check (i >= 0 && i < items)
+            (Printf.sprintf "corrupt entry index %d in bucket %d" i b);
+          App.check (not seen.(i))
+            (Printf.sprintf "entry %d linked twice" i);
+          seen.(i) <- true;
+          App.check
+            (keys.(i) mod buckets = b)
+            (Printf.sprintf "entry %d in wrong bucket %d" i b);
+          cursor := Gpusim.Sim.read sim (next + i)
+        done
+      done;
+      Array.iteri
+        (fun i present ->
+          App.check present (Printf.sprintf "entry %d lost" i))
+        seen)
+
+let app =
+  { App.name = "cbe-ht";
+    source = "CUDA by Example, ch. A1.3";
+    communication = "concurrent hashtable insertion protected by custom mutexes";
+    post_condition = "all elements inserted into the hashtable are in the final hashtable";
+    has_fences = false;
+    kernels = [ kernel ];
+    max_ticks;
+    run }

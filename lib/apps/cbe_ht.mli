@@ -1,0 +1,6 @@
+(** Concurrent hash table from CUDA by Example ch. A1.3: per-bucket
+    spinlocks guarding linked-list insertion; list-head publication races
+    with the unlock under weak memory. *)
+
+val app : App.t
+val kernel : Gpusim.Kernel.t

@@ -1,0 +1,158 @@
+(* Octree partitioning in the style of Cederman & Tsigas (GPU Computing
+   Gems ch. 37): particles are distributed into octant buckets through
+   non-blocking queues (atomicAdd on the tail, then a plain store of the
+   element).  A second phase consumes the mid-level queues concurrently
+   and splits each octant into sub-octants.  Under weak memory a consumer
+   can observe a published tail before the element store has committed and
+   read a stale slot — losing the particle. *)
+
+let grid = 4
+let block = 4
+let n_particles = 48
+let n_octants = 8
+let cap = n_particles  (* per-queue capacity *)
+
+let empty = -1
+
+(* Octant of a particle at (x, y, z) in [0, 16)^3, split at 8; sub-octant
+   splits each coordinate again at the quarter points. *)
+let octant x y z =
+  ((if x >= 8 then 1 else 0) * 4)
+  + ((if y >= 8 then 1 else 0) * 2)
+  + if z >= 8 then 1 else 0
+
+let sub_octant x y z =
+  ((if x mod 8 >= 4 then 1 else 0) * 4)
+  + ((if y mod 8 >= 4 then 1 else 0) * 2)
+  + if z mod 8 >= 4 then 1 else 0
+
+let kernel =
+  let open Gpusim.Kbuild in
+  let ( ^^ ) p i = param p + i in
+  let octant_exp ~split x y z =
+    ((x >= split) * int 4) + ((y >= split) * int 2) + (z >= split)
+  in
+  kernel "octree_partition"
+    ~params:
+      [ "xs"; "ys"; "zs"; "mid_items"; "mid_tails"; "leaf_items";
+        "leaf_tails"; "producers_done"; "n" ]
+    [ global_tid "gtid";
+      (* Phase 1: distribute particles into the eight mid-level queues. *)
+      def "i" (reg "gtid");
+      while_
+        (reg "i" < param "n")
+        [ load "x" ("xs" ^^ reg "i");
+          load "y" ("ys" ^^ reg "i");
+          load "z" ("zs" ^^ reg "i");
+          def "oct" (octant_exp ~split:(int 8) (reg "x") (reg "y") (reg "z"));
+          atomic_add ~dst:"slot" ("mid_tails" ^^ reg "oct") (int 1);
+          store ("mid_items" ^^ ((reg "oct" * int cap) + reg "slot")) (reg "i");
+          def "i" (reg "i" + (bdim * gdim)) ];
+      atomic_add (param "producers_done") (int 1);
+      (* Phase 2: each octant has one consumer thread (gtid = octant),
+         which drains the mid queue into leaf queues. *)
+      when_
+        (reg "gtid" < int n_octants)
+        [ def "oct" (reg "gtid");
+          def "head" (int 0);
+          def "spin" (int 0);
+          while_
+            (reg "spin" = int 0)
+            [ load "tail" ("mid_tails" ^^ reg "oct");
+              if_
+                (reg "head" < reg "tail")
+                [ load "p" ("mid_items" ^^ ((reg "oct" * int cap) + reg "head"));
+                  def "head" (reg "head" + int 1);
+                  (* The original code indexed the coordinate arrays with
+                     the dequeued value unconditionally; the paper reports
+                     finding out-of-bounds queue accesses this way and
+                     patching them.  This is the patched version: a stale
+                     slot is skipped (and the particle is lost, which the
+                     post-condition reports). *)
+                  when_
+                    ((reg "p" >= int 0) && (reg "p" < param "n"))
+                    [ load "x" ("xs" ^^ reg "p");
+                      load "y" ("ys" ^^ reg "p");
+                      load "z" ("zs" ^^ reg "p");
+                      def "sub"
+                        (octant_exp ~split:(int 4) (reg "x" mod int 8)
+                           (reg "y" mod int 8) (reg "z" mod int 8));
+                      def "leaf" ((reg "oct" * int n_octants) + reg "sub");
+                      atomic_add ~dst:"lslot" ("leaf_tails" ^^ reg "leaf")
+                        (int 1);
+                      store
+                        ("leaf_items" ^^ ((reg "leaf" * int cap) + reg "lslot"))
+                        (reg "p") ] ]
+                [ load "dc" (param "producers_done");
+                  when_
+                    ((reg "dc" = (bdim * gdim)) && (reg "head" >= reg "tail"))
+                    [ def "spin" (int 1) ] ] ] ] ]
+
+let max_ticks = 400_000
+
+let particles seed =
+  let rng = Gpusim.Rng.create (seed lxor 0x0c7) in
+  Array.init n_particles (fun _ ->
+      (Gpusim.Rng.int rng 16, Gpusim.Rng.int rng 16, Gpusim.Rng.int rng 16))
+
+let run sim fencing =
+  App.guard (fun () ->
+      let ps = particles 1 in
+      let alloc_fill len v =
+        let base = Gpusim.Sim.alloc sim len in
+        Gpusim.Sim.fill sim ~base ~len v;
+        base
+      in
+      let xs = Gpusim.Sim.alloc sim n_particles in
+      let ys = Gpusim.Sim.alloc sim n_particles in
+      let zs = Gpusim.Sim.alloc sim n_particles in
+      Array.iteri
+        (fun i (x, y, z) ->
+          Gpusim.Sim.write sim (xs + i) x;
+          Gpusim.Sim.write sim (ys + i) y;
+          Gpusim.Sim.write sim (zs + i) z)
+        ps;
+      let mid_items = alloc_fill (n_octants * cap) empty in
+      let mid_tails = alloc_fill n_octants 0 in
+      let leaf_items = alloc_fill (n_octants * n_octants * cap) empty in
+      let leaf_tails = alloc_fill (n_octants * n_octants) 0 in
+      let producers_done = alloc_fill 1 0 in
+      App.exec sim fencing ~max_ticks ~grid ~block kernel
+        ~args:
+          [ ("xs", xs); ("ys", ys); ("zs", zs); ("mid_items", mid_items);
+            ("mid_tails", mid_tails); ("leaf_items", leaf_items);
+            ("leaf_tails", leaf_tails); ("producers_done", producers_done);
+            ("n", n_particles) ];
+      (* Post-condition: all original particles are in the final octree,
+         each exactly once, in the right leaf. *)
+      let seen = Array.make n_particles 0 in
+      for leaf = 0 to (n_octants * n_octants) - 1 do
+        let tail = Gpusim.Sim.read sim (leaf_tails + leaf) in
+        App.check (tail >= 0 && tail <= cap)
+          (Printf.sprintf "leaf %d has corrupt tail %d" leaf tail);
+        for s = 0 to tail - 1 do
+          let p = Gpusim.Sim.read sim (leaf_items + (leaf * cap) + s) in
+          App.check (p >= 0 && p < n_particles)
+            (Printf.sprintf "leaf %d slot %d holds invalid particle %d" leaf
+               s p);
+          let x, y, z = ps.(p) in
+          App.check (leaf = (octant x y z * n_octants) + sub_octant x y z)
+            (Printf.sprintf "particle %d in wrong leaf %d" p leaf);
+          seen.(p) <- seen.(p) + 1
+        done
+      done;
+      Array.iteri
+        (fun p count ->
+          App.check (count = 1)
+            (Printf.sprintf "particle %d present %d times" p count))
+        seen)
+
+let app =
+  { App.name = "ct-octree";
+    source = "Cederman & Tsigas, GPU Computing Gems ch. 37";
+    communication = "concurrent access to non-blocking queues";
+    post_condition = "all original particles are in the final octree";
+    has_fences = false;
+    kernels = [ kernel ];
+    max_ticks;
+    run }

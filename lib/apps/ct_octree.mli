@@ -1,0 +1,6 @@
+(** Octree partitioning after Cederman & Tsigas: non-blocking queues
+    (atomicAdd tail + plain element store); consumers can observe a
+    published tail before the element store commits. *)
+
+val app : App.t
+val kernel : Gpusim.Kernel.t

@@ -1,0 +1,98 @@
+(* Chained prefix scan in the style of CUB's decoupled lookback: each
+   block publishes its inclusive prefix and a ready flag; block b+1 spins
+   on block b's flag (an MP handshake).  The two fences order the data
+   stores before the flag stores. *)
+
+let grid = 6
+let block = 4
+let n = grid * block
+
+let not_ready = 0
+let ready = 1
+
+let kernel =
+  let open Gpusim.Kbuild in
+  kernel "chained_scan"
+    ~params:[ "input"; "inclusive"; "flags"; "out" ]
+    [ (* Block-local sum of the block's chunk via shared memory. *)
+      def "chunk_base" (bid * bdim);
+      load "mine" (param "input" + (reg "chunk_base" + tid));
+      store ~space:Gpusim.Kernel.Shared tid (reg "mine");
+      barrier;
+      when_
+        (tid = int 0)
+        [ def "local" (int 0);
+          def "j" (int 0);
+          while_
+            (reg "j" < bdim)
+            [ load ~space:Gpusim.Kernel.Shared "v" (reg "j");
+              def "local" (reg "local" + reg "v");
+              def "j" (reg "j" + int 1) ];
+          if_
+            (bid = int 0)
+            [ store (param "inclusive" + int 0) (reg "local");
+              fence;  (* shipped fence #1 *)
+              store (param "flags" + int 0) (int 1) ]
+            [ (* Spin on the predecessor's flag (MP handshake). *)
+              def "f" (int 0);
+              while_
+                (reg "f" <> int 1)
+                [ load "f" (param "flags" + (bid - int 1)) ];
+              load "prev" (param "inclusive" + (bid - int 1));
+              store (param "inclusive" + bid) (reg "prev" + reg "local");
+              fence;  (* shipped fence #2 *)
+              store (param "flags" + bid) (int 1) ];
+          store (param "out" + bid) (int 1) ] ]
+
+let max_ticks = 300_000
+
+let run sim fencing =
+  App.guard (fun () ->
+      let rng = Gpusim.Rng.create 0x5ca9 in
+      let data = Array.init n (fun _ -> Gpusim.Rng.int rng 20) in
+      let input = Gpusim.Sim.alloc sim n in
+      let inclusive = Gpusim.Sim.alloc sim grid in
+      let flags = Gpusim.Sim.alloc sim grid in
+      let out = Gpusim.Sim.alloc sim grid in
+      Gpusim.Sim.write_array sim ~base:input data;
+      Gpusim.Sim.fill sim ~base:flags ~len:grid not_ready;
+      Gpusim.Sim.fill sim ~base:inclusive ~len:grid (-1);
+      App.exec sim fencing ~shared_words:block ~max_ticks ~grid ~block kernel
+        ~args:
+          [ ("input", input); ("inclusive", inclusive); ("flags", flags);
+            ("out", out) ];
+      ignore ready;
+      let expected = Array.make grid 0 in
+      let acc = ref 0 in
+      for b = 0 to grid - 1 do
+        for i = 0 to block - 1 do
+          acc := !acc + data.((b * block) + i)
+        done;
+        expected.(b) <- !acc
+      done;
+      for b = 0 to grid - 1 do
+        let got = Gpusim.Sim.read sim (inclusive + b) in
+        App.check (got = expected.(b))
+          (Printf.sprintf "inclusive prefix of block %d: got %d, expected %d"
+             b got expected.(b))
+      done)
+
+let make name has_fences =
+  { App.name;
+    source = "CUB GPU library (decoupled-lookback scan, simplified to a chained scan)";
+    communication = "blocks communicate partial results using an MP-style handshake";
+    post_condition = "GPU result matches a CPU reference result";
+    has_fences;
+    kernels = [ kernel ];
+    max_ticks;
+    run =
+      (fun sim fencing ->
+        let fencing =
+          match (fencing, has_fences) with
+          | App.Original, false -> App.Stripped
+          | f, _ -> f
+        in
+        run sim fencing) }
+
+let app = make "cub-scan" true
+let app_nf = make "cub-scan-nf" false

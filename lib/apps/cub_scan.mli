@@ -1,0 +1,7 @@
+(** Chained prefix scan in the style of CUB's decoupled lookback: blocks
+    publish inclusive prefixes under ready flags (MP handshakes).  [app]
+    keeps the two shipped fences; [app_nf] strips them. *)
+
+val app : App.t
+val app_nf : App.t
+val kernel : Gpusim.Kernel.t

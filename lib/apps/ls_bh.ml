@@ -1,0 +1,389 @@
+(* Barnes-Hut n-body simulation after the Lonestar GPU benchmarks
+   (Burtscher et al.), reduced to one spatial dimension but keeping the
+   three communicating kernels and their idioms:
+
+   - [bh_build]: concurrent tree construction; a thread locks a child slot
+     with CAS, may allocate and initialise a fresh internal node, and
+     publishes it with a plain store.  The initialisation stores race with
+     the publication under weak memory.
+   - [bh_summarize]: bottom-up centre-of-mass computation; each node's
+     data is published under a ready flag (an MP handshake).  The shipped
+     fence sits here.
+   - [bh_force]: read-only tree traversal with an opening criterion,
+     followed by a position update.
+
+   As in the paper, the fences shipped with the original application are
+   insufficient: the build kernel's publication is unfenced, so [ls-bh]
+   (with its original fences) can still fail under stress.  The reference
+   solution is computed by a sequential OCaml implementation of the same
+   integer algorithm. *)
+
+let grid = 4
+let block = 4
+let n_bodies = 24
+let space = 256  (* positions live in [0, space) *)
+let body_tag = 1000  (* child values >= body_tag encode body ids *)
+let empty = -1
+let locked = -2
+let max_nodes = 16 * n_bodies
+let insert_guard = 64
+let force_scale = 64
+let half_space = space / 2
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                              *)
+
+let build_kernel =
+  let open Gpusim.Kbuild in
+  let ( ^^ ) p i = param p + i in
+  kernel "bh_build"
+    ~params:[ "xs"; "child"; "node_count"; "insert_fail"; "n" ]
+    [ global_tid "gtid";
+      def "b" (reg "gtid");
+      while_
+        (reg "b" < param "n")
+        [ load "pos" ("xs" ^^ reg "b");
+          def "node" (int 0);
+          def "center" (int half_space);
+          def "half" (int half_space);
+          def "done" (int 0);
+          def "guard" (int 0);
+          while_
+            ((reg "done" = int 0) && (reg "guard" < int insert_guard))
+            [ def "side" (reg "pos" >= reg "center");
+              def "slot" ((reg "node" * int 2) + reg "side");
+              load "c" ("child" ^^ reg "slot");
+              if_
+                (reg "c" = int empty)
+                [ (* Claim the empty slot and place the body. *)
+                  atomic_cas ~dst:"old" ("child" ^^ reg "slot")
+                    ~expected:(int empty) ~desired:(int locked);
+                  when_
+                    (reg "old" = int empty)
+                    [ store ("child" ^^ reg "slot") (int body_tag + reg "b");
+                      def "done" (int 1) ] ]
+                [ when_
+                    (reg "c" >= int body_tag)
+                    [ (* Split: lock the slot, allocate a node, move the
+                         resident body one level down, publish. *)
+                      atomic_cas ~dst:"old" ("child" ^^ reg "slot")
+                        ~expected:(reg "c") ~desired:(int locked);
+                      when_
+                        (reg "old" = reg "c")
+                        [ def "other" (reg "c" - int body_tag);
+                          atomic_add ~dst:"fresh" (param "node_count") (int 1);
+                          def "ncenter"
+                            (reg "center"
+                            + (((reg "side" * int 2) - int 1)
+                              * (reg "half" / int 2)));
+                          load "opos" ("xs" ^^ reg "other");
+                          def "oside" (reg "opos" >= reg "ncenter");
+                          store
+                            ("child" ^^ ((reg "fresh" * int 2) + reg "oside"))
+                            (int body_tag + reg "other");
+                          store
+                            ("child"
+                            ^^ ((reg "fresh" * int 2) + (int 1 - reg "oside")))
+                            (int empty);
+                          (* Lonestar has no fence here: publishing the
+                             node can overtake its initialisation. *)
+                          store ("child" ^^ reg "slot") (reg "fresh") ] ];
+                  when_
+                    ((reg "c" >= int 0) && (reg "c" < int body_tag))
+                    [ (* Descend into the internal node.  Only descents
+                         count against the guard: retries on locked slots
+                         must be able to spin while a publication store is
+                         still in flight. *)
+                      def "guard" (reg "guard" + int 1);
+                      def "node" (reg "c");
+                      def "center"
+                        (reg "center"
+                        + (((reg "side" * int 2) - int 1)
+                          * (reg "half" / int 2)));
+                      def "half" (reg "half" / int 2) ] ] ];
+          when_
+            (reg "done" = int 0)
+            [ atomic_add (param "insert_fail") (int 1) ];
+          def "b" (reg "b" + (bdim * gdim)) ] ]
+
+let summarize_kernel =
+  let open Gpusim.Kbuild in
+  let ( ^^ ) p i = param p + i in
+  (* One logical handler per node, descending ids so every node's children
+     (which always have larger ids) are handled first. *)
+  let side_mass side =
+    [ load "c" ("child" ^^ ((reg "node" * int 2) + int side));
+      if_
+        (reg "c" = int empty)
+        [ def "m" (int 0); def "w" (int 0) ]
+        [ if_
+            (reg "c" >= int body_tag)
+            [ def "m" (int 1); load "w" ("xs" ^^ (reg "c" - int body_tag)) ]
+            [ def "rdy" (int 0);
+              while_
+                (reg "rdy" = int 0)
+                [ load "rdy" ("ready" ^^ reg "c") ];
+              load "m" ("mass" ^^ reg "c");
+              load "w" ("wsum" ^^ reg "c") ] ];
+      def (Printf.sprintf "m%d" side) (reg "m");
+      def (Printf.sprintf "w%d" side) (reg "w") ]
+  in
+  kernel "bh_summarize"
+    ~params:[ "xs"; "child"; "mass"; "wsum"; "ready"; "node_count" ]
+    [ global_tid "gtid";
+      load "ncount" (param "node_count");
+      (* Walk this thread's stride from the highest id downwards. *)
+      def "node"
+        (reg "ncount" - int 1
+        - ((reg "ncount" - int 1 - reg "gtid") mod (bdim * gdim)));
+      when_
+        (reg "gtid" < reg "ncount")
+        [ while_
+            (reg "node" >= int 0)
+            (side_mass 0 @ side_mass 1
+            @ [ store ("mass" ^^ reg "node") (reg "m0" + reg "m1");
+                store ("wsum" ^^ reg "node") (reg "w0" + reg "w1");
+                fence;  (* the fence shipped with Lonestar *)
+                store ("ready" ^^ reg "node") (int 1);
+                def "node" (reg "node" - (bdim * gdim)) ]) ] ]
+
+let force_kernel =
+  let open Gpusim.Kbuild in
+  let ( ^^ ) p i = param p + i in
+  let stack_slot i = (tid * int 16) + i in
+  kernel "bh_force"
+    ~params:[ "xs"; "child"; "mass"; "wsum"; "out"; "n" ]
+    [ global_tid "gtid";
+      def "b" (reg "gtid");
+      while_
+        (reg "b" < param "n")
+        [ load "mypos" ("xs" ^^ reg "b");
+          def "force" (int 0);
+          (* Explicit traversal stack in shared memory: entries encode
+             node * 512 + half. *)
+          store ~space:Gpusim.Kernel.Shared (stack_slot (int 0))
+            (int half_space);  (* node 0, half = space/2 *)
+          def "sp" (int 1);
+          while_
+            (reg "sp" > int 0)
+            [ def "sp" (reg "sp" - int 1);
+              load ~space:Gpusim.Kernel.Shared "entry" (stack_slot (reg "sp"));
+              def "node" (reg "entry" / int 512);
+              def "half" (reg "entry" mod int 512);
+              def "side" (int 0);
+              while_
+                (reg "side" < int 2)
+                [ load "c" ("child" ^^ ((reg "node" * int 2) + reg "side"));
+                  when_
+                    (reg "c" >= int body_tag)
+                    [ when_
+                        (reg "c" <> (int body_tag + reg "b"))
+                        [ load "bpos" ("xs" ^^ (reg "c" - int body_tag));
+                          def "d" (reg "bpos" - reg "mypos");
+                          def "ad" (max_ (reg "d") (int 0 - reg "d"));
+                          def "sgn"
+                            ((reg "d" > int 0) - (reg "d" < int 0));
+                          def "force"
+                            (reg "force"
+                            + (reg "sgn"
+                              * (int force_scale / (int 8 + reg "ad")))) ] ];
+                  when_
+                    ((reg "c" >= int 0) && (reg "c" < int body_tag))
+                    [ load "m" ("mass" ^^ reg "c");
+                      when_
+                        (reg "m" > int 0)
+                        [ load "w" ("wsum" ^^ reg "c");
+                          def "com" (reg "w" / reg "m");
+                          def "d" (reg "com" - reg "mypos");
+                          def "ad" (max_ (reg "d") (int 0 - reg "d"));
+                          def "chalf" (reg "half" / int 2);
+                          if_
+                            ((reg "chalf" * int 2) <= reg "ad")
+                            [ (* Well separated: use the aggregate. *)
+                              def "sgn"
+                                ((reg "d" > int 0) - (reg "d" < int 0));
+                              def "force"
+                                (reg "force"
+                                + (reg "sgn" * reg "m"
+                                  * (int force_scale / (int 8 + reg "ad")))) ]
+                            [ store ~space:Gpusim.Kernel.Shared
+                                (stack_slot (reg "sp"))
+                                ((reg "c" * int 512) + reg "chalf");
+                              def "sp" (reg "sp" + int 1) ] ] ];
+                  def "side" (reg "side" + int 1) ] ];
+          def "push" (max_ (int (-8)) (min_ (int 8) (reg "force")));
+          store ("out" ^^ reg "b") (reg "mypos" + reg "push");
+          def "b" (reg "b" + (bdim * gdim)) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Sequential OCaml reference implementing the same integer algorithm.  *)
+
+module Reference = struct
+  type node = {
+    mutable child : int array;  (* same encoding as the kernel *)
+    mutable mass : int;
+    mutable wsum : int;
+  }
+
+  let build positions =
+    let nodes = Array.init max_nodes (fun _ ->
+        { child = [| empty; empty |]; mass = 0; wsum = 0 }) in
+    let count = ref 1 in
+    let insert b =
+      let pos = positions.(b) in
+      let node = ref 0 and center = ref (space / 2) and half = ref (space / 2) in
+      let finished = ref false in
+      while not !finished do
+        let side = if pos >= !center then 1 else 0 in
+        let c = nodes.(!node).child.(side) in
+        if c = empty then begin
+          nodes.(!node).child.(side) <- body_tag + b;
+          finished := true
+        end
+        else if c >= body_tag then begin
+          let other = c - body_tag in
+          let fresh = !count in
+          incr count;
+          let ncenter = !center + (((side * 2) - 1) * (!half / 2)) in
+          let oside = if positions.(other) >= ncenter then 1 else 0 in
+          nodes.(fresh).child.(oside) <- body_tag + other;
+          nodes.(fresh).child.(1 - oside) <- empty;
+          nodes.(!node).child.(side) <- fresh
+        end
+        else begin
+          node := c;
+          center := !center + (((side * 2) - 1) * (!half / 2));
+          half := !half / 2
+        end
+      done
+    in
+    for b = 0 to Array.length positions - 1 do
+      insert b
+    done;
+    (nodes, !count)
+
+  let summarize positions nodes count =
+    for node = count - 1 downto 0 do
+      let m = ref 0 and w = ref 0 in
+      Array.iter
+        (fun c ->
+          if c >= body_tag then begin
+            incr m;
+            w := !w + positions.(c - body_tag)
+          end
+          else if c >= 0 then begin
+            m := !m + nodes.(c).mass;
+            w := !w + nodes.(c).wsum
+          end)
+        nodes.(node).child;
+      nodes.(node).mass <- !m;
+      nodes.(node).wsum <- !w
+    done
+
+  let force positions nodes b =
+    let mypos = positions.(b) in
+    let total = ref 0 in
+    let contrib m d =
+      let ad = Int.max d (-d) in
+      let sgn = compare d 0 in
+      total := !total + (sgn * m * (force_scale / (8 + ad)))
+    in
+    let stack = ref [ (0, space / 2) ] in
+    while !stack <> [] do
+      let node, half =
+        match !stack with e :: rest -> stack := rest; e | [] -> assert false
+      in
+      for side = 0 to 1 do
+        let c = nodes.(node).child.(side) in
+        if c >= body_tag then begin
+          if c <> body_tag + b then
+            contrib 1 (positions.(c - body_tag) - mypos)
+        end
+        else if c >= 0 then begin
+          let m = nodes.(c).mass in
+          if m > 0 then begin
+            let com = nodes.(c).wsum / m in
+            let d = com - mypos in
+            let ad = Int.max d (-d) in
+            let chalf = half / 2 in
+            if chalf * 2 <= ad then contrib m d
+            else stack := (c, chalf) :: !stack
+          end
+        end
+      done
+    done;
+    mypos + Int.max (-8) (Int.min 8 !total)
+
+  let run positions =
+    let nodes, count = build positions in
+    summarize positions nodes count;
+    Array.init (Array.length positions) (fun b -> force positions nodes b)
+end
+
+(* ------------------------------------------------------------------ *)
+
+let max_ticks = 500_000
+
+let positions_for seed =
+  let rng = Gpusim.Rng.create (seed lxor 0xb4) in
+  (* Distinct positions so the tree has bounded depth. *)
+  let a = Array.init space (fun i -> i) in
+  Gpusim.Rng.shuffle rng a;
+  Array.sub a 0 n_bodies
+
+let run sim fencing =
+  App.guard (fun () ->
+      let ps = positions_for 1 in
+      let xs = Gpusim.Sim.alloc sim n_bodies in
+      let child = Gpusim.Sim.alloc sim (2 * max_nodes) in
+      let node_count = Gpusim.Sim.alloc sim 1 in
+      let insert_fail = Gpusim.Sim.alloc sim 1 in
+      let mass = Gpusim.Sim.alloc sim max_nodes in
+      let wsum = Gpusim.Sim.alloc sim max_nodes in
+      let ready = Gpusim.Sim.alloc sim max_nodes in
+      let out = Gpusim.Sim.alloc sim n_bodies in
+      Gpusim.Sim.write_array sim ~base:xs ps;
+      Gpusim.Sim.fill sim ~base:child ~len:(2 * max_nodes) empty;
+      Gpusim.Sim.write sim node_count 1 (* root exists *);
+      App.exec sim fencing ~max_ticks ~grid ~block build_kernel
+        ~args:
+          [ ("xs", xs); ("child", child); ("node_count", node_count);
+            ("insert_fail", insert_fail); ("n", n_bodies) ];
+      App.check (Gpusim.Sim.read sim insert_fail = 0) "body insertion failed";
+      App.exec sim fencing ~max_ticks ~grid ~block summarize_kernel
+        ~args:
+          [ ("xs", xs); ("child", child); ("mass", mass); ("wsum", wsum);
+            ("ready", ready); ("node_count", node_count) ];
+      App.exec sim fencing ~shared_words:(block * 16) ~max_ticks ~grid ~block
+        force_kernel
+        ~args:
+          [ ("xs", xs); ("child", child); ("mass", mass); ("wsum", wsum);
+            ("out", out); ("n", n_bodies) ];
+      let expected = Reference.run ps in
+      let got = Gpusim.Sim.read_array sim ~base:out ~len:n_bodies in
+      Array.iteri
+        (fun b e ->
+          App.check (got.(b) = e)
+            (Printf.sprintf "body %d position: got %d, expected %d" b got.(b)
+               e))
+        expected)
+
+let make name has_fences =
+  { App.name;
+    source = "Lonestar GPU benchmarks (Barnes-Hut), 1-D reduction";
+    communication = "various instances across three kernels";
+    post_condition = "final particle positions match results from reference implementation";
+    has_fences;
+    kernels = [ build_kernel; summarize_kernel; force_kernel ];
+    max_ticks;
+    run =
+      (fun sim fencing ->
+        let fencing =
+          match (fencing, has_fences) with
+          | App.Original, false -> App.Stripped
+          | f, _ -> f
+        in
+        run sim fencing) }
+
+let app = make "ls-bh" true
+let app_nf = make "ls-bh-nf" false

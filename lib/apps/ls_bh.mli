@@ -1,0 +1,11 @@
+(** Barnes-Hut n-body after the Lonestar GPU benchmarks, reduced to one
+    dimension but keeping the three kernels and their communication
+    idioms.  The shipped fences are deliberately insufficient (the build
+    kernel's node publication is unfenced), mirroring the paper's finding
+    that ls-bh fails even with its original fences. *)
+
+val app : App.t
+val app_nf : App.t
+val build_kernel : Gpusim.Kernel.t
+val summarize_kernel : Gpusim.Kernel.t
+val force_kernel : Gpusim.Kernel.t

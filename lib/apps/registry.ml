@@ -1,0 +1,9 @@
+let all =
+  [ Cbe_ht.app; Cbe_dot.app; Ct_octree.app; Tpo_tm.app; Sdk_red.app;
+    Cub_scan.app; Ls_bh.app; Sdk_red.app_nf; Cub_scan.app_nf; Ls_bh.app_nf ]
+
+let fence_free = List.filter (fun a -> not a.App.has_fences) all
+
+let by_name name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun a -> String.lowercase_ascii a.App.name = target) all

@@ -1,0 +1,14 @@
+(** The ten application case studies of Table 4. *)
+
+val all : App.t list
+(** In the paper's order: cbe-ht, cbe-dot, ct-octree, tpo-tm, sdk-red,
+    cub-scan, ls-bh, then the manufactured fence-free variants sdk-red-nf,
+    cub-scan-nf, ls-bh-nf. *)
+
+val fence_free : App.t list
+(** The applications used for empirical fence insertion (Sec. 5.2): the
+    seven that contain no fences — the four naturally fence-free ones plus
+    the three [-nf] variants. *)
+
+val by_name : string -> App.t option
+(** Case-insensitive lookup. *)

@@ -1,0 +1,93 @@
+(* threadFenceReduction from the CUDA SDK: each block reduces a chunk and
+   publishes a partial sum; the last block to finish (determined with an
+   atomic counter) combines the partials.  The __threadfence between the
+   partial-sum store and the counter increment is what makes the partial
+   visible to the combining block. *)
+
+let grid = 4
+let block = 8
+let n = 64
+
+let kernel =
+  let open Gpusim.Kbuild in
+  kernel "reduce" ~params:[ "input"; "partials"; "counter"; "out"; "n" ]
+    [ global_tid "gtid";
+      def "acc" (int 0);
+      def "i" (reg "gtid");
+      while_
+        (reg "i" < param "n")
+        [ load "v" (param "input" + reg "i");
+          def "acc" (reg "acc" + reg "v");
+          def "i" (reg "i" + (bdim * gdim)) ];
+      store ~space:Gpusim.Kernel.Shared tid (reg "acc");
+      barrier;
+      def "s" (bdim / int 2);
+      while_
+        (reg "s" > int 0)
+        [ when_
+            (tid < reg "s")
+            [ load ~space:Gpusim.Kernel.Shared "lo" tid;
+              load ~space:Gpusim.Kernel.Shared "hi" (tid + reg "s");
+              store ~space:Gpusim.Kernel.Shared tid (reg "lo" + reg "hi") ];
+          barrier;
+          def "s" (reg "s" / int 2) ];
+      when_
+        (tid = int 0)
+        [ load ~space:Gpusim.Kernel.Shared "block_sum" (int 0);
+          store (param "partials" + bid) (reg "block_sum");
+          fence;  (* the fence shipped with the SDK code *)
+          atomic_add ~dst:"ticket" (param "counter") (int 1);
+          when_
+            (reg "ticket" = gdim - int 1)
+            [ def "total" (int 0);
+              def "j" (int 0);
+              while_
+                (reg "j" < gdim)
+                [ load "p" (param "partials" + reg "j");
+                  def "total" (reg "total" + reg "p");
+                  def "j" (reg "j" + int 1) ];
+              store (param "out") (reg "total") ] ] ]
+
+let max_ticks = 120_000
+
+let run sim fencing =
+  App.guard (fun () ->
+      let rng = Gpusim.Rng.create 0xed in
+      let data = Array.init n (fun _ -> Gpusim.Rng.int rng 100) in
+      let input = Gpusim.Sim.alloc sim n in
+      let partials = Gpusim.Sim.alloc sim grid in
+      let counter = Gpusim.Sim.alloc sim 1 in
+      let out = Gpusim.Sim.alloc sim 1 in
+      Gpusim.Sim.write_array sim ~base:input data;
+      Gpusim.Sim.write sim out (-1);
+      App.exec sim fencing ~shared_words:block ~max_ticks ~grid ~block kernel
+        ~args:
+          [ ("input", input); ("partials", partials); ("counter", counter);
+            ("out", out); ("n", n) ];
+      let expected = Array.fold_left ( + ) 0 data in
+      let got = Gpusim.Sim.read sim out in
+      App.check (got = expected)
+        (Printf.sprintf "reduction mismatch: got %d, expected %d" got
+           expected))
+
+let make name has_fences =
+  { App.name;
+    source = "CUDA 7 SDK (threadFenceReduction)";
+    communication = "last block (via atomic counter) combines block-local results";
+    post_condition = "GPU result matches a CPU reference result";
+    has_fences;
+    kernels = [ kernel ];
+    max_ticks;
+    run =
+      (fun sim fencing ->
+        (* The -nf variant replaces Original with Stripped so that the
+           shipped fence is removed. *)
+        let fencing =
+          match (fencing, has_fences) with
+          | App.Original, false -> App.Stripped
+          | f, _ -> f
+        in
+        run sim fencing) }
+
+let app = make "sdk-red" true
+let app_nf = make "sdk-red-nf" false

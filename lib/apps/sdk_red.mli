@@ -1,0 +1,7 @@
+(** threadFenceReduction from the CUDA SDK: block partial sums combined by
+    the last block (atomic-counter election).  [app] keeps the shipped
+    fence; [app_nf] is the manufactured fence-free variant. *)
+
+val app : App.t
+val app_nf : App.t
+val kernel : Gpusim.Kernel.t

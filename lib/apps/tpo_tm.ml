@@ -1,0 +1,86 @@
+(* Dynamic task management after Tzeng, Patney & Owens (HPG 2010): a
+   shared task queue protected by a custom spinlock; workers pop tasks and
+   push freshly spawned children back.  Under weak memory the pushed
+   task's payload (or the head/tail update) can still be in flight when
+   the lock is released, so another worker pops a stale slot — tasks are
+   lost or double-processed and the processed-task count is wrong. *)
+
+let grid = 4
+let block = 4
+let initial_tasks = 4
+let spawn_depth = 2  (* tasks below this depth spawn two children *)
+
+(* A full binary tree of height spawn_depth per initial task. *)
+let expected_tasks = initial_tasks * ((1 lsl (spawn_depth + 1)) - 1)
+
+let queue_cap = 4 * expected_tasks
+let max_worker_iterations = 6 * expected_tasks
+let stale = -2
+
+let kernel =
+  let open Gpusim.Kbuild in
+  let ( ^^ ) p i = param p + i in
+  kernel "task_manager"
+    ~params:[ "qmutex"; "qitems"; "qhead"; "qtail"; "processed" ]
+    [ def "iters" (int 0);
+      def "stop" (int 0);
+      while_
+        ((reg "stop" = int 0) && (reg "iters" < int max_worker_iterations))
+        ([ def "iters" (reg "iters" + int 1); def "task" (int (-1)) ]
+        @ lock (param "qmutex")
+        @ [ load "h" (param "qhead");
+            load "t" (param "qtail");
+            when_
+              (reg "h" < reg "t")
+              [ load "task" ("qitems" ^^ reg "h");
+                store (param "qhead") (reg "h" + int 1) ];
+            unlock (param "qmutex");
+            if_
+              (reg "task" >= int 0)
+              ([ atomic_add (param "processed") (int 1) ]
+              @ [ when_
+                    (reg "task" < int spawn_depth)
+                    (lock (param "qmutex")
+                    @ [ load "t2" (param "qtail");
+                        store ("qitems" ^^ reg "t2") (reg "task" + int 1);
+                        store ("qitems" ^^ (reg "t2" + int 1))
+                          (reg "task" + int 1);
+                        store (param "qtail") (reg "t2" + int 2);
+                        unlock (param "qmutex") ]) ])
+              [ load "done" (param "processed");
+                when_
+                  (reg "done" >= int expected_tasks)
+                  [ def "stop" (int 1) ] ] ]) ]
+
+let max_ticks = 400_000
+
+let run sim fencing =
+  App.guard (fun () ->
+      let qmutex = Gpusim.Sim.alloc sim 1 in
+      let qitems = Gpusim.Sim.alloc sim queue_cap in
+      let qhead = Gpusim.Sim.alloc sim 1 in
+      let qtail = Gpusim.Sim.alloc sim 1 in
+      let processed = Gpusim.Sim.alloc sim 1 in
+      Gpusim.Sim.fill sim ~base:qitems ~len:queue_cap stale;
+      (* Seed the queue with the root tasks (depth 0). *)
+      for i = 0 to initial_tasks - 1 do
+        Gpusim.Sim.write sim (qitems + i) 0
+      done;
+      Gpusim.Sim.write sim qtail initial_tasks;
+      App.exec sim fencing ~max_ticks ~grid ~block kernel
+        ~args:
+          [ ("qmutex", qmutex); ("qitems", qitems); ("qhead", qhead);
+            ("qtail", qtail); ("processed", processed) ];
+      let got = Gpusim.Sim.read sim processed in
+      App.check (got = expected_tasks)
+        (Printf.sprintf "processed %d tasks, expected %d" got expected_tasks))
+
+let app =
+  { App.name = "tpo-tm";
+    source = "Tzeng, Patney & Owens, HPG 2010";
+    communication = "concurrent access to queues protected by custom mutexes";
+    post_condition = "expected number of tasks are executed";
+    has_fences = false;
+    kernels = [ kernel ];
+    max_ticks;
+    run }

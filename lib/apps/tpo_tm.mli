@@ -1,0 +1,6 @@
+(** Dynamic task management after Tzeng, Patney & Owens: a mutex-guarded
+    task queue; queue state updates race with the lock release, losing or
+    double-processing tasks. *)
+
+val app : App.t
+val expected_tasks : int

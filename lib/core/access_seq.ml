@@ -1,0 +1,74 @@
+type access = Ld | St
+
+type t = access list
+
+let length = List.length
+
+(* Group maximal runs: ld ld ld st ld -> [(Ld,3); (St,1); (Ld,1)] *)
+let runs seq =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | a :: rest -> (
+      match acc with
+      | (a', n) :: tl when a' = a -> go ((a', n + 1) :: tl) rest
+      | _ -> go ((a, 1) :: acc) rest)
+  in
+  go [] seq
+
+let access_name = function Ld -> "ld" | St -> "st"
+
+let to_string seq =
+  runs seq
+  |> List.map (fun (a, n) ->
+         if n = 1 then access_name a else Printf.sprintf "%s%d" (access_name a) n)
+  |> String.concat " "
+
+let of_string s =
+  let parse_tok tok =
+    let prefix p = String.length tok >= 2 && String.sub tok 0 2 = p in
+    let count () =
+      if String.length tok = 2 then Some 1
+      else int_of_string_opt (String.sub tok 2 (String.length tok - 2))
+    in
+    if prefix "ld" then Option.map (fun n -> (Ld, n)) (count ())
+    else if prefix "st" then Option.map (fun n -> (St, n)) (count ())
+    else None
+  in
+  let toks =
+    String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+  in
+  if toks = [] then None
+  else
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | tok :: rest -> (
+        match parse_tok tok with
+        | Some (a, n) when n >= 1 -> go (List.rev_append (List.init n (fun _ -> a)) acc) rest
+        | Some _ | None -> None)
+    in
+    go [] toks
+
+let all ~max_len =
+  let rec extend len =
+    if len = 0 then [ [] ]
+    else
+      let shorter = extend (len - 1) in
+      List.concat_map (fun s -> [ Ld :: s; St :: s ]) shorter
+  in
+  let of_len len = List.map List.rev (extend len) |> List.sort compare in
+  List.concat_map of_len (List.init max_len (fun i -> i + 1))
+
+let rotations seq =
+  let n = List.length seq in
+  let a = Array.of_list seq in
+  List.init n (fun k -> List.init n (fun i -> a.((i + k) mod n)))
+
+let rotation_class seq =
+  match List.sort compare (rotations seq) with
+  | least :: _ -> least
+  | [] -> invalid_arg "Access_seq.rotation_class: empty sequence"
+
+let compare a b =
+  match Int.compare (length a) (length b) with
+  | 0 -> Stdlib.compare a b
+  | c -> c

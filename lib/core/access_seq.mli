@@ -1,0 +1,39 @@
+(** Stressing access sequences σ ∈ (ld|st)+ (Sec. 3.3).
+
+    A sequence is the loop body executed by stressing threads: each element
+    is a load or store to the thread's assigned scratchpad location.  The
+    tuning campaign enumerates all sequences up to a maximum length,
+    measures the weak behaviours each provokes, and selects a
+    Pareto-optimal winner per chip (Table 2). *)
+
+type access = Ld | St
+
+type t = access list
+(** Non-empty. *)
+
+val to_string : t -> string
+(** Compact paper notation: [ld3 st ld], [st2 ld2], ... *)
+
+val of_string : string -> t option
+(** Parse the compact notation (also accepts the fully spelled-out form
+    ["ld ld st"]).  Returns [None] on malformed input. *)
+
+val all : max_len:int -> t list
+(** Every sequence of length 1..[max_len], in length-then-lexicographic
+    order ([Ld] before [St]).  There are [2^(max_len+1) - 2] of them
+    (62 for the paper's N = 5; the paper's text says 63, an off-by-one we
+    note in EXPERIMENTS.md). *)
+
+val rotations : t -> t list
+(** All rotations of the sequence, including itself. *)
+
+val rotation_class : t -> t
+(** Canonical (smallest) representative of the rotation class.  Sec. 3.3
+    observes that rotationally equivalent sequences can behave differently,
+    so tuning tests all of them; the class is used for reporting. *)
+
+val length : t -> int
+
+val compare : t -> t -> int
+(** Length-then-lexicographic; the deterministic tie-break order used by
+    the sequence finder. *)

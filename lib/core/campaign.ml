@@ -1,0 +1,69 @@
+type cell = {
+  app : string;
+  errors : int;
+  runs : int;
+  example : string;
+}
+
+type row = {
+  chip : string;
+  environment : string;
+  cells : cell list;
+  capable : int;
+  effective : int;
+}
+
+let effectiveness_threshold = 0.05
+
+let test_app ~chip ~env ~app ~runs ~seed =
+  let master = Gpusim.Rng.create seed in
+  let errors = ref 0 in
+  let example = ref "" in
+  for _ = 1 to runs do
+    let sim =
+      Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.bits30 master) ()
+    in
+    Gpusim.Sim.set_environment sim (Environment.for_app env);
+    match app.Apps.App.run sim Apps.App.Original with
+    | Ok () -> ()
+    | Error msg ->
+      incr errors;
+      if !example = "" then example := msg
+  done;
+  { app = app.Apps.App.name; errors = !errors; runs; example = !example }
+
+let summarise ~chip ~env cells =
+  let capable = List.length (List.filter (fun c -> c.errors > 0) cells) in
+  let effective =
+    List.length
+      (List.filter
+         (fun c ->
+           float_of_int c.errors
+           > effectiveness_threshold *. float_of_int c.runs)
+         cells)
+  in
+  { chip = chip.Gpusim.Chip.name; environment = env.Environment.label; cells;
+    capable; effective }
+
+let run ~chips ~environments_for ~apps ~runs ~seed ?(progress = ignore) () =
+  let master = Gpusim.Rng.create seed in
+  List.concat_map
+    (fun chip ->
+      let environments = environments_for chip in
+      List.map
+        (fun env ->
+          progress
+            (Printf.sprintf "testing %s under %s" chip.Gpusim.Chip.name
+               env.Environment.label);
+          let cells =
+            List.map
+              (fun app ->
+                test_app ~chip ~env ~app ~runs
+                  ~seed:(Gpusim.Rng.bits30 master))
+              apps
+          in
+          summarise ~chip ~env cells)
+        environments)
+    chips
+
+let sys_tuned_for chip = Tuning.shipped ~chip

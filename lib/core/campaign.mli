@@ -1,0 +1,52 @@
+(** Application testing campaigns (Sec. 4, Table 5).
+
+    For each (chip, environment, application) combination, the application
+    is executed repeatedly under the environment and erroneous runs are
+    counted.  The paper tests each combination for one hour; here the
+    budget is an execution count, and rates are compared against the same
+    5% effectiveness threshold. *)
+
+type cell = {
+  app : string;
+  errors : int;
+  runs : int;
+  example : string;  (** one representative error message, if any *)
+}
+
+type row = {
+  chip : string;
+  environment : string;
+  cells : cell list;
+  capable : int;  (** applications with at least one erroneous run (b) *)
+  effective : int;  (** applications with error rate above 5% (a) *)
+}
+
+val effectiveness_threshold : float
+(** 0.05, as in the paper. *)
+
+val test_app :
+  chip:Gpusim.Chip.t ->
+  env:Environment.t ->
+  app:Apps.App.t ->
+  runs:int ->
+  seed:int ->
+  cell
+(** Run one combination.  Applications that ship fences run [Original];
+    the [-nf] variants strip them (encoded in the application itself). *)
+
+val run :
+  chips:Gpusim.Chip.t list ->
+  environments_for:(Gpusim.Chip.t -> Environment.t list) ->
+  apps:Apps.App.t list ->
+  runs:int ->
+  seed:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  row list
+(** The full grid, row per (chip, environment).  [environments_for]
+    builds the environment list per chip, because the systematic strategy
+    uses per-chip tuned parameters. *)
+
+val sys_tuned_for : Gpusim.Chip.t -> Stress.tuned
+(** The shipped Table 2 parameters for a chip (used when the caller does
+    not re-run tuning). *)

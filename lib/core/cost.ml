@@ -1,0 +1,98 @@
+type measurement = {
+  runtime : float;
+  energy : float;
+  discarded : int;
+}
+
+let measure ~chip ~app ~fencing ~runs ~seed =
+  let master = Gpusim.Rng.create seed in
+  let total_runtime = ref 0.0 in
+  let total_energy = ref 0.0 in
+  let kept = ref 0 in
+  let discarded = ref 0 in
+  for _ = 1 to runs do
+    let sim = Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.bits30 master) () in
+    match app.Apps.App.run sim fencing with
+    | Ok () ->
+      incr kept;
+      total_runtime :=
+        !total_runtime +. float_of_int (Gpusim.Sim.elapsed_cycles sim);
+      total_energy := !total_energy +. Gpusim.Sim.consumed_energy sim
+    | Error _ -> incr discarded
+  done;
+  let n = float_of_int (Int.max 1 !kept) in
+  { runtime = !total_runtime /. n; energy = !total_energy /. n;
+    discarded = !discarded }
+
+type point = {
+  chip : string;
+  app : string;
+  nvml : bool;
+  no_fences : measurement;
+  emp : measurement;
+  cons : measurement;
+  emp_count : int;
+}
+
+let run ~chips ~apps ~emp_for ~runs ~seed ?(progress = ignore) () =
+  let master = Gpusim.Rng.create seed in
+  List.concat_map
+    (fun chip ->
+      List.map
+        (fun app ->
+          progress
+            (Printf.sprintf "benchmarking %s on %s" app.Apps.App.name
+               chip.Gpusim.Chip.name);
+          let emp_fences = emp_for chip app in
+          let m fencing =
+            measure ~chip ~app ~fencing ~runs
+              ~seed:(Gpusim.Rng.bits30 master)
+          in
+          { chip = chip.Gpusim.Chip.name; app = app.Apps.App.name;
+            nvml = chip.Gpusim.Chip.cost.nvml_supported;
+            no_fences = m Apps.App.Stripped;
+            emp = m (Apps.App.Sites emp_fences);
+            cons = m Apps.App.Conservative;
+            emp_count = List.length emp_fences })
+        apps)
+    chips
+
+let overhead_pct ~base v = if base <= 0.0 then 0.0 else (v -. base) /. base *. 100.0
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+type summary = {
+  median_emp_runtime_pct : float;
+  median_cons_runtime_pct : float;
+  median_emp_energy_pct : float;
+  median_cons_energy_pct : float;
+  max_emp_runtime_pct : float;
+  max_cons_runtime_pct : float;
+}
+
+let summarise points =
+  let rt_emp =
+    List.map (fun p -> overhead_pct ~base:p.no_fences.runtime p.emp.runtime) points
+  in
+  let rt_cons =
+    List.map (fun p -> overhead_pct ~base:p.no_fences.runtime p.cons.runtime) points
+  in
+  let nvml_points = List.filter (fun p -> p.nvml) points in
+  let en_emp =
+    List.map (fun p -> overhead_pct ~base:p.no_fences.energy p.emp.energy) nvml_points
+  in
+  let en_cons =
+    List.map (fun p -> overhead_pct ~base:p.no_fences.energy p.cons.energy) nvml_points
+  in
+  { median_emp_runtime_pct = median rt_emp;
+    median_cons_runtime_pct = median rt_cons;
+    median_emp_energy_pct = median en_emp;
+    median_cons_energy_pct = median en_cons;
+    max_emp_runtime_pct = List.fold_left Float.max 0.0 rt_emp;
+    max_cons_runtime_pct = List.fold_left Float.max 0.0 rt_cons }

@@ -1,0 +1,30 @@
+type t = {
+  label : string;
+  strategy : Stress.t;
+  randomise : bool;
+}
+
+let make strategy ~randomise =
+  let label = Stress.name strategy ^ if randomise then "+" else "-" in
+  { label; strategy; randomise }
+
+let default_rand_scratch = 1024
+
+let all ~tuned =
+  let strategies =
+    [ Stress.No_stress; Stress.Sys tuned;
+      Stress.Rand { scratch_words = default_rand_scratch }; Stress.Cache ]
+  in
+  List.concat_map
+    (fun s -> [ make s ~randomise:false; make s ~randomise:true ])
+    strategies
+
+let sys_plus ~tuned = make (Stress.Sys tuned) ~randomise:true
+
+let for_litmus t =
+  { Gpusim.Sim.randomise = t.randomise;
+    make_stress = Stress.make_stress_litmus t.strategy }
+
+let for_app t =
+  { Gpusim.Sim.randomise = t.randomise;
+    make_stress = Stress.make_stress_app t.strategy }

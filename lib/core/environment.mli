@@ -1,0 +1,29 @@
+(** The eight testing environments of Sec. 4.2.
+
+    An environment combines a stressing strategy with thread randomisation
+    on or off: no-str, sys-str, rand-str, cache-str, each with a [+]
+    (randomisation enabled) or [-] (disabled) suffix. *)
+
+type t = {
+  label : string;  (** e.g. "sys-str+" *)
+  strategy : Stress.t;
+  randomise : bool;
+}
+
+val make : Stress.t -> randomise:bool -> t
+
+val all : tuned:Stress.tuned -> t list
+(** The eight environments in the column order of Table 5: no-str-,
+    no-str+, sys-str-, sys-str+, rand-str-, rand-str+, cache-str-,
+    cache-str+.  [tuned] supplies the chip's systematic-stress
+    parameters. *)
+
+val sys_plus : tuned:Stress.tuned -> t
+(** The flagship environment, sys-str+. *)
+
+val for_litmus : t -> Gpusim.Sim.environment
+(** Thread-count rule for litmus campaigns (50-100% of max concurrent). *)
+
+val for_app : t -> Gpusim.Sim.environment
+(** Thread-count rule for application testing (15-50% of the app's
+    blocks). *)

@@ -1,0 +1,98 @@
+type config = {
+  environment : Environment.t;
+  initial_iterations : int;
+  stability_runs : int;
+  max_rounds : int;
+}
+
+let default_config ~chip =
+  { environment = Environment.sys_plus ~tuned:(Tuning.shipped ~chip);
+    initial_iterations = 32;
+    stability_runs = 200;
+    max_rounds = 4 }
+
+type result = {
+  app : string;
+  chip : string;
+  initial : int;
+  fences : (string * int) list;
+  converged : bool;
+  rounds : int;
+  checks : int;
+  elapsed_s : float;
+}
+
+let run_app ~chip ~env ~app ~fences ~seed =
+  let sim = Gpusim.Sim.create ~chip ~seed () in
+  Gpusim.Sim.set_environment sim (Environment.for_app env);
+  app.Apps.App.run sim (Apps.App.Sites fences)
+
+let check_application ~chip ~env ~app ~fences ~iterations ~seed =
+  let master = Gpusim.Rng.create seed in
+  let rec go i =
+    if i = 0 then true
+    else
+      match run_app ~chip ~env ~app ~fences ~seed:(Gpusim.Rng.bits30 master) with
+      | Ok () -> go (i - 1)
+      | Error _ -> false
+  in
+  go iterations
+
+(* SplitFences: the fences are kept sorted by code position (kernel order,
+   then site id); the first half goes to F1 (Sec. 5.1). *)
+let split fences =
+  let n = List.length fences in
+  let rec go i acc = function
+    | [] -> (List.rev acc, [])
+    | rest when i = (n + 1) / 2 -> (List.rev acc, rest)
+    | f :: rest -> go (i + 1) (f :: acc) rest
+  in
+  go 0 [] fences
+
+let diff f g = List.filter (fun x -> not (List.mem x g)) f
+
+let insert ~chip ?config ~app ~seed ?(progress = ignore) () =
+  let cfg = match config with Some c -> c | None -> default_config ~chip in
+  let t0 = Unix.gettimeofday () in
+  let master = Gpusim.Rng.create seed in
+  let checks = ref 0 in
+  let check fences iterations =
+    incr checks;
+    check_application ~chip ~env:cfg.environment ~app ~fences ~iterations
+      ~seed:(Gpusim.Rng.bits30 master)
+  in
+  let all = Apps.App.fence_sites app in
+  let initial = List.length all in
+  let binary_reduction fences iterations =
+    let rec go fences =
+      if List.length fences <= 1 then fences
+      else begin
+        let f1, f2 = split fences in
+        if check (diff fences f1) iterations then go (diff fences f1)
+        else if check (diff fences f2) iterations then go (diff fences f2)
+        else fences
+      end
+    in
+    go fences
+  in
+  let linear_reduction fences iterations =
+    List.fold_left
+      (fun kept f ->
+        let without = List.filter (fun x -> x <> f) kept in
+        if check without iterations then without else kept)
+      fences fences
+  in
+  let rec rounds i n =
+    progress
+      (Printf.sprintf "hardening %s on %s: round %d (I=%d)"
+         app.Apps.App.name chip.Gpusim.Chip.name n i);
+    let fb = binary_reduction all i in
+    let fl = linear_reduction fb i in
+    if check fl cfg.stability_runs then (fl, true, n)
+    else if n >= cfg.max_rounds then (fl, false, n)
+    else rounds (2 * i) (n + 1)
+  in
+  let fences, converged, rounds = rounds cfg.initial_iterations 1 in
+  { app = app.Apps.App.name; chip = chip.Gpusim.Chip.name; initial; fences;
+    converged; rounds; checks = !checks;
+    elapsed_s = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,58 @@
+(** Empirical fence insertion (Sec. 5, Alg. 1).
+
+    Starting from a fence after every global memory access, binary and
+    linear reduction repeatedly remove fences, re-testing the application
+    under an aggressive environment after each removal.  The process
+    converges to a set of fences that is {e empirically stable} (no errors
+    over a long test) and minimal in the sense that every fence in it was
+    individually observed to matter. *)
+
+type config = {
+  environment : Environment.t;  (** the paper uses sys-str+ *)
+  initial_iterations : int;  (** Alg. 1's I; the paper uses 32 *)
+  stability_runs : int;
+      (** executions for the EmpiricallyStable check (the paper's one
+          hour of testing) *)
+  max_rounds : int;
+      (** restarts with doubled I before giving up (the paper's 24 h
+          timeout) *)
+}
+
+val default_config : chip:Gpusim.Chip.t -> config
+(** sys-str+ with the chip's shipped tuned parameters, I = 32,
+    200 stability runs, 4 rounds. *)
+
+type result = {
+  app : string;
+  chip : string;
+  initial : int;  (** size of the initial (conservative) fence set *)
+  fences : (string * int) list;
+      (** the surviving fence sites: (kernel, access site id) *)
+  converged : bool;  (** false if [max_rounds] was exhausted (timeout) *)
+  rounds : int;
+  checks : int;  (** CheckApplication invocations performed *)
+  elapsed_s : float;
+}
+
+val check_application :
+  chip:Gpusim.Chip.t ->
+  env:Environment.t ->
+  app:Apps.App.t ->
+  fences:(string * int) list ->
+  iterations:int ->
+  seed:int ->
+  bool
+(** Alg. 1's CheckApplication: [true] when no error is observed in
+    [iterations] executions of the application with the given fences. *)
+
+val insert :
+  chip:Gpusim.Chip.t ->
+  ?config:config ->
+  app:Apps.App.t ->
+  seed:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  result
+(** Run empirical fence insertion for one application on one chip.  The
+    application should be fence-free (Sec. 5.2 uses the seven fence-free
+    case studies). *)

@@ -1,0 +1,50 @@
+let dominates ~scores a b =
+  let sa = scores a and sb = scores b in
+  if Array.length sa <> Array.length sb then
+    invalid_arg "Pareto.dominates: unequal objective counts";
+  let ge = ref true and gt = ref false in
+  Array.iteri
+    (fun i va ->
+      if va < sb.(i) then ge := false;
+      if va > sb.(i) then gt := true)
+    sa;
+  !ge && !gt
+
+let front ~scores items =
+  List.filter
+    (fun a -> not (List.exists (fun b -> dominates ~scores b a) items))
+    items
+
+let select ~scores ~tie items =
+  match front ~scores items with
+  | [] -> None
+  | [ x ] -> Some x
+  | candidates ->
+    let n_obj =
+      match candidates with x :: _ -> Array.length (scores x) | [] -> 0
+    in
+    (* Per-objective maxima over the front. *)
+    let best = Array.make n_obj min_int in
+    List.iter
+      (fun c ->
+        let s = scores c in
+        Array.iteri (fun i v -> if v > best.(i) then best.(i) <- v) s)
+      candidates;
+    let wins c =
+      let s = scores c in
+      let n = ref 0 in
+      Array.iteri (fun i v -> if v = best.(i) then incr n) s;
+      !n
+    in
+    let total c = Array.fold_left ( + ) 0 (scores c) in
+    let rank a b =
+      match Int.compare (wins b) (wins a) with
+      | 0 -> (
+        match Int.compare (total b) (total a) with
+        | 0 -> tie a b
+        | c -> c)
+      | c -> c
+    in
+    (match List.sort rank candidates with
+    | x :: _ -> Some x
+    | [] -> None)

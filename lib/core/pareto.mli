@@ -1,0 +1,19 @@
+(** Pareto-optimality over per-objective scores, as used to select access
+    sequences (Sec. 3.3) and spreads (Sec. 3.4) against the three litmus
+    tests. *)
+
+val dominates : scores:('a -> int array) -> 'a -> 'a -> bool
+(** [dominates ~scores a b]: [a] is at least as good as [b] on every
+    objective and strictly better on at least one.  The score arrays of
+    all items must have equal length. *)
+
+val front : scores:('a -> int array) -> 'a list -> 'a list
+(** Items not dominated by any other item, in input order. *)
+
+val select :
+  scores:('a -> int array) -> tie:('a -> 'a -> int) -> 'a list -> 'a option
+(** The paper's winner rule: take the Pareto front; if it has several
+    members, prefer the one that achieves the maximum score on the most
+    objectives (the "most effective for two of the three litmus tests"
+    tie-break); remaining ties fall back to the highest total score, then
+    to the deterministic order [tie]. *)

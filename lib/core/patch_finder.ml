@@ -1,0 +1,130 @@
+type cell = {
+  idiom : Litmus.Test.idiom;
+  distance : int;
+  location : int;
+  weak : int;
+}
+
+type result = {
+  cells : cell list;
+  runs : int;
+  per_idiom : (Litmus.Test.idiom * int option) list;
+  critical : int option;
+  chosen : int;
+}
+
+let patch_sizes_of_row ~eps ~stride cells =
+  let sorted = List.sort compare cells in
+  (* A single sample above threshold cannot resolve a patch width at
+     stride > 1 (it only bounds it above by the stride), so lone samples
+     are treated as noise rather than 1-sample patches. *)
+  let min_run = if stride > 1 then 2 else 1 in
+  let close acc run = if run >= min_run then (run * stride) :: acc else acc in
+  let rec go acc run prev = function
+    | [] -> close acc run
+    | (loc, weak) :: rest ->
+      let contiguous = match prev with Some p -> loc = p + stride | None -> false in
+      if weak > eps then
+        if contiguous || run = 0 then go acc (run + 1) (Some loc) rest
+        else go (close acc run) 1 (Some loc) rest
+      else go (close acc run) 0 (Some loc) rest
+  in
+  go [] 0 None sorted
+
+(* The most frequent patch size over all (distance) rows of one idiom. *)
+let modal_patch_size sizes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tbl s (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+    sizes;
+  Hashtbl.fold
+    (fun size count acc ->
+      match acc with
+      | Some (_, c) when c >= count -> acc
+      | Some _ | None -> Some (size, count))
+    tbl None
+  |> Option.map fst
+
+let run ~chip ~seed ~budget ?(progress = ignore) () =
+  let b = budget in
+  let locations =
+    let rec go l acc =
+      if l >= b.Budget.max_location then List.rev acc
+      else go (l + b.Budget.location_stride) (l :: acc)
+    in
+    go 0 []
+  in
+  let master = Gpusim.Rng.create seed in
+  let cells = ref [] in
+  List.iter
+    (fun idiom ->
+      progress
+        (Printf.sprintf "patch-finding %s on %s" (Litmus.Test.idiom_name idiom)
+           chip.Gpusim.Chip.name);
+      List.iter
+        (fun distance ->
+          List.iter
+            (fun location ->
+              let strategy =
+                Stress.Fixed
+                  { sequence = [ Access_seq.St; Access_seq.Ld ];
+                    locations = [ location ];
+                    scratch_words = b.Budget.max_location }
+              in
+              let env =
+                Environment.for_litmus
+                  (Environment.make strategy ~randomise:false)
+              in
+              let weak =
+                Litmus.Runner.count_weak ~chip
+                  ~seed:(Gpusim.Rng.bits30 master)
+                  ~env ~runs:b.Budget.runs_patch
+                  { Litmus.Test.idiom; distance }
+              in
+              cells := { idiom; distance; location; weak } :: !cells)
+            locations)
+        b.Budget.distances_patch)
+    Litmus.Test.idioms;
+  let cells = List.rev !cells in
+  let per_idiom =
+    List.map
+      (fun idiom ->
+        let sizes =
+          List.concat_map
+            (fun distance ->
+              let row =
+                List.filter_map
+                  (fun c ->
+                    if c.idiom = idiom && c.distance = distance then
+                      Some (c.location, c.weak)
+                    else None)
+                  cells
+              in
+              patch_sizes_of_row ~eps:b.Budget.noise_threshold
+                ~stride:b.Budget.location_stride row)
+            b.Budget.distances_patch
+        in
+        (idiom, modal_patch_size sizes))
+      Litmus.Test.idioms
+  in
+  let observed = List.filter_map snd per_idiom in
+  let critical =
+    match List.sort_uniq compare observed with
+    | [ p ] when List.length observed = List.length Litmus.Test.idioms ->
+      Some p
+    | _ -> None
+  in
+  (* Fallback mirrors the paper's treatment of the 980: when a test shows
+     no patches (or the tests disagree), take the modal size among the
+     tests that did show patches; as a last resort use the architectural
+     patch granularity. *)
+  let chosen =
+    match critical with
+    | Some p -> p
+    | None -> (
+      match modal_patch_size observed with
+      | Some p -> p
+      | None -> chip.Gpusim.Chip.weakness.patch_size)
+  in
+  { cells; runs = b.Budget.runs_patch; per_idiom; critical; chosen }

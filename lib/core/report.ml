@@ -1,0 +1,275 @@
+let hr ppf width = Fmt.pf ppf "%s@." (String.make width '-')
+
+let table1 ppf =
+  Fmt.pf ppf "Table 1: the seven Nvidia GPUs that we study (simulated)@.";
+  hr ppf 56;
+  Fmt.pf ppf "%-14s %-12s %-10s %s@." "chip" "architecture" "short name"
+    "released";
+  hr ppf 56;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%-14s %-12s %-10s %d@." c.Gpusim.Chip.full_name
+        (Gpusim.Chip.architecture_name c.Gpusim.Chip.architecture)
+        c.Gpusim.Chip.name c.Gpusim.Chip.released)
+    Gpusim.Chip.all
+
+let table2 ppf results =
+  Fmt.pf ppf
+    "Table 2: stressing parameters and time spent tuning (simulated)@.";
+  hr ppf 64;
+  Fmt.pf ppf "%-8s %-14s %-14s %-7s %s@." "chip" "c. patch size" "sequence"
+    "spread" "time (mins)";
+  hr ppf 64;
+  List.iter
+    (fun ((r : Tuning.result), mins) ->
+      Fmt.pf ppf "%-8s %-14d %-14s %-7d %.1f@." r.Tuning.chip
+        r.patch.Patch_finder.chosen
+        (Access_seq.to_string r.sequences.Seq_finder.winner)
+        r.spreads.Spread_finder.winner mins)
+    results
+
+let table3 ppf (r : Seq_finder.result) =
+  Fmt.pf ppf "Table 3: top and bottom access sequences per litmus test@.";
+  hr ppf 66;
+  List.iter
+    (fun idiom ->
+      let rows = Seq_finder.rank_for r idiom in
+      let n = List.length rows in
+      Fmt.pf ppf "%s:@." (Litmus.Test.idiom_name idiom);
+      List.iter
+        (fun (rank, seq, score) ->
+          if rank <= 3 || rank > n - 3 then
+            Fmt.pf ppf "  %3d  %-14s %d@." rank (Access_seq.to_string seq)
+              score;
+          if rank = 4 && n > 6 then Fmt.pf ppf "  ...@.")
+        rows)
+    Litmus.Test.idioms;
+  Fmt.pf ppf "winner (Pareto + tie-break): %s@."
+    (Access_seq.to_string r.winner)
+
+let table4 ppf =
+  Fmt.pf ppf "Table 4: the ten case studies we consider@.";
+  hr ppf 78;
+  List.iter
+    (fun app ->
+      Fmt.pf ppf "%-12s %s@." app.Apps.App.name app.Apps.App.source;
+      Fmt.pf ppf "%-12s   communication:  %s@." "" app.Apps.App.communication;
+      Fmt.pf ppf "%-12s   post-condition: %s@." "" app.Apps.App.post_condition;
+      if app.Apps.App.has_fences then
+        Fmt.pf ppf "%-12s   (contains fence instructions)@." "")
+    Apps.Registry.all
+
+let table5 ppf rows =
+  Fmt.pf ppf
+    "Table 5: effectiveness of the testing environments (a / b, where b = \
+     apps with errors,@.         a = apps with error rate over 5%%)@.";
+  let envs =
+    List.sort_uniq compare (List.map (fun r -> r.Campaign.environment) rows)
+  in
+  (* Preserve the paper's column order. *)
+  let order =
+    [ "no-str-"; "no-str+"; "sys-str-"; "sys-str+"; "rand-str-"; "rand-str+";
+      "cache-str-"; "cache-str+" ]
+  in
+  let envs =
+    List.filter (fun e -> List.mem e envs) order
+    @ List.filter (fun e -> not (List.mem e order)) envs
+  in
+  let chips =
+    List.sort_uniq compare (List.map (fun r -> r.Campaign.chip) rows)
+  in
+  let chips =
+    (* Table 1 order. *)
+    List.filter
+      (fun c -> List.mem c chips)
+      (List.map (fun c -> c.Gpusim.Chip.name) Gpusim.Chip.all)
+    @ List.filter
+        (fun c ->
+          not
+            (List.mem c (List.map (fun c -> c.Gpusim.Chip.name) Gpusim.Chip.all)))
+        chips
+  in
+  hr ppf (8 + (11 * List.length envs));
+  Fmt.pf ppf "%-8s" "chip";
+  List.iter (fun e -> Fmt.pf ppf "%-11s" e) envs;
+  Fmt.pf ppf "@.";
+  hr ppf (8 + (11 * List.length envs));
+  List.iter
+    (fun chip ->
+      Fmt.pf ppf "%-8s" chip;
+      List.iter
+        (fun env ->
+          match
+            List.find_opt
+              (fun r -> r.Campaign.chip = chip && r.Campaign.environment = env)
+              rows
+          with
+          | Some r ->
+            Fmt.pf ppf "%-11s"
+              (Printf.sprintf "%d / %d" r.Campaign.effective r.Campaign.capable)
+          | None -> Fmt.pf ppf "%-11s" "-")
+        envs;
+      Fmt.pf ppf "@.")
+    chips
+
+let table6 ppf (results : Harden.result list) =
+  Fmt.pf ppf "Table 6: empirical fence insertion results@.";
+  hr ppf 76;
+  Fmt.pf ppf "%-12s %-6s %-14s %-9s %-10s %s@." "app" "init."
+    "red. (ref chip)" "agreeing" "converged" "time (mins)";
+  hr ppf 76;
+  let apps = List.sort_uniq compare (List.map (fun r -> r.Harden.app) results) in
+  List.iter
+    (fun app ->
+      let rs = List.filter (fun r -> r.Harden.app = app) results in
+      match rs with
+      | [] -> ()
+      | reference :: others ->
+        let agreeing =
+          List.length
+            (List.filter
+               (fun r ->
+                 List.sort compare r.Harden.fences
+                 = List.sort compare reference.Harden.fences)
+               others)
+        in
+        let mins =
+          List.map (fun r -> r.Harden.elapsed_s /. 60.0) rs
+          |> List.fold_left ( +. ) 0.0
+        in
+        Fmt.pf ppf "%-12s %-6d %-14d %-9d %-10b %.2f@." app
+          reference.Harden.initial
+          (List.length reference.Harden.fences)
+          agreeing
+          (List.for_all (fun r -> r.Harden.converged) rs)
+          mins;
+        Fmt.pf ppf "%-12s   fences: %s@." ""
+          (String.concat ", "
+             (List.map
+                (fun (k, s) -> Printf.sprintf "%s:s%d" k s)
+                reference.Harden.fences)))
+    apps
+
+let bar width maxv v =
+  if maxv <= 0 then ""
+  else String.make (Int.max 0 (v * width / maxv)) '#'
+
+let figure3 ppf ~chip (r : Patch_finder.result) =
+  Fmt.pf ppf "Figure 3: patch finding on %s (weak behaviours per stressed \
+              location, %d runs per point)@." chip r.Patch_finder.runs;
+  let maxv =
+    List.fold_left (fun m c -> Int.max m c.Patch_finder.weak) 1
+      r.Patch_finder.cells
+  in
+  let distances =
+    List.sort_uniq compare
+      (List.map (fun c -> c.Patch_finder.distance) r.Patch_finder.cells)
+  in
+  let show = match distances with a :: b :: c :: _ -> [ a; b; c ] | l -> l in
+  List.iter
+    (fun idiom ->
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "%s d=%d:@." (Litmus.Test.idiom_name idiom) d;
+          List.iter
+            (fun c ->
+              if c.Patch_finder.idiom = idiom && c.Patch_finder.distance = d
+              then
+                Fmt.pf ppf "  %4d |%-24s %d@." c.Patch_finder.location
+                  (bar 24 maxv c.Patch_finder.weak)
+                  c.Patch_finder.weak)
+            r.Patch_finder.cells)
+        show)
+    [ Litmus.Test.MP; Litmus.Test.LB ];
+  Fmt.pf ppf "critical patch size: %d@." r.Patch_finder.chosen
+
+let figure4 ppf ~chip (r : Spread_finder.result) =
+  Fmt.pf ppf "Figure 4: spread finding on %s (sequence %s)@." chip
+    (Access_seq.to_string r.Spread_finder.sequence);
+  let maxv =
+    List.fold_left
+      (fun m p ->
+        List.fold_left (fun m (_, v) -> Int.max m v) m p.Spread_finder.scores)
+      1 r.Spread_finder.points
+  in
+  List.iter
+    (fun idiom ->
+      Fmt.pf ppf "%s:@." (Litmus.Test.idiom_name idiom);
+      List.iter
+        (fun p ->
+          let v = List.assoc idiom p.Spread_finder.scores in
+          Fmt.pf ppf "  m=%2d |%-30s %d@." p.Spread_finder.spread
+            (bar 30 maxv v) v)
+        r.Spread_finder.points)
+    Litmus.Test.idioms;
+  Fmt.pf ppf "most effective spread: %d@." r.Spread_finder.winner
+
+let figure5 ppf points =
+  Fmt.pf ppf
+    "Figure 5: cost of fences (modelled cycles / energy units; native \
+     execution)@.";
+  hr ppf 86;
+  Fmt.pf ppf "%-8s %-12s %10s %10s %8s %10s %8s %6s@." "chip" "app" "no-f rt"
+    "emp rt" "emp %" "cons rt" "cons %" "#emp";
+  hr ppf 86;
+  List.iter
+    (fun (p : Cost.point) ->
+      Fmt.pf ppf "%-8s %-12s %10.0f %10.0f %7.1f%% %10.0f %7.1f%% %6d@."
+        p.Cost.chip p.Cost.app p.Cost.no_fences.Cost.runtime
+        p.Cost.emp.Cost.runtime
+        (Cost.overhead_pct ~base:p.Cost.no_fences.Cost.runtime
+           p.Cost.emp.Cost.runtime)
+        p.Cost.cons.Cost.runtime
+        (Cost.overhead_pct ~base:p.Cost.no_fences.Cost.runtime
+           p.Cost.cons.Cost.runtime)
+        p.Cost.emp_count)
+    points;
+  let s = Cost.summarise points in
+  Fmt.pf ppf
+    "medians: emp fences +%.1f%% runtime, +%.1f%% energy; cons fences \
+     +%.1f%% runtime, +%.1f%% energy@."
+    s.Cost.median_emp_runtime_pct s.Cost.median_emp_energy_pct
+    s.Cost.median_cons_runtime_pct s.Cost.median_cons_energy_pct;
+  Fmt.pf ppf "maxima:  emp +%.1f%%, cons +%.1f%% runtime@."
+    s.Cost.max_emp_runtime_pct s.Cost.max_cons_runtime_pct
+
+let patch_csv (r : Patch_finder.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "idiom,distance,location,weak\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d\n"
+           (Litmus.Test.idiom_name c.Patch_finder.idiom)
+           c.Patch_finder.distance c.Patch_finder.location c.Patch_finder.weak))
+    r.Patch_finder.cells;
+  Buffer.contents buf
+
+let spread_csv (r : Spread_finder.result) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "spread,idiom,score\n";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (idiom, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%s,%d\n" p.Spread_finder.spread
+               (Litmus.Test.idiom_name idiom) v))
+        p.Spread_finder.scores)
+    r.Spread_finder.points;
+  Buffer.contents buf
+
+let cost_csv points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "chip,app,nvml,no_runtime,no_energy,emp_runtime,emp_energy,cons_runtime,cons_energy,emp_fences\n";
+  List.iter
+    (fun (p : Cost.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%b,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%d\n"
+           p.Cost.chip p.Cost.app p.Cost.nvml p.Cost.no_fences.Cost.runtime
+           p.Cost.no_fences.Cost.energy p.Cost.emp.Cost.runtime
+           p.Cost.emp.Cost.energy p.Cost.cons.Cost.runtime
+           p.Cost.cons.Cost.energy p.Cost.emp_count))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Formatting of the paper's tables and figures from campaign data.
+
+    Tables are rendered as aligned ASCII; figures as ASCII bar/line/scatter
+    plots, with CSV export for external plotting. *)
+
+val table1 : Format.formatter -> unit
+(** The seven studied GPUs (Table 1). *)
+
+val table2 :
+  Format.formatter -> (Tuning.result * float) list -> unit
+(** Tuned stressing parameters per chip (Table 2); the float is the
+    tuning time in minutes. *)
+
+val table3 : Format.formatter -> Seq_finder.result -> unit
+(** Top and bottom access sequences per litmus test (Table 3). *)
+
+val table4 : Format.formatter -> unit
+(** The ten application case studies (Table 4). *)
+
+val table5 : Format.formatter -> Campaign.row list -> unit
+(** Effectiveness summary, a/b per chip and environment (Table 5). *)
+
+val table6 : Format.formatter -> Harden.result list -> unit
+(** Empirical fence insertion results (Table 6), grouped by application
+    with per-chip agreement against the first (reference) chip. *)
+
+val figure3 :
+  Format.formatter -> chip:string -> Patch_finder.result -> unit
+(** Patch-finding bar plots: weak behaviours per stressed location, one
+    row block per (test, distance) (Fig. 3). *)
+
+val figure4 :
+  Format.formatter -> chip:string -> Spread_finder.result -> unit
+(** Spread-finding curves: score per spread and litmus test (Fig. 4). *)
+
+val figure5 : Format.formatter -> Cost.point list -> unit
+(** Fence-cost scatter data and medians (Fig. 5). *)
+
+val patch_csv : Patch_finder.result -> string
+val spread_csv : Spread_finder.result -> string
+val cost_csv : Cost.point list -> string

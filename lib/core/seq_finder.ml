@@ -1,0 +1,86 @@
+type scored = {
+  sequence : Access_seq.t;
+  scores : (Litmus.Test.idiom * int) list;
+  total : int;
+}
+
+type result = {
+  table : scored list;
+  winner : Access_seq.t;
+  patch : int;
+}
+
+let region_starts ~patch ~max_location =
+  let rec go l acc = if l >= max_location then List.rev acc else go (l + patch) (l :: acc) in
+  go 0 []
+
+let run ~chip ~seed ~budget ~patch ?(progress = ignore) () =
+  let b = budget in
+  let master = Gpusim.Rng.create seed in
+  let locations = region_starts ~patch ~max_location:b.Budget.max_location in
+  let sequences = Access_seq.all ~max_len:b.Budget.seq_max_len in
+  let n = List.length sequences in
+  let table =
+    List.mapi
+      (fun i sequence ->
+        if i mod 8 = 0 then
+          progress
+            (Printf.sprintf "sequence finding on %s: %d/%d"
+               chip.Gpusim.Chip.name i n);
+        let scores =
+          List.map
+            (fun idiom ->
+              let score = ref 0 in
+              List.iter
+                (fun distance ->
+                  List.iter
+                    (fun location ->
+                      let strategy =
+                        Stress.Fixed
+                          { sequence; locations = [ location ];
+                            scratch_words = b.Budget.max_location }
+                      in
+                      let env =
+                        Environment.for_litmus
+                          (Environment.make strategy ~randomise:false)
+                      in
+                      score :=
+                        !score
+                        + Litmus.Runner.count_weak ~chip
+                            ~seed:(Gpusim.Rng.bits30 master)
+                            ~env ~runs:b.Budget.runs_seq
+                            { Litmus.Test.idiom; distance })
+                    locations)
+                b.Budget.distances_seq;
+              (idiom, !score))
+            Litmus.Test.idioms
+        in
+        let total = List.fold_left (fun acc (_, s) -> acc + s) 0 scores in
+        { sequence; scores; total })
+      sequences
+  in
+  let score_array s = Array.of_list (List.map snd s.scores) in
+  let winner =
+    match
+      Pareto.select ~scores:score_array
+        ~tie:(fun a b -> Access_seq.compare a.sequence b.sequence)
+        table
+    with
+    | Some s -> s.sequence
+    | None -> [ Access_seq.Ld; Access_seq.St ]
+  in
+  let table =
+    List.sort (fun a b -> Int.compare b.total a.total) table
+  in
+  { table; winner; patch }
+
+let rank_for result idiom =
+  let rows =
+    List.map
+      (fun s ->
+        let score = List.assoc idiom s.scores in
+        (s.sequence, score))
+      result.table
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  List.mapi (fun i (seq, score) -> (i + 1, seq, score)) rows

@@ -1,0 +1,66 @@
+type point = {
+  spread : int;
+  scores : (Litmus.Test.idiom * int) list;
+}
+
+type result = {
+  points : point list;
+  winner : int;
+  sequence : Access_seq.t;
+  patch : int;
+}
+
+let run ~chip ~seed ~budget ~patch ~sequence ?(progress = ignore) () =
+  let b = budget in
+  let master = Gpusim.Rng.create seed in
+  let spreads =
+    let rec go m acc =
+      if m > b.Budget.max_spread then List.rev acc
+      else go (m + b.Budget.spread_step) (m :: acc)
+    in
+    go 1 []
+  in
+  let points =
+    List.map
+      (fun spread ->
+        progress
+          (Printf.sprintf "spread finding on %s: m=%d" chip.Gpusim.Chip.name
+             spread);
+        let scores =
+          List.map
+            (fun idiom ->
+              let score = ref 0 in
+              List.iter
+                (fun distance ->
+                  let strategy =
+                    Stress.Sys
+                      { sequence; spread; regions = b.Budget.max_spread }
+                  in
+                  let env =
+                    Environment.for_litmus
+                      (Environment.make strategy ~randomise:false)
+                  in
+                  score :=
+                    !score
+                    + Litmus.Runner.count_weak ~chip
+                        ~seed:(Gpusim.Rng.bits30 master)
+                        ~env ~runs:b.Budget.runs_spread
+                        { Litmus.Test.idiom; distance })
+                b.Budget.distances_spread;
+              (idiom, !score))
+            Litmus.Test.idioms
+        in
+        { spread; scores })
+      spreads
+  in
+  let score_array p = Array.of_list (List.map snd p.scores) in
+  let winner =
+    match
+      Pareto.select ~scores:score_array
+        ~tie:(fun a b -> Int.compare a.spread b.spread)
+        points
+    with
+    | Some p -> p.spread
+    | None -> 2
+  in
+  { points; winner; sequence; patch }

@@ -1,0 +1,55 @@
+type result = {
+  chip : string;
+  patch : Patch_finder.result;
+  sequences : Seq_finder.result;
+  spreads : Spread_finder.result;
+  tuned : Stress.tuned;
+  elapsed_s : float;
+}
+
+let run ~chip ~seed ~budget ?(progress = ignore) () =
+  let t0 = Unix.gettimeofday () in
+  let sub = Gpusim.Rng.create seed in
+  let patch =
+    Patch_finder.run ~chip ~seed:(Gpusim.Rng.bits30 sub) ~budget ~progress ()
+  in
+  let sequences =
+    Seq_finder.run ~chip ~seed:(Gpusim.Rng.bits30 sub) ~budget
+      ~patch:patch.Patch_finder.chosen ~progress ()
+  in
+  let spreads =
+    Spread_finder.run ~chip ~seed:(Gpusim.Rng.bits30 sub) ~budget
+      ~patch:patch.Patch_finder.chosen
+      ~sequence:sequences.Seq_finder.winner ~progress ()
+  in
+  let tuned =
+    { Stress.sequence = sequences.Seq_finder.winner;
+      spread = spreads.Spread_finder.winner;
+      regions = budget.Budget.max_spread }
+  in
+  { chip = chip.Gpusim.Chip.name; patch; sequences; spreads; tuned;
+    elapsed_s = Unix.gettimeofday () -. t0 }
+
+let parse s =
+  match Access_seq.of_string s with
+  | Some seq -> seq
+  | None -> invalid_arg ("Tuning.shipped: bad sequence " ^ s)
+
+(* Table 2 of the paper. *)
+let table2 =
+  [ ("980", "ld4 st");
+    ("K5200", "ld3 st ld");
+    ("Titan", "ld st2 ld");
+    ("K20", "ld st2 ld");
+    ("770", "st2 ld2");
+    ("C2075", "ld st");
+    ("C2050", "ld st") ]
+
+let shipped ~chip =
+  let name = chip.Gpusim.Chip.name in
+  let sequence =
+    match List.assoc_opt name table2 with
+    | Some s -> parse s
+    | None -> parse "ld st"
+  in
+  { Stress.sequence; spread = 2; regions = Budget.default.Budget.max_spread }

@@ -1,0 +1,27 @@
+(** The complete per-chip tuning pipeline of Sec. 3: patch finding, then
+    access-sequence finding, then spread finding, producing the
+    systematic-stress parameters of Table 2. *)
+
+type result = {
+  chip : string;
+  patch : Patch_finder.result;
+  sequences : Seq_finder.result;
+  spreads : Spread_finder.result;
+  tuned : Stress.tuned;
+  elapsed_s : float;  (** wall-clock tuning time (the paper reports ~1-4k
+                          minutes per physical chip; ours is simulated) *)
+}
+
+val run :
+  chip:Gpusim.Chip.t ->
+  seed:int ->
+  budget:Budget.t ->
+  ?progress:(string -> unit) ->
+  unit ->
+  result
+
+val shipped : chip:Gpusim.Chip.t -> Stress.tuned
+(** The tuned parameters published in Table 2 of the paper, shipped as
+    defaults so that users can apply sys-str without re-running the
+    multi-hour tuning campaign.  (Patch size per architecture, the
+    paper's winning sequence per chip, spread 2.) *)

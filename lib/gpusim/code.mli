@@ -1,0 +1,77 @@
+(** Compilation of kernels to a flat, directly-executable form.
+
+    The structured {!Kernel} AST is lowered once per launch to an array of
+    operations over pre-resolved register slots, with expressions staged
+    into closures.  Kernel parameters are bound to the launch arguments at
+    compile time.  This keeps the per-instruction interpretation cost low
+    enough to run the paper's campaigns (hundreds of thousands of simulated
+    executions) in seconds. *)
+
+exception Trap of string
+(** Raised during execution on kernel faults: out-of-bounds accesses,
+    division by zero, or a read of a register holding no value.  The
+    simulator turns it into an erroneous launch outcome. *)
+
+exception Unresolved of Memsys.pending
+(** Raised when an instruction needs the value of a still-pending load.
+    The scheduler parks the thread until the load commits and then
+    re-executes the instruction (expression evaluation is effect-free up
+    to the raise, so re-execution is sound). *)
+
+(** Per-thread execution context. *)
+type tctx = {
+  gid : int;  (** physical thread index, keys the memory subsystem *)
+  regs : rv array;
+  l_tid : int;  (** logical [threadIdx.x] (after randomisation) *)
+  l_bid : int;  (** logical [blockIdx.x] *)
+  l_bdim : int;
+  l_gdim : int;
+  mem : Memsys.t;
+  shared : int array;  (** the block's shared memory *)
+}
+
+and rv = Val of int | Pend of Memsys.pending
+
+type ev = tctx -> int
+(** A staged expression evaluator.  Reading a register that holds a
+    pending load forces it (dependency ordering). *)
+
+type op =
+  | Oassign of int * ev
+  | Oload of { site : int; dst : int; space : Kernel.space; addr : ev }
+  | Ostore of { site : int; space : Kernel.space; addr : ev; value : ev }
+  | Oatomic of {
+      site : int;
+      dst : int option;
+      space : Kernel.space;
+      addr : ev;
+      (* operand evaluators, run before the atomic takes effect *)
+      prepare : tctx -> int -> int;
+          (** [prepare ctx] is evaluated to a pure [old -> new] function *)
+    }
+  | Ofence of Kernel.fence_scope
+  | Obarrier
+  | Ojump of int
+  | Ojz of ev * int  (** jump to target when the condition is zero *)
+  | Oreturn
+
+type t = {
+  kernel_name : string;
+  ops : op array;
+  n_regs : int;
+}
+
+val compile : Kernel.t -> args:(string * int) list -> t
+(** Lower a labelled kernel, binding each parameter to its argument.
+    Raises [Invalid_argument] if an argument is missing or unused. *)
+
+val make_ctx :
+  code:t ->
+  gid:int ->
+  l_tid:int -> l_bid:int -> l_bdim:int -> l_gdim:int ->
+  mem:Memsys.t -> shared:int array ->
+  tctx
+
+val read_reg : tctx -> int -> int
+(** Read a register slot.
+    @raise Unresolved if it holds a load that has not completed. *)

@@ -1,0 +1,44 @@
+type region = { rname : string; base : int; len : int }
+
+type t = {
+  pairs : (int * int, int) Hashtbl.t;  (* (overtaken, committed) -> count *)
+  mutable regions : region list;
+}
+
+let attach sim =
+  let t = { pairs = Hashtbl.create 64; regions = [] } in
+  Sim.set_reorder_hook sim (fun ~tid:_ ~overtaken ~committed ->
+      let key = (overtaken, committed) in
+      let n = match Hashtbl.find_opt t.pairs key with Some n -> n | None -> 0 in
+      Hashtbl.replace t.pairs key (n + 1));
+  t
+
+let clear t = Hashtbl.reset t.pairs
+
+let add_region t rname ~base ~len = t.regions <- { rname; base; len } :: t.regions
+
+let describe t addr =
+  let hit =
+    List.find_opt (fun r -> addr >= r.base && addr < r.base + r.len) t.regions
+  in
+  match hit with
+  | Some r -> Fmt.str "%s[+%d]" r.rname (addr - r.base)
+  | None -> Fmt.str "@%d" addr
+
+type finding = { overtaken : string; committed : string; count : int }
+
+let report t =
+  Hashtbl.fold
+    (fun (o, c) count acc ->
+      { overtaken = describe t o; committed = describe t c; count } :: acc)
+    t.pairs []
+  |> List.sort (fun a b -> compare b.count a.count)
+
+let pp_report ppf findings =
+  if findings = [] then Fmt.pf ppf "no reordering observed@."
+  else
+    List.iter
+      (fun f ->
+        Fmt.pf ppf "%6d x  %s overtaken by %s@." f.count f.overtaken
+          f.committed)
+      findings

@@ -1,0 +1,37 @@
+(** Root-cause diagnostics for weak-memory errors.
+
+    The testing environment "provides a means to help identify the root
+    causes" of weak-memory errors (Sec. 1 of the paper).  This module
+    attaches to a device, records every out-of-order commit as a pair of
+    addresses (the overtaken operation and the one that overtook it), and
+    aggregates the pairs into a ranked report.  Combined with the memory
+    map of an application (which array occupies which address range), the
+    report points at the communication idiom that was broken. *)
+
+type t
+
+(** A named address range, e.g. an application array. *)
+type region = { rname : string; base : int; len : int }
+
+val attach : Sim.t -> t
+(** Start recording reorder events on the device. *)
+
+val clear : t -> unit
+
+val add_region : t -> string -> base:int -> len:int -> unit
+(** Name an address range so reports show ["result\[+0\]"] instead of a
+    raw address. *)
+
+type finding = {
+  overtaken : string;  (** symbolised address whose effect was delayed *)
+  committed : string;  (** symbolised address that became visible first *)
+  count : int;
+}
+
+val report : t -> finding list
+(** Aggregated reorder pairs, most frequent first. *)
+
+val pp_report : Format.formatter -> finding list -> unit
+
+val describe : t -> int -> string
+(** Symbolise one address against the recorded regions. *)

@@ -1,0 +1,66 @@
+open Kernel
+
+let kernel name ~params body = label { name; params; body }
+
+let int n = Int n
+let reg r = Reg r
+let param p = Param p
+let tid = Special Tid
+let bid = Special Bid
+let bdim = Special Bdim
+let gdim = Special Gdim
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( mod ) a b = Binop (Rem, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( && ) a b = Binop (Band, Binop (Ne, a, Int 0), Binop (Ne, b, Int 0))
+let ( || ) a b = Binop (Bor, Binop (Ne, a, Int 0), Binop (Ne, b, Int 0))
+let min_ a b = Binop (Min, a, b)
+let max_ a b = Binop (Max, a, b)
+let not_ a = Unop (Lnot, a)
+
+let def r e = stmt (Assign (r, e))
+
+let load dst ?(space = Global) addr = stmt (Load { dst; space; addr })
+
+let store ?(space = Global) addr value = stmt (Store { space; addr; value })
+
+let atomic ?dst ?(space = Global) addr op = stmt (Atomic { dst; space; addr; op })
+
+let atomic_cas ?dst ?space addr ~expected ~desired =
+  atomic ?dst ?space addr (Acas (expected, desired))
+
+let atomic_exch ?dst ?space addr v = atomic ?dst ?space addr (Aexch v)
+let atomic_add ?dst ?space addr v = atomic ?dst ?space addr (Aadd v)
+let atomic_min ?dst ?space addr v = atomic ?dst ?space addr (Amin v)
+let atomic_max ?dst ?space addr v = atomic ?dst ?space addr (Amax v)
+
+let fence = stmt (Fence Device)
+let fence_block = stmt (Fence Cta)
+let barrier = stmt Barrier
+let return = stmt Return
+
+let if_ c t e = stmt (If (c, t, e))
+let when_ c t = if_ c t []
+let while_ c b = stmt (While (c, b))
+
+let global_tid r = def r (tid + (bid * bdim))
+
+(* The lock/unlock device functions of CUDA by Example (Fig. 1 of the
+   paper).  We reuse one scratch register name across all call sites; the
+   spin overwrites it on every iteration so sharing is harmless. *)
+let lock mutex =
+  [ atomic_cas ~dst:"_lock_old" mutex ~expected:(int 0) ~desired:(int 1);
+    while_
+      (reg "_lock_old" <> int 0)
+      [ atomic_cas ~dst:"_lock_old" mutex ~expected:(int 0) ~desired:(int 1) ] ]
+
+let unlock mutex = atomic_exch mutex (int 0)

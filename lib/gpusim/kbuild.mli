@@ -1,0 +1,98 @@
+(** Combinators for writing kernels concisely.
+
+    The application case studies and the stressing kernels are written with
+    this eDSL.  A typical kernel:
+
+    {[
+      let open Gpusim.Kbuild in
+      kernel "dot" ~params:[ "mutex"; "a"; "b"; "c"; "n" ]
+        [ def "tid" (tid + (bid * bdim));
+          while_ (reg "tid" < param "n")
+            [ (* ... *) ];
+          barrier;
+        ]
+    ]}
+
+    All combinators produce unlabelled statements; {!kernel} labels the
+    result. *)
+
+open Kernel
+
+val kernel : string -> params:string list -> block -> t
+(** Build and {!Kernel.label} a kernel. *)
+
+(** {1 Expressions} *)
+
+val int : int -> exp
+val reg : string -> exp
+val param : string -> exp
+val tid : exp
+val bid : exp
+val bdim : exp
+val gdim : exp
+
+val ( + ) : exp -> exp -> exp
+val ( - ) : exp -> exp -> exp
+val ( * ) : exp -> exp -> exp
+val ( / ) : exp -> exp -> exp
+val ( mod ) : exp -> exp -> exp
+val ( = ) : exp -> exp -> exp
+val ( <> ) : exp -> exp -> exp
+val ( < ) : exp -> exp -> exp
+val ( <= ) : exp -> exp -> exp
+val ( > ) : exp -> exp -> exp
+val ( >= ) : exp -> exp -> exp
+
+(** Non-short-circuit logical and. *)
+val ( && ) : exp -> exp -> exp
+
+(** Non-short-circuit logical or. *)
+val ( || ) : exp -> exp -> exp
+val min_ : exp -> exp -> exp
+val max_ : exp -> exp -> exp
+val not_ : exp -> exp
+
+(** {1 Statements} *)
+
+val def : string -> exp -> stmt
+(** Register assignment. *)
+
+val load : string -> ?space:space -> exp -> stmt
+(** [load r addr] is [r := space[addr]]; [space] defaults to [Global]. *)
+
+val store : ?space:space -> exp -> exp -> stmt
+(** [store addr v] is [space[addr] := v]; [space] defaults to [Global]. *)
+
+val atomic_cas : ?dst:string -> ?space:space -> exp -> expected:exp -> desired:exp -> stmt
+val atomic_exch : ?dst:string -> ?space:space -> exp -> exp -> stmt
+val atomic_add : ?dst:string -> ?space:space -> exp -> exp -> stmt
+val atomic_min : ?dst:string -> ?space:space -> exp -> exp -> stmt
+val atomic_max : ?dst:string -> ?space:space -> exp -> exp -> stmt
+
+(** Device-scope fence, [__threadfence]. *)
+val fence : stmt
+
+(** Block-scope fence, [__threadfence_block]. *)
+val fence_block : stmt
+val barrier : stmt
+val return : stmt
+
+val if_ : exp -> block -> block -> stmt
+val when_ : exp -> block -> stmt
+(** [when_ c b] is [if_ c b \[\]]. *)
+
+val while_ : exp -> block -> stmt
+
+(** {1 Idiom helpers} *)
+
+val global_tid : string -> stmt
+(** [global_tid r] defines [r := tid + bid * bdim]. *)
+
+val lock : exp -> block
+(** Spin on [atomicCAS(mutex, 0, 1)] until it returns 0 — the [lock]
+    device function from the CUDA-by-Example case studies.  Returns the
+    statements of the spin; splice them with [@]. *)
+
+val unlock : exp -> stmt
+(** [atomicExch(mutex, 0)] — note: deliberately fence-free, as in the
+    original buggy applications. *)

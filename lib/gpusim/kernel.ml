@@ -1,0 +1,149 @@
+type space = Global | Shared
+
+type special = Tid | Bid | Bdim | Gdim
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Min | Max
+
+type unop = Neg | Lnot
+
+type exp =
+  | Int of int
+  | Reg of string
+  | Special of special
+  | Param of string
+  | Binop of binop * exp * exp
+  | Unop of unop * exp
+  | Rand of exp
+
+type atomic =
+  | Acas of exp * exp
+  | Aexch of exp
+  | Aadd of exp
+  | Amin of exp
+  | Amax of exp
+
+type fence_scope = Cta | Device
+
+type instr =
+  | Assign of string * exp
+  | Load of { dst : string; space : space; addr : exp }
+  | Store of { space : space; addr : exp; value : exp }
+  | Atomic of { dst : string option; space : space; addr : exp; op : atomic }
+  | Fence of fence_scope
+  | Barrier
+  | If of exp * block * block
+  | While of exp * block
+  | Return
+
+and stmt = { sid : int; instr : instr }
+
+and block = stmt list
+
+type t = { name : string; params : string list; body : block }
+
+let stmt instr = { sid = -1; instr }
+
+let label k =
+  let next = ref 0 in
+  let rec go blk = List.map go_stmt blk
+  and go_stmt s =
+    let sid = !next in
+    incr next;
+    let instr =
+      match s.instr with
+      | If (c, t, e) -> If (c, go t, go e)
+      | While (c, b) -> While (c, go b)
+      | ( Assign _ | Load _ | Store _ | Atomic _ | Fence _ | Barrier | Return )
+        as i -> i
+    in
+    { sid; instr }
+  in
+  { k with body = go k.body }
+
+let iter_stmts f k =
+  let rec go blk = List.iter go_stmt blk
+  and go_stmt s =
+    f s;
+    match s.instr with
+    | If (_, t, e) -> go t; go e
+    | While (_, b) -> go b
+    | Assign _ | Load _ | Store _ | Atomic _ | Fence _ | Barrier | Return -> ()
+  in
+  go k.body
+
+let max_sid k =
+  let m = ref (-1) in
+  iter_stmts (fun s -> if s.sid > !m then m := s.sid) k;
+  !m
+
+let count_stmts k =
+  let n = ref 0 in
+  iter_stmts (fun _ -> incr n) k;
+  !n
+
+let global_access_sites k =
+  let acc = ref [] in
+  let record s =
+    match s.instr with
+    | Load { space = Global; _ }
+    | Store { space = Global; _ }
+    | Atomic { space = Global; _ } -> acc := s.sid :: !acc
+    | Load _ | Store _ | Atomic _
+    | Assign _ | Fence _ | Barrier | If _ | While _ | Return -> ()
+  in
+  iter_stmts record k;
+  List.rev !acc
+
+let fence_sites k =
+  let acc = ref [] in
+  iter_stmts
+    (fun s ->
+      match s.instr with
+      | Fence _ -> acc := s.sid :: !acc
+      | Assign _ | Load _ | Store _ | Atomic _ | Barrier | If _ | While _
+      | Return -> ())
+    k;
+  List.rev !acc
+
+let strip_fences k =
+  let rec go blk =
+    List.filter_map
+      (fun s ->
+        match s.instr with
+        | Fence _ -> None
+        | If (c, t, e) -> Some { s with instr = If (c, go t, go e) }
+        | While (c, b) -> Some { s with instr = While (c, go b) }
+        | Assign _ | Load _ | Store _ | Atomic _ | Barrier | Return -> Some s)
+      blk
+  in
+  { k with body = go k.body }
+
+let insert_fences_after ~scope ~sites k =
+  let is_global_access s =
+    match s.instr with
+    | Load { space = Global; _ }
+    | Store { space = Global; _ }
+    | Atomic { space = Global; _ } -> true
+    | Load _ | Store _ | Atomic _
+    | Assign _ | Fence _ | Barrier | If _ | While _ | Return -> false
+  in
+  let rec go blk =
+    List.concat_map
+      (fun s ->
+        let s =
+          match s.instr with
+          | If (c, t, e) -> { s with instr = If (c, go t, go e) }
+          | While (c, b) -> { s with instr = While (c, go b) }
+          | Assign _ | Load _ | Store _ | Atomic _ | Fence _ | Barrier
+          | Return -> s
+        in
+        if is_global_access s && sites s.sid then
+          [ s; { sid = s.sid; instr = Fence scope } ]
+        else [ s ])
+      blk
+  in
+  { k with body = go k.body }

@@ -1,0 +1,109 @@
+(** Abstract syntax of simulated GPU kernels.
+
+    Kernels are written in a small imperative language with the CUDA
+    features that matter for weak-memory testing: global and shared memory,
+    read-modify-write atomics, block barriers, and block/device memory
+    fences.  All data is word-sized ([int]).
+
+    Every statement carries a {e site id}.  Site ids are assigned by
+    {!label} in pre-order; they identify memory-access sites for empirical
+    fence insertion (Alg. 1 of the paper) and fence sites for the
+    fence-stripping pass that manufactures the [-nf] application
+    variants. *)
+
+type space =
+  | Global  (** visible to the whole grid *)
+  | Shared  (** per-block scratch memory *)
+
+type special =
+  | Tid   (** [threadIdx.x] *)
+  | Bid   (** [blockIdx.x] *)
+  | Bdim  (** [blockDim.x] *)
+  | Gdim  (** [gridDim.x] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Min | Max
+
+type unop = Neg | Lnot
+
+type exp =
+  | Int of int
+  | Reg of string
+  | Special of special
+  | Param of string         (** kernel parameter, uniform across threads *)
+  | Binop of binop * exp * exp
+  | Unop of unop * exp
+  | Rand of exp
+      (** uniform pseudo-random value in [\[0, bound)]; the device's
+          seeded stream (models curand) *)
+
+(** Atomic read-modify-write operations, applied to a memory word; each
+    returns the previous value. *)
+type atomic =
+  | Acas of exp * exp  (** [Acas (expected, desired)]: compare-and-swap *)
+  | Aexch of exp
+  | Aadd of exp
+  | Amin of exp
+  | Amax of exp
+
+type fence_scope =
+  | Cta     (** [__threadfence_block] *)
+  | Device  (** [__threadfence] *)
+
+type instr =
+  | Assign of string * exp
+  | Load of { dst : string; space : space; addr : exp }
+  | Store of { space : space; addr : exp; value : exp }
+  | Atomic of { dst : string option; space : space; addr : exp; op : atomic }
+  | Fence of fence_scope
+  | Barrier
+  | If of exp * block * block
+  | While of exp * block
+  | Return  (** terminate this thread *)
+
+and stmt = { sid : int; instr : instr }
+
+and block = stmt list
+
+type t = {
+  name : string;
+  params : string list;  (** formal parameters: scalars or array base addresses *)
+  body : block;
+}
+
+val stmt : instr -> stmt
+(** A statement with the unlabelled site id [-1]. *)
+
+val label : t -> t
+(** Assign site ids 0, 1, 2, ... to every statement in pre-order.  All
+    analyses and transformations below expect a labelled kernel. *)
+
+val max_sid : t -> int
+(** Largest site id in a labelled kernel, [-1] if the body is empty. *)
+
+val iter_stmts : (stmt -> unit) -> t -> unit
+(** Pre-order traversal of all statements, including nested ones. *)
+
+val global_access_sites : t -> int list
+(** Site ids of loads, stores and atomics to {!Global} memory, in program
+    (pre-order) order.  These are the candidate fence-insertion points. *)
+
+val fence_sites : t -> int list
+(** Site ids of [Fence] statements. *)
+
+val strip_fences : t -> t
+(** Remove every [Fence] statement; used to manufacture the [-nf]
+    application variants.  The result keeps its remaining labels; re-apply
+    {!label} before computing insertion sites. *)
+
+val insert_fences_after : scope:fence_scope -> sites:(int -> bool) -> t -> t
+(** [insert_fences_after ~scope ~sites k] places a fence of [scope]
+    immediately after every statement whose site id satisfies [sites].
+    Inserted fences carry the site id of the access they follow, so a
+    fence set is identified with a set of access-site ids. *)
+
+val count_stmts : t -> int
+(** Total number of statements (all nesting levels). *)

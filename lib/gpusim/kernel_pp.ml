@@ -1,0 +1,80 @@
+open Kernel
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Min -> "min" | Max -> "max"
+
+let special_name = function
+  | Tid -> "threadIdx.x"
+  | Bid -> "blockIdx.x"
+  | Bdim -> "blockDim.x"
+  | Gdim -> "gridDim.x"
+
+let rec pp_exp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Reg r -> Fmt.string ppf r
+  | Special s -> Fmt.string ppf (special_name s)
+  | Param p -> Fmt.pf ppf "%%%s" p
+  | Binop ((Min | Max) as op, a, b) ->
+    Fmt.pf ppf "%s(%a, %a)" (binop_name op) pp_exp a pp_exp b
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_exp a (binop_name op) pp_exp b
+  | Unop (Neg, a) -> Fmt.pf ppf "(-%a)" pp_exp a
+  | Unop (Lnot, a) -> Fmt.pf ppf "(!%a)" pp_exp a
+  | Rand e -> Fmt.pf ppf "curand(%a)" pp_exp e
+
+let space_name = function Global -> "g" | Shared -> "s"
+
+let atomic_name = function
+  | Acas _ -> "atomicCAS"
+  | Aexch _ -> "atomicExch"
+  | Aadd _ -> "atomicAdd"
+  | Amin _ -> "atomicMin"
+  | Amax _ -> "atomicMax"
+
+let pp_instr ppf = function
+  | Assign (r, e) -> Fmt.pf ppf "%s = %a;" r pp_exp e
+  | Load { dst; space; addr } ->
+    Fmt.pf ppf "%s = %s[%a];" dst (space_name space) pp_exp addr
+  | Store { space; addr; value } ->
+    Fmt.pf ppf "%s[%a] = %a;" (space_name space) pp_exp addr pp_exp value
+  | Atomic { dst; space; addr; op } ->
+    let pp_dst ppf = function
+      | Some d -> Fmt.pf ppf "%s = " d
+      | None -> ()
+    in
+    let pp_args ppf = function
+      | Acas (e, d) -> Fmt.pf ppf ", %a, %a" pp_exp e pp_exp d
+      | Aexch v | Aadd v | Amin v | Amax v -> Fmt.pf ppf ", %a" pp_exp v
+    in
+    Fmt.pf ppf "%a%s(&%s[%a]%a);" pp_dst dst (atomic_name op)
+      (space_name space) pp_exp addr pp_args op
+  | Fence Cta -> Fmt.string ppf "__threadfence_block();"
+  | Fence Device -> Fmt.string ppf "__threadfence();"
+  | Barrier -> Fmt.string ppf "__syncthreads();"
+  | Return -> Fmt.string ppf "return;"
+  | If _ | While _ -> assert false (* handled structurally by pp_stmt *)
+
+let rec pp_stmt ?(sids = false) ppf s =
+  let tag ppf = if sids then Fmt.pf ppf "s%d: " s.sid in
+  match s.instr with
+  | If (c, t, []) ->
+    Fmt.pf ppf "@[<v 2>%tif (%a) {%a@]@,}" tag pp_exp c (pp_block ~sids) t
+  | If (c, t, e) ->
+    Fmt.pf ppf "@[<v 2>%tif (%a) {%a@]@,@[<v 2>} else {%a@]@,}" tag pp_exp c
+      (pp_block ~sids) t (pp_block ~sids) e
+  | While (c, b) ->
+    Fmt.pf ppf "@[<v 2>%twhile (%a) {%a@]@,}" tag pp_exp c (pp_block ~sids) b
+  | i -> Fmt.pf ppf "%t%a" tag pp_instr i
+
+and pp_block ~sids ppf blk =
+  List.iter (fun s -> Fmt.pf ppf "@,%a" (pp_stmt ~sids) s) blk
+
+let pp ?(sids = false) ppf k =
+  Fmt.pf ppf "@[<v 2>__global__ void %s(%a) {%a@]@,}@." k.name
+    Fmt.(list ~sep:(any ", ") string)
+    k.params (pp_block ~sids) k.body
+
+let to_string ?sids k = Fmt.str "%a" (pp ?sids) k

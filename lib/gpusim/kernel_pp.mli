@@ -1,0 +1,14 @@
+(** Pretty-printing of kernels in a CUDA-flavoured concrete syntax.
+
+    Used by the CLI (`gpuwmm inspect`), by diagnosis reports (showing where
+    empirical fence insertion placed fences), and by tests. *)
+
+val pp_exp : Format.formatter -> Kernel.exp -> unit
+val pp_instr : Format.formatter -> Kernel.instr -> unit
+
+val pp_stmt : ?sids:bool -> Format.formatter -> Kernel.stmt -> unit
+(** [~sids:true] prefixes each statement with its site id, e.g. [s12:]. *)
+
+val pp : ?sids:bool -> Format.formatter -> Kernel.t -> unit
+
+val to_string : ?sids:bool -> Kernel.t -> string

@@ -1,0 +1,143 @@
+(** The weak global-memory subsystem.
+
+    Every thread owns a FIFO of {e pending} global-memory operations.
+    Operations enter the FIFO at issue and take effect (commit) later,
+    possibly out of program order, under these rules:
+
+    - entries that map to the same memory {e partition} commit in FIFO
+      order (so same-address operations are coherent, and two locations
+      within one critical patch can never be observed out of order);
+    - the probability that a commit attempt is deferred grows with the
+      contention of the entry's partition — this is the lever that memory
+      stressing pulls;
+    - reading a register whose value comes from a pending load forces that
+      load to resolve immediately (dependency ordering);
+    - atomics take effect immediately but do not drain the FIFO;
+    - fences drain the issuing thread's FIFO; a barrier drains a whole
+      block (the caller enumerates the block's threads).
+
+    Contention is tracked per partition in two pools (read and write
+    traffic).  Stressing accesses feed the pools through a chip-specific
+    response to the access kind and the preceding access pattern
+    ({!Chip.traffic}), which is what makes some stressing sequences far
+    more effective than others (Sec. 3.3 of the paper). *)
+
+type t
+
+type pending
+(** A handle to a pending load. *)
+
+(** Events observable through {!set_tracer}: issue and commit of pending
+    operations, with their addresses. *)
+type event =
+  | Issue of { tid : int; addr : int; is_store : bool }
+  | Commit of { tid : int; addr : int; is_store : bool; value : int }
+
+val create : chip:Chip.t -> rng:Rng.t -> words:int -> nthreads:int -> t
+(** A fresh subsystem with [words] of zeroed global memory and state for
+    thread ids [0 .. nthreads-1].  When the chip is strong
+    ([Chip.sequential]), all operations below degrade to immediate
+    sequentially-consistent accesses. *)
+
+val strong : t -> bool
+
+(** {1 Host access (outside any launch)} *)
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+val words : t -> int
+
+val set_stress_gain : t -> float -> unit
+(** Per-launch multiplier applied to stressing contention (models the
+    parallel pressure of threads concentrated on few locations). *)
+
+val reset_threads : t -> nthreads:int -> unit
+(** Prepare for a new launch: fresh pending queues for thread ids
+    [0 .. nthreads-1], cleared contention pools and pattern state.  Global
+    memory contents persist across launches. *)
+
+(** {1 Device operations} *)
+
+val load : t -> tid:int -> addr:int -> pending
+(** Issue a load; the result is unresolved until forced or committed. *)
+
+val resolved : pending -> bool
+(** Whether a pending load has its value (committed or forced). *)
+
+val force : t -> tid:int -> pending -> int
+(** Resolve a pending load now: forward from the newest older pending
+    store of the same thread to the same address, else read memory.
+    Idempotent. *)
+
+val store : t -> tid:int -> addr:int -> value:int -> unit
+(** Issue a store.  If the thread's FIFO is at capacity the oldest entry
+    is committed first. *)
+
+val atomic : t -> tid:int -> addr:int -> (int -> int) -> int
+(** [atomic t ~tid ~addr f] atomically replaces [m] by [f m] and returns
+    the previous value [m].  Pending same-address entries of [tid] are
+    committed first so the atomic observes its own program-order past. *)
+
+val drain : t -> tid:int -> int
+(** Commit all pending entries of [tid] in sequence order (a fence).
+    Returns the number of entries drained. *)
+
+val drain_step : t -> tid:int -> bool
+(** Commit at most one eligible entry of [tid], ignoring contention delay
+    (used while a thread is stalled at a fence so that fence latency grows
+    with queue occupancy).  Returns [true] when the FIFO is now empty. *)
+
+val pending_count : t -> tid:int -> int
+
+val attempt_commits : t -> tid:int -> unit
+(** Background commit: for each partition-head entry of [tid], commit
+    unless deferred by the contention-dependent delay. *)
+
+val any_pending : t -> bool
+
+val random_background_drain : t -> unit
+(** Pick one thread that has pending entries and {!attempt_commits} on it;
+    models the memory system draining buffers of descheduled threads. *)
+
+(** {1 Contention} *)
+
+val stress_access : t -> sid:int -> kind:[ `Load | `Store ] -> addr:int -> boundary:bool -> unit
+(** Record a stressing access: touches memory and feeds the partition's
+    contention pools through the chip's traffic response.  [sid] indexes
+    per-stress-thread pattern state (previous kind, run length);
+    [boundary] marks the first access of a stressing-loop iteration. *)
+
+val app_access : t -> kind:[ `Load | `Store ] -> addr:int -> unit
+(** Contention contribution of an ordinary application access (weaker than
+    stressing, no pattern state). *)
+
+val contention : t -> part:int -> kind:[ `Load | `Store ] -> float
+(** Effective contention seen by a pending entry of the given kind in
+    partition [part] (includes the cross-pool term). *)
+
+(** {1 Bookkeeping} *)
+
+val set_tracer : t -> (int -> event -> unit) option -> unit
+(** Install (or clear) an event tracer; called with the current tick. *)
+
+val set_access_hook :
+  t -> (tid:int -> addr:int -> write:bool -> atomic:bool -> unit) option -> unit
+(** Observe every application (non-stress) global access at issue; used by
+    the race detector. *)
+
+val set_reorder_hook : t -> (tid:int -> overtaken:int -> committed:int -> unit) -> unit
+(** Called on every out-of-order commit with the two addresses involved;
+    used by tracing/diagnosis. *)
+
+val reorders : t -> int
+(** Total out-of-order commits so far. *)
+
+val stress_accesses : t -> int
+(** Total stressing accesses performed (a campaign statistic). *)
+
+val tick : t -> unit
+(** Advance the contention clock by one scheduler step. *)
+
+val rand : t -> int -> int
+(** Device-side uniform random value in [\[0, bound)] ([0] if the bound is
+    not positive); backs the kernel language's [Rand] expression. *)

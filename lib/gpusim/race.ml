@@ -1,0 +1,80 @@
+type cell = {
+  mutable reader_set : int list;  (* distinct tids, small *)
+  mutable writer_set : int list;
+  mutable plain : int;
+  mutable atomic : int;
+}
+
+type t = { cells : (int, cell) Hashtbl.t }
+
+type finding = {
+  addr : int;
+  readers : int;
+  writers : int;
+  plain_accesses : int;
+  atomic_accesses : int;
+  atomic_only : bool;
+}
+
+let cell t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some c -> c
+  | None ->
+    let c = { reader_set = []; writer_set = []; plain = 0; atomic = 0 } in
+    Hashtbl.add t.cells addr c;
+    c
+
+let observe t ~tid ~addr ~write ~atomic =
+  let c = cell t addr in
+  if atomic then c.atomic <- c.atomic + 1 else c.plain <- c.plain + 1;
+  if write then begin
+    if not (List.mem tid c.writer_set) then c.writer_set <- tid :: c.writer_set
+  end
+  else if not (List.mem tid c.reader_set) then
+    c.reader_set <- tid :: c.reader_set
+
+let attach sim =
+  let t = { cells = Hashtbl.create 256 } in
+  Memsys.set_access_hook (Sim.mem sim)
+    (Some (fun ~tid ~addr ~write ~atomic -> observe t ~tid ~addr ~write ~atomic));
+  t
+
+let detach sim = Memsys.set_access_hook (Sim.mem sim) None
+
+let clear t = Hashtbl.reset t.cells
+
+let findings t =
+  Hashtbl.fold
+    (fun addr c acc ->
+      let participants =
+        List.sort_uniq compare (c.reader_set @ c.writer_set)
+      in
+      if List.length participants >= 2 && c.writer_set <> [] then
+        { addr;
+          readers = List.length c.reader_set;
+          writers = List.length c.writer_set;
+          plain_accesses = c.plain;
+          atomic_accesses = c.atomic;
+          atomic_only = c.plain = 0 }
+        :: acc
+      else acc)
+    t.cells []
+  |> List.sort (fun a b ->
+         compare
+           (b.plain_accesses + b.atomic_accesses)
+           (a.plain_accesses + a.atomic_accesses))
+
+let data_locations t =
+  List.filter_map
+    (fun f -> if f.atomic_only then None else Some f.addr)
+    (findings t)
+
+let pp_findings ppf fs =
+  if fs = [] then Fmt.pf ppf "no communication locations observed@."
+  else
+    List.iter
+      (fun f ->
+        Fmt.pf ppf "@%-6d %2d reader(s) %2d writer(s) %5d plain %5d atomic%s@."
+          f.addr f.readers f.writers f.plain_accesses f.atomic_accesses
+          (if f.atomic_only then "  [synchronisation only]" else ""))
+      fs

@@ -1,0 +1,38 @@
+(** A dynamic communication/race detector.
+
+    Sec. 8 of the paper proposes "combining our techniques with race
+    detectors to help pinpoint communication idioms in applications and
+    developing targeted testing around these locations"; this module is
+    that detector.  It observes every application global access during a
+    run and reports the {e communication locations}: addresses touched by
+    more than one thread with at least one write.  Locations only ever
+    accessed atomically (e.g. a mutex word) are flagged — they are
+    synchronisation rather than data, and the weak-memory hazards live in
+    the plain-access locations communicated {e around} them. *)
+
+type t
+
+type finding = {
+  addr : int;
+  readers : int;  (** distinct reading threads *)
+  writers : int;  (** distinct writing threads *)
+  plain_accesses : int;
+  atomic_accesses : int;
+  atomic_only : bool;
+}
+
+val attach : Sim.t -> t
+(** Start observing; detaches any previous observer on the device. *)
+
+val detach : Sim.t -> unit
+
+val clear : t -> unit
+
+val findings : t -> finding list
+(** Communication locations (shared, with a writer), most-accessed first. *)
+
+val data_locations : t -> int list
+(** Addresses of plain-access (non-atomic-only) communication locations —
+    the natural targets for {e targeted} stressing. *)
+
+val pp_findings : Format.formatter -> finding list -> unit

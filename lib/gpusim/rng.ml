@@ -1,0 +1,78 @@
+(* SplitMix64 (Steele, Lea, Flood; JDK 8).  Small state, good statistical
+   quality, and cheap splitting -- ideal for seeding millions of short
+   simulated executions reproducibly. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (int64 t) }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over 30 bits avoids modulo bias for the small
+     bounds used throughout the simulator. *)
+  if n > 1 lsl 29 then invalid_arg "Rng.int: bound too large";
+  let mask =
+    let rec widen m = if m >= n - 1 then m else widen ((m lsl 1) lor 1) in
+    widen 1
+  in
+  let rec draw () =
+    let v = bits30 t land mask in
+    if v < n then v else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let bool t = Int64.compare (int64 t) 0L < 0
+
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_distinct t m n =
+  if m < 0 || m > n then invalid_arg "Rng.sample_distinct";
+  (* Partial Fisher-Yates over [0, n): O(n) space but n is small in all of
+     our uses (scratchpad regions, thread ids). *)
+  let a = Array.init n (fun i -> i) in
+  let picked = ref [] in
+  for i = 0 to m - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp;
+    picked := a.(i) :: !picked
+  done;
+  !picked

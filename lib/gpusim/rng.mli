@@ -1,0 +1,51 @@
+(** Deterministic, splittable pseudo-random number generator (SplitMix64).
+
+    All randomness in the simulator and in experiment campaigns flows from
+    values of type {!t}, so that any experiment is exactly reproducible from
+    its seed.  The generator is mutable; use {!split} to derive independent
+    streams for sub-experiments without sharing state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator with the same current state as [t]; advancing
+    one does not affect the other. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniform bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.  Requires
+    [lo <= hi]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t m n] returns [m] distinct values drawn uniformly
+    from [\[0, n)], in random order.  Requires [0 <= m <= n]. *)

@@ -1,0 +1,166 @@
+(* An independent interpreter: deliberately shares no execution code with
+   Code/Sim so that it can serve as a cross-validation oracle. *)
+
+type state = {
+  memory : (int * int) list;
+  registers : (int * string * int) list;
+}
+
+type tstate = {
+  thread : int;
+  mutable work : Kernel.stmt list;  (* continuation *)
+  regs : (string, int) Hashtbl.t;
+  args : (string * int) list;
+  gdim : int;
+}
+
+let rec eval ts (mem : (int, int) Hashtbl.t) (e : Kernel.exp) =
+  match e with
+  | Kernel.Int n -> n
+  | Kernel.Reg r -> ( match Hashtbl.find_opt ts.regs r with Some v -> v | None -> 0)
+  | Kernel.Param p -> (
+    match List.assoc_opt p ts.args with
+    | Some v -> v
+    | None -> invalid_arg ("Sc_ref: missing argument " ^ p))
+  | Kernel.Special Kernel.Tid -> 0
+  | Kernel.Special Kernel.Bid -> ts.thread
+  | Kernel.Special Kernel.Bdim -> 1
+  | Kernel.Special Kernel.Gdim -> ts.gdim
+  | Kernel.Binop (op, a, b) ->
+    let va = eval ts mem a and vb = eval ts mem b in
+    let bool_ c = if c then 1 else 0 in
+    (match op with
+    | Kernel.Add -> va + vb
+    | Kernel.Sub -> va - vb
+    | Kernel.Mul -> va * vb
+    | Kernel.Div -> if vb = 0 then 0 else va / vb
+    | Kernel.Rem -> if vb = 0 then 0 else va mod vb
+    | Kernel.Band -> va land vb
+    | Kernel.Bor -> va lor vb
+    | Kernel.Bxor -> va lxor vb
+    | Kernel.Shl -> va lsl vb
+    | Kernel.Shr -> va asr vb
+    | Kernel.Eq -> bool_ (va = vb)
+    | Kernel.Ne -> bool_ (va <> vb)
+    | Kernel.Lt -> bool_ (va < vb)
+    | Kernel.Le -> bool_ (va <= vb)
+    | Kernel.Gt -> bool_ (va > vb)
+    | Kernel.Ge -> bool_ (va >= vb)
+    | Kernel.Min -> Int.min va vb
+    | Kernel.Max -> Int.max va vb)
+  | Kernel.Unop (Kernel.Neg, a) -> -eval ts mem a
+  | Kernel.Unop (Kernel.Lnot, a) -> if eval ts mem a = 0 then 1 else 0
+  | Kernel.Rand _ -> invalid_arg "Sc_ref: random expressions are not supported"
+
+let mem_get mem a = match Hashtbl.find_opt mem a with Some v -> v | None -> 0
+
+(* Execute one statement of a thread; returns false if the thread cannot
+   step (already finished). *)
+let step ts mem =
+  match ts.work with
+  | [] -> false
+  | s :: rest ->
+    (match s.Kernel.instr with
+    | Kernel.Assign (r, e) ->
+      Hashtbl.replace ts.regs r (eval ts mem e);
+      ts.work <- rest
+    | Kernel.Load { dst; space = Kernel.Global; addr } ->
+      Hashtbl.replace ts.regs dst (mem_get mem (eval ts mem addr));
+      ts.work <- rest
+    | Kernel.Store { space = Kernel.Global; addr; value } ->
+      Hashtbl.replace mem (eval ts mem addr) (eval ts mem value);
+      ts.work <- rest
+    | Kernel.Atomic { dst; space = Kernel.Global; addr; op } ->
+      let a = eval ts mem addr in
+      let old = mem_get mem a in
+      let nv =
+        match op with
+        | Kernel.Acas (e, d) -> if old = eval ts mem e then eval ts mem d else old
+        | Kernel.Aexch v -> eval ts mem v
+        | Kernel.Aadd v -> old + eval ts mem v
+        | Kernel.Amin v -> Int.min old (eval ts mem v)
+        | Kernel.Amax v -> Int.max old (eval ts mem v)
+      in
+      Hashtbl.replace mem a nv;
+      (match dst with Some d -> Hashtbl.replace ts.regs d old | None -> ());
+      ts.work <- rest
+    | Kernel.Load _ | Kernel.Store _ | Kernel.Atomic _ ->
+      invalid_arg "Sc_ref: shared memory is not supported"
+    | Kernel.Fence _ ->
+      (* Under SC a fence is a no-op. *)
+      ts.work <- rest
+    | Kernel.If (c, t, e) ->
+      ts.work <- (if eval ts mem c <> 0 then t @ rest else e @ rest)
+    | Kernel.While _ -> invalid_arg "Sc_ref: loops are not supported"
+    | Kernel.Barrier -> invalid_arg "Sc_ref: barriers are not supported"
+    | Kernel.Return -> ts.work <- []);
+    true
+
+let snapshot_ts ts = (ts.thread, ts.work, Hashtbl.copy ts.regs)
+let restore_ts ts (_, work, regs) =
+  ts.work <- work;
+  Hashtbl.reset ts.regs;
+  Hashtbl.iter (Hashtbl.add ts.regs) regs
+
+let run ~threads ~args ~init ~watch_mem ~watch_regs =
+  if List.length threads <> List.length args then
+    invalid_arg "Sc_ref.run: threads/args length mismatch";
+  let n = List.length threads in
+  let mem = Hashtbl.create 16 in
+  List.iter (fun (a, v) -> Hashtbl.replace mem a v) init;
+  let tstates =
+    List.mapi
+      (fun i (k : Kernel.t) ->
+        { thread = i; work = k.Kernel.body; regs = Hashtbl.create 8;
+          args = List.nth args i; gdim = n })
+      threads
+    |> Array.of_list
+  in
+  let results = Hashtbl.create 64 in
+  let rec explore () =
+    let progressed = ref false in
+    for i = 0 to n - 1 do
+      let ts = tstates.(i) in
+      if ts.work <> [] then begin
+        progressed := true;
+        let saved_ts = snapshot_ts ts in
+        let saved_mem = Hashtbl.copy mem in
+        ignore (step ts mem);
+        explore ();
+        restore_ts ts saved_ts;
+        Hashtbl.reset mem;
+        Hashtbl.iter (Hashtbl.add mem) saved_mem
+      end
+    done;
+    if not !progressed then begin
+      let memory =
+        List.sort compare (List.map (fun a -> (a, mem_get mem a)) watch_mem)
+      in
+      let registers =
+        List.sort compare
+          (List.map
+             (fun (t, r) ->
+               let v =
+                 match Hashtbl.find_opt tstates.(t).regs r with
+                 | Some v -> v
+                 | None -> 0
+               in
+               (t, r, v))
+             watch_regs)
+      in
+      Hashtbl.replace results { memory; registers } ()
+    end
+  in
+  explore ();
+  Hashtbl.fold (fun s () acc -> s :: acc) results []
+  |> List.sort compare
+
+let allows ~threads ~args ~init target =
+  let watch_mem = List.map fst target.memory in
+  let watch_regs = List.map (fun (t, r, _) -> (t, r)) target.registers in
+  let reachable = run ~threads ~args ~init ~watch_mem ~watch_regs in
+  List.exists
+    (fun s ->
+      List.sort compare s.memory = List.sort compare target.memory
+      && List.sort compare s.registers = List.sort compare target.registers)
+    reachable

@@ -1,0 +1,46 @@
+(** Sequentially consistent reference executor.
+
+    Enumerates {e every} interleaving of a small multi-threaded program
+    under sequential consistency and returns the set of reachable final
+    states.  This is an oracle, implemented independently of the weak
+    machine ({!Memsys}/{!Sim}), used to:
+
+    - verify that the weak behaviours of the MP/LB/SB litmus tests are
+      genuinely non-SC outcomes;
+    - check (in property tests) that fully fenced programs only exhibit
+      SC outcomes on the weak machine.
+
+    Threads are straight-line: loops and barriers are rejected.  Branches
+    are supported.  Complexity is exponential in program size, so keep
+    programs litmus-sized. *)
+
+type state = {
+  memory : (int * int) list;  (** observed (address, value), sorted *)
+  registers : (int * string * int) list;
+      (** observed (thread, register, value), sorted *)
+}
+
+val run :
+  threads:Kernel.t list ->
+  args:(string * int) list list ->
+  init:(int * int) list ->
+  watch_mem:int list ->
+  watch_regs:(int * string) list ->
+  state list
+(** [run ~threads ~args ~init ~watch_mem ~watch_regs] executes every
+    interleaving of the given kernels (thread [i] runs [List.nth threads i]
+    with arguments [List.nth args i], as a single thread with
+    [tid = 0, bid = i, bdim = 1, gdim = n]).  [init] seeds global memory.
+    The result is the de-duplicated, sorted list of final states projected
+    onto the watched locations and registers.
+
+    @raise Invalid_argument on loops, barriers or shared-memory use. *)
+
+val allows :
+  threads:Kernel.t list ->
+  args:(string * int) list list ->
+  init:(int * int) list ->
+  state ->
+  bool
+(** Whether a projected final state is SC-reachable.  The state's own
+    locations/registers define the projection. *)

@@ -1,0 +1,470 @@
+type stress_spec = {
+  kernel : Kernel.t;
+  blocks : int;
+  block_size : int;
+  args : (string * int) list;
+  period : int;
+  warmup : int;
+  intensity : float;
+}
+
+type t = {
+  chip : Chip.t;
+  rng : Rng.t;
+  mem : Memsys.t;
+  mutable brk : int;  (* bump allocator cursor *)
+  mutable env : environment;
+  mutable cycles_total : int;  (* modelled runtime over all launches *)
+  mutable energy_total : float;
+}
+
+and environment = {
+  randomise : bool;
+  make_stress : t -> app_grid:int -> app_block:int -> stress_spec option;
+}
+
+let no_environment =
+  { randomise = false; make_stress = (fun _ ~app_grid:_ ~app_block:_ -> None) }
+
+let create ?(words = 65536) ~chip ~seed () =
+  let rng = Rng.create seed in
+  { chip; rng; mem = Memsys.create ~chip ~rng ~words ~nthreads:0; brk = 0;
+    env = no_environment; cycles_total = 0; energy_total = 0.0 }
+
+let chip t = t.chip
+let rng t = t.rng
+let mem t = t.mem
+let set_environment t env = t.env <- env
+
+let alloc t n =
+  if n < 0 then invalid_arg "Sim.alloc: negative size";
+  let patch = t.chip.Chip.weakness.patch_size in
+  let base = (t.brk + patch - 1) / patch * patch in
+  if base + n > Memsys.words t.mem then failwith "Sim.alloc: out of memory";
+  t.brk <- base + n;
+  base
+
+let read t addr = Memsys.read t.mem addr
+let write t addr v = Memsys.write t.mem addr v
+
+let fill t ~base ~len v =
+  for i = base to base + len - 1 do
+    Memsys.write t.mem i v
+  done
+
+let read_array t ~base ~len = Array.init len (fun i -> Memsys.read t.mem (base + i))
+
+let write_array t ~base a =
+  Array.iteri (fun i v -> Memsys.write t.mem (base + i) v) a
+
+let reorders t = Memsys.reorders t.mem
+let elapsed_cycles t = t.cycles_total
+let consumed_energy t = t.energy_total
+let set_reorder_hook t f = Memsys.set_reorder_hook t.mem f
+
+(* ------------------------------------------------------------------ *)
+(* Launch machinery                                                     *)
+
+type outcome = Finished | Timeout | Trapped of string
+
+type result = {
+  outcome : outcome;
+  barrier_divergence : bool;
+  metrics : Metrics.t;
+}
+
+type status =
+  | Running
+  | Draining
+  | Waiting of Memsys.pending  (* parked on an unresolved load *)
+  | At_barrier
+  | Done
+
+type thread = {
+  ctx : Code.tctx;
+  code : Code.t;
+  mutable pc : int;
+  mutable status : status;
+  daemon : bool;  (* stressing thread: terminated when the app finishes *)
+  block_id : int;
+  mutable accesses : int;  (* stress-loop boundary tracking *)
+  period : int;
+}
+
+type blk = {
+  mutable live : int;  (* threads not yet Done *)
+  mutable waiting : int;  (* threads at the barrier *)
+  members : thread array;
+}
+
+(* Logical thread-id assignment under randomisation: blocks are permuted
+   among block slots, complete warps among warp slots within each block,
+   and lanes within each warp.  Threads that share a block (warp) before
+   randomisation still do afterwards, so barriers and intra-warp idioms
+   stay meaningful (Sec. 3.5). *)
+let logical_ids t ~randomise ~grid ~block =
+  let warp = t.chip.Chip.warp_size in
+  let block_of = Array.init grid (fun b -> b) in
+  let tid_of = Array.init grid (fun _ -> Array.init block (fun i -> i)) in
+  if randomise then begin
+    Rng.shuffle t.rng block_of;
+    let full_warps = block / warp in
+    Array.iter
+      (fun tids ->
+        if full_warps > 1 then begin
+          let warp_slot = Array.init full_warps (fun w -> w) in
+          Rng.shuffle t.rng warp_slot;
+          let lanes = Array.init warp (fun l -> l) in
+          for w = 0 to full_warps - 1 do
+            Rng.shuffle t.rng lanes;
+            for l = 0 to warp - 1 do
+              tids.((w * warp) + l) <- (warp_slot.(w) * warp) + lanes.(l)
+            done
+          done
+        end)
+      tid_of
+  end;
+  (block_of, tid_of)
+
+let default_max_ticks = 1_000_000
+
+(* Scheduling: a cursor walks each runnable set in bursts, with random
+   jumps.  Bursts create the systematic co-scheduling patterns that thread
+   randomisation perturbs. *)
+let burst_continue = 0.7
+
+(* Share of scheduler ticks given to stressing (daemon) threads when both
+   classes have runnable threads. *)
+let daemon_share = 0.65
+
+let owner_attempt_probability = 0.5
+
+exception Stop of outcome
+
+let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
+    ~block kernel ~args =
+  if grid <= 0 || block <= 0 || block > 1024 then
+    invalid_arg "Sim.launch: bad launch configuration";
+  let stress = t.env.make_stress t ~app_grid:grid ~app_block:block in
+  let app_code = Code.compile kernel ~args in
+  let stress_code =
+    Option.map (fun s -> Code.compile s.kernel ~args:s.args) stress
+  in
+  let n_stress_threads =
+    match stress with Some s -> s.blocks * s.block_size | None -> 0
+  in
+  let n_app = grid * block in
+  let total = n_app + n_stress_threads in
+  Memsys.reset_threads t.mem ~nthreads:total;
+  Memsys.set_stress_gain t.mem
+    (match stress with Some s -> s.intensity | None -> 1.0);
+  let block_of, tid_of = logical_ids t ~randomise:t.env.randomise ~grid ~block in
+  let metrics = Metrics.create () in
+  let threads = Array.make total None in
+  let blocks = ref [] in
+  let next_gid = ref 0 in
+  let add_block ~code ~daemon ~period ~l_gdim ~l_bid ~size ~shared_sz =
+    let shared = Array.make (Int.max 1 shared_sz) 0 in
+    let members =
+      Array.init size (fun i ->
+          let gid = !next_gid in
+          incr next_gid;
+          let l_tid =
+            if daemon then i
+            else tid_of.(l_bid).(i)
+          in
+          let ctx =
+            Code.make_ctx ~code ~gid ~l_tid
+              ~l_bid:(if daemon then l_bid else block_of.(l_bid))
+              ~l_bdim:size ~l_gdim ~mem:t.mem ~shared
+          in
+          { ctx; code; pc = 0; status = Running; daemon;
+            block_id = List.length !blocks; accesses = 0; period })
+    in
+    let b = { live = size; waiting = 0; members } in
+    blocks := b :: !blocks;
+    Array.iter (fun th -> threads.(th.ctx.Code.gid) <- Some th) members
+  in
+  for b = 0 to grid - 1 do
+    add_block ~code:app_code ~daemon:false ~period:0 ~l_gdim:grid ~l_bid:b
+      ~size:block ~shared_sz:shared_words
+  done;
+  (match (stress, stress_code) with
+  | Some s, Some code ->
+    for b = 0 to s.blocks - 1 do
+      add_block ~code ~daemon:true ~period:s.period ~l_gdim:s.blocks ~l_bid:b
+        ~size:s.block_size ~shared_sz:1
+    done
+  | _ -> ());
+  let blocks = Array.of_list (List.rev !blocks) in
+  let threads =
+    Array.map (function Some th -> th | None -> assert false) threads
+  in
+  (* Two runnable sets with O(1) removal: application threads keep a fixed
+     scheduling share even when many stressing threads are resident, as on
+     a real GPU where stress occupies other SMs rather than starving the
+     application. *)
+  let runnable = Array.init total (fun i -> i) in
+  let pos = Array.init total (fun i -> i) in
+  let n_run_app = ref n_app in
+  (* Layout invariant: runnable.[0, n_run_app) are runnable app threads;
+     runnable.[n_app, n_app + n_run_daemon) are runnable daemons. *)
+  let n_run_daemon = ref n_stress_threads in
+  let class_base gid = if gid < n_app then 0 else n_app in
+  let class_count gid = if gid < n_app then n_run_app else n_run_daemon in
+  let remove_runnable gid =
+    let base = class_base gid and count = class_count gid in
+    let p = pos.(gid) in
+    if p < base + !count then begin
+      let last = runnable.(base + !count - 1) in
+      runnable.(p) <- last;
+      pos.(last) <- p;
+      runnable.(base + !count - 1) <- gid;
+      pos.(gid) <- base + !count - 1;
+      decr count
+    end
+  in
+  let add_runnable gid =
+    let base = class_base gid and count = class_count gid in
+    let p = pos.(gid) in
+    if p >= base + !count then begin
+      let first = runnable.(base + !count) in
+      runnable.(base + !count) <- gid;
+      pos.(gid) <- base + !count;
+      runnable.(p) <- first;
+      pos.(first) <- p;
+      incr count
+    end
+  in
+  let live_app = ref n_app in
+  let divergence = ref false in
+  let cost = t.chip.Chip.cost in
+  let weak = not (Memsys.strong t.mem) in
+  let charge th c =
+    if not th.daemon then metrics.Metrics.app_cycles <- metrics.Metrics.app_cycles + c
+  in
+  let release_barrier b ~by_exit =
+    Array.iter
+      (fun th ->
+        if th.status <> Done then ignore (Memsys.drain t.mem ~tid:th.ctx.Code.gid))
+      b.members;
+    Array.iter
+      (fun th ->
+        if th.status = At_barrier then begin
+          th.status <- Running;
+          add_runnable th.ctx.Code.gid
+        end)
+      b.members;
+    b.waiting <- 0;
+    (* CUDA leaves a barrier undefined unless every thread of the block
+       executes it; a release with exited members is flagged. *)
+    if by_exit || b.live < Array.length b.members then divergence := true
+  in
+  let finish_thread th =
+    th.status <- Done;
+    remove_runnable th.ctx.Code.gid;
+    let b = blocks.(th.block_id) in
+    b.live <- b.live - 1;
+    if not th.daemon then begin
+      decr live_app;
+      if !live_app = 0 then raise (Stop Finished)
+    end;
+    if b.waiting > 0 && b.waiting = b.live then release_barrier b ~by_exit:true
+  in
+  let bounds_global a =
+    if a < 0 || a >= Memsys.words t.mem then
+      raise (Code.Trap (Fmt.str "global access out of bounds: %d" a))
+  in
+  let bounds_shared th a =
+    if a < 0 || a >= Array.length th.ctx.Code.shared then
+      raise (Code.Trap (Fmt.str "shared access out of bounds: %d" a))
+  in
+  let count_load th =
+    if not th.daemon then metrics.Metrics.n_load <- metrics.Metrics.n_load + 1
+  in
+  let count_store th =
+    if not th.daemon then metrics.Metrics.n_store <- metrics.Metrics.n_store + 1
+  in
+  let exec th =
+    let ctx = th.ctx in
+    let gid = ctx.Code.gid in
+    (* Follow jump chains for free; only "real" operations cost a tick. *)
+    let rec fetch pc fuel =
+      if fuel = 0 then raise (Code.Trap "jump cycle");
+      match th.code.Code.ops.(pc) with
+      | Code.Ojump target -> fetch target (fuel - 1)
+      | op ->
+        th.pc <- pc;
+        op
+    in
+    match fetch th.pc (Array.length th.code.Code.ops + 1) with
+    | Code.Ojump _ -> assert false
+    | Code.Oassign (i, f) ->
+      ctx.Code.regs.(i) <- Code.Val (f ctx);
+      th.pc <- th.pc + 1;
+      if not th.daemon then metrics.Metrics.n_alu <- metrics.Metrics.n_alu + 1;
+      charge th cost.cycles_alu
+    | Code.Ojz (f, target) ->
+      let v = f ctx in
+      th.pc <- (if v = 0 then target else th.pc + 1);
+      if not th.daemon then metrics.Metrics.n_alu <- metrics.Metrics.n_alu + 1;
+      charge th cost.cycles_alu
+    | Code.Oload { dst; space; addr; _ } ->
+      let a = addr ctx in
+      (match space with
+      | Kernel.Shared ->
+        bounds_shared th a;
+        ctx.Code.regs.(dst) <- Code.Val ctx.Code.shared.(a)
+      | Kernel.Global ->
+        bounds_global a;
+        if th.daemon then begin
+          let boundary = th.period > 0 && th.accesses mod th.period = 0 in
+          th.accesses <- th.accesses + 1;
+          Memsys.stress_access t.mem ~sid:gid ~kind:`Load ~addr:a ~boundary;
+          ctx.Code.regs.(dst) <- Code.Val (Memsys.read t.mem a)
+        end
+        else begin
+          Memsys.app_access t.mem ~kind:`Load ~addr:a;
+          let p = Memsys.load t.mem ~tid:gid ~addr:a in
+          ctx.Code.regs.(dst) <-
+            (if weak then Code.Pend p
+             else Code.Val (Memsys.force t.mem ~tid:gid p))
+        end);
+      th.pc <- th.pc + 1;
+      count_load th;
+      charge th cost.cycles_mem
+    | Code.Ostore { space; addr; value; _ } ->
+      let a = addr ctx in
+      let v = value ctx in
+      (match space with
+      | Kernel.Shared ->
+        bounds_shared th a;
+        ctx.Code.shared.(a) <- v
+      | Kernel.Global ->
+        bounds_global a;
+        if th.daemon then begin
+          let boundary = th.period > 0 && th.accesses mod th.period = 0 in
+          th.accesses <- th.accesses + 1;
+          Memsys.stress_access t.mem ~sid:gid ~kind:`Store ~addr:a ~boundary
+        end
+        else begin
+          Memsys.app_access t.mem ~kind:`Store ~addr:a;
+          Memsys.store t.mem ~tid:gid ~addr:a ~value:v
+        end);
+      th.pc <- th.pc + 1;
+      count_store th;
+      charge th cost.cycles_mem
+    | Code.Oatomic { dst; space; addr; prepare; _ } ->
+      let a = addr ctx in
+      let f = prepare ctx in
+      let old =
+        match space with
+        | Kernel.Shared ->
+          bounds_shared th a;
+          let old = ctx.Code.shared.(a) in
+          ctx.Code.shared.(a) <- f old;
+          old
+        | Kernel.Global ->
+          bounds_global a;
+          Memsys.app_access t.mem ~kind:`Store ~addr:a;
+          Memsys.atomic t.mem ~tid:gid ~addr:a f
+      in
+      (match dst with
+      | Some i -> ctx.Code.regs.(i) <- Code.Val old
+      | None -> ());
+      th.pc <- th.pc + 1;
+      if not th.daemon then
+        metrics.Metrics.n_atomic <- metrics.Metrics.n_atomic + 1;
+      charge th cost.cycles_atomic
+    | Code.Ofence scope ->
+      th.pc <- th.pc + 1;
+      if not th.daemon then metrics.Metrics.n_fence <- metrics.Metrics.n_fence + 1;
+      let base =
+        match scope with
+        | Kernel.Device -> cost.cycles_fence_base
+        | Kernel.Cta -> cost.cycles_fence_base / 2
+      in
+      charge th base;
+      if Memsys.pending_count t.mem ~tid:gid > 0 then th.status <- Draining
+    | Code.Obarrier ->
+      th.pc <- th.pc + 1;
+      th.status <- At_barrier;
+      remove_runnable gid;
+      let b = blocks.(th.block_id) in
+      b.waiting <- b.waiting + 1;
+      if b.waiting = b.live then release_barrier b ~by_exit:false
+    | Code.Oreturn -> finish_thread th
+  in
+  let step th =
+    match th.status with
+    | Running -> (
+      try exec th
+      with Code.Unresolved p -> th.status <- Waiting p)
+    | Waiting p ->
+      (* Drive this thread's own commits; the load completes through the
+         usual contention-delayed machinery, so stressing the load's
+         partition lengthens the stall. *)
+      Memsys.attempt_commits t.mem ~tid:th.ctx.Code.gid;
+      if Memsys.resolved p then begin
+        th.status <- Running;
+        try exec th with Code.Unresolved p' -> th.status <- Waiting p'
+      end
+    | Draining ->
+      metrics.Metrics.fence_stall_ticks <- metrics.Metrics.fence_stall_ticks + 1;
+      metrics.Metrics.fence_drained <- metrics.Metrics.fence_drained + 1;
+      charge th cost.cycles_fence_per_entry;
+      if Memsys.drain_step t.mem ~tid:th.ctx.Code.gid then th.status <- Running
+    | At_barrier | Done -> assert false (* not in the runnable set *)
+  in
+  let warmup = match stress with Some s -> s.warmup | None -> 0 in
+  let outcome = ref Timeout in
+  let cursor_app = ref 0 in
+  let cursor_daemon = ref 0 in
+  (try
+     let ticks = ref 0 in
+     while !n_run_app > 0 || !n_run_daemon > 0 do
+       if !ticks >= max_ticks + warmup then raise (Stop Timeout);
+       incr ticks;
+       metrics.Metrics.ticks <- metrics.Metrics.ticks + 1;
+       Memsys.tick t.mem;
+       let pick_daemon =
+         if !n_run_daemon = 0 then false
+         else if !n_run_app = 0 then true
+         else if !ticks <= warmup then true
+         else Rng.chance t.rng daemon_share
+       in
+       let base, count, cursor =
+         if pick_daemon then (n_app, n_run_daemon, cursor_daemon)
+         else (0, n_run_app, cursor_app)
+       in
+       if !cursor >= !count || not (Rng.chance t.rng burst_continue) then
+         cursor := Rng.int t.rng !count
+       else cursor := (!cursor + 1) mod !count;
+       let gid = runnable.(base + !cursor) in
+       let th = threads.(gid) in
+       step th;
+       if
+         weak && th.status <> Done
+         && Rng.chance t.rng owner_attempt_probability
+       then Memsys.attempt_commits t.mem ~tid:gid;
+       if weak && !ticks land 3 = 0 then
+         Memsys.random_background_drain t.mem
+     done;
+     (* All threads blocked at distinct barriers with nobody left to make
+        progress would exit the loop with runnable empty but app threads
+        alive: that is a deadlock, reported as divergence. *)
+     if !live_app > 0 then begin
+       divergence := true;
+       outcome := Finished
+     end
+     else outcome := Finished
+   with
+  | Stop o -> outcome := o
+  | Code.Trap msg -> outcome := Trapped msg);
+  (* Kernel completion makes all writes globally visible. *)
+  let order = Array.init total (fun i -> i) in
+  Rng.shuffle t.rng order;
+  Array.iter (fun gid -> ignore (Memsys.drain t.mem ~tid:gid)) order;
+  t.cycles_total <- t.cycles_total + Metrics.runtime_cycles ~chip:t.chip metrics;
+  t.energy_total <- t.energy_total +. Metrics.energy ~chip:t.chip metrics;
+  { outcome = !outcome; barrier_divergence = !divergence; metrics }

@@ -1,0 +1,114 @@
+(** The simulated GPU device and its host API.
+
+    A {!t} bundles a chip profile, a seeded random stream, persistent
+    global memory with a bump allocator, and an ambient {e testing
+    environment}.  Application case studies are host programs written
+    against this API: they allocate and initialise memory, launch kernels,
+    and read results back — exactly the structure of a CUDA host program.
+
+    The testing environment (thread-id randomisation and extra stressing
+    blocks) is injected at {!launch} time without the application's
+    involvement, which is what makes the paper's approach black-box: the
+    application and the stress run as disjoint blocks on disjoint memory. *)
+
+type t
+
+(** Extra stressing blocks appended to a launch.  Built by the stressing
+    strategies of the core library. *)
+type stress_spec = {
+  kernel : Kernel.t;
+  blocks : int;
+  block_size : int;
+  args : (string * int) list;
+  period : int;
+      (** accesses per stressing-loop iteration (length of the access
+          sequence); marks loop boundaries for the traffic model.  [0] for
+          strategies without a fixed sequence. *)
+  warmup : int;
+      (** scheduler ticks given exclusively to the stressing blocks before
+          application threads start, modelling stress that is already
+          saturating the memory system when the kernel's work begins *)
+  intensity : float;
+      (** contention multiplier compensating for the scheduler's
+          serialisation: on hardware, threads concentrated on a few
+          locations apply pressure in parallel.  Computed by the stressing
+          strategies from the thread-per-location count. *)
+}
+
+type environment = {
+  randomise : bool;
+      (** permute logical thread ids, respecting block and warp
+          membership (Sec. 3.5) *)
+  make_stress : t -> app_grid:int -> app_block:int -> stress_spec option;
+      (** invoked at each launch to build the stressing blocks; receives
+          the application's launch dimensions (the paper sizes stress as
+          15-50% of the application's blocks) *)
+}
+
+val no_environment : environment
+
+val create : ?words:int -> chip:Chip.t -> seed:int -> unit -> t
+(** A fresh device with [words] (default 65536) of zeroed global memory. *)
+
+val chip : t -> Chip.t
+val rng : t -> Rng.t
+val mem : t -> Memsys.t
+
+val set_environment : t -> environment -> unit
+
+(** {1 Host memory operations} *)
+
+val alloc : t -> int -> int
+(** [alloc t n] reserves [n] words and returns the base address, aligned
+    to the chip's patch size (allocations start at partition boundaries,
+    like page-aligned CUDA allocations). *)
+
+val read : t -> int -> int
+val write : t -> int -> int -> unit
+val fill : t -> base:int -> len:int -> int -> unit
+val read_array : t -> base:int -> len:int -> int array
+val write_array : t -> base:int -> int array -> unit
+
+(** {1 Kernel launch} *)
+
+type outcome =
+  | Finished
+  | Timeout  (** exceeded the tick budget (the paper's 30 s timeout) *)
+  | Trapped of string  (** out-of-bounds access, division by zero, ... *)
+
+type result = {
+  outcome : outcome;
+  barrier_divergence : bool;
+      (** a block barrier was released because a thread exited — undefined
+          behaviour in CUDA, reported as an error *)
+  metrics : Metrics.t;
+}
+
+val launch :
+  t ->
+  ?max_ticks:int ->
+  ?shared_words:int ->
+  grid:int ->
+  block:int ->
+  Kernel.t ->
+  args:(string * int) list ->
+  result
+(** Run a kernel to completion under the ambient environment.  [grid] and
+    [block] must be positive; [block] at most 1024.  All pending memory
+    operations are globally visible when [launch] returns. *)
+
+val elapsed_cycles : t -> int
+(** Modelled runtime (cycles) accumulated over every launch on this
+    device — the simulator's analogue of timing kernels with CUDA
+    events. *)
+
+val consumed_energy : t -> float
+(** Modelled energy accumulated over every launch (the analogue of the
+    paper's NVML-based estimates). *)
+
+val reorders : t -> int
+(** Cumulative out-of-order commits observed on this device (a diagnostic
+    for how much weak behaviour executions exhibited). *)
+
+val set_reorder_hook :
+  t -> (tid:int -> overtaken:int -> committed:int -> unit) -> unit

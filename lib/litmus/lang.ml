@@ -1,0 +1,447 @@
+type instr =
+  | Ld of string * string
+  | St of string * int
+  | Membar
+
+type cond = { thread : int; register : string; value : int }
+
+type t = {
+  name : string;
+  init : (string * int * int option) list;
+  threads : instr list list;
+  exists : cond list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tlbrace | Trbrace | Tlparen | Trparen
+  | Tsemi | Tcomma | Teq | Tat | Tpipe | Tcolon | Tand
+  | Teof
+
+exception Syntax of int * string
+
+let lex src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | '\n' -> incr line
+    | ' ' | '\t' | '\r' -> ()
+    | '{' -> emit Tlbrace
+    | '}' -> emit Trbrace
+    | '(' -> emit Tlparen
+    | ')' -> emit Trparen
+    | ';' -> emit Tsemi
+    | ',' -> emit Tcomma
+    | '=' -> emit Teq
+    | '@' -> emit Tat
+    | '|' -> emit Tpipe
+    | ':' -> emit Tcolon
+    | '/' ->
+      if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        emit Tand;
+        incr i
+      end
+      else raise (Syntax (!line, "lone '/'"))
+    | '#' ->
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done;
+      i := !i - 1
+    | '-' | '0' .. '9' ->
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      (match int_of_string_opt s with
+      | Some v -> emit (Tint v)
+      | None -> raise (Syntax (!line, "bad integer " ^ s)));
+      i := !i - 1
+    | c when is_ident c ->
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      emit (Tident (String.sub src start (!i - start)));
+      i := !i - 1
+    | c -> raise (Syntax (!line, Printf.sprintf "unexpected character %C" c)));
+    incr i
+  done;
+  emit Teof;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                             *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek s = match s.toks with (t, _) :: _ -> t | [] -> Teof
+let line_of s = match s.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance s =
+  match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
+
+let expect s t what =
+  if peek s = t then advance s
+  else raise (Syntax (line_of s, "expected " ^ what))
+
+let ident s =
+  match peek s with
+  | Tident x ->
+    advance s;
+    x
+  | _ -> raise (Syntax (line_of s, "expected an identifier"))
+
+let integer s =
+  match peek s with
+  | Tint v ->
+    advance s;
+    v
+  | _ -> raise (Syntax (line_of s, "expected an integer"))
+
+(* { x = 0; y = 0 @ 64 } *)
+let parse_init s =
+  expect s Tlbrace "'{'";
+  let rec entries acc =
+    match peek s with
+    | Trbrace ->
+      advance s;
+      List.rev acc
+    | _ ->
+      let var = ident s in
+      expect s Teq "'='";
+      let v = integer s in
+      let off =
+        if peek s = Tat then begin
+          advance s;
+          Some (integer s)
+        end
+        else None
+      in
+      let acc = (var, v, off) :: acc in
+      (match peek s with
+      | Tsemi ->
+        advance s;
+        entries acc
+      | Trbrace ->
+        advance s;
+        List.rev acc
+      | _ -> raise (Syntax (line_of s, "expected ';' or '}'")))
+  in
+  entries []
+
+(* P0 | P1 ;  then rows of instructions, '|'-separated, ';'-terminated *)
+let parse_threads s =
+  let rec header acc =
+    let p = ident s in
+    if String.length p < 2 || p.[0] <> 'P' then
+      raise (Syntax (line_of s, "expected a thread header P<i>"));
+    let acc = acc + 1 in
+    match peek s with
+    | Tpipe ->
+      advance s;
+      header acc
+    | Tsemi ->
+      advance s;
+      acc
+    | _ -> raise (Syntax (line_of s, "expected '|' or ';'"))
+  in
+  let n = header 0 in
+  let columns = Array.make n [] in
+  let parse_cell () =
+    (* empty cell, or one instruction *)
+    match peek s with
+    | Tpipe | Tsemi -> None
+    | Tident "membar" ->
+      advance s;
+      Some Membar
+    | Tident "st" ->
+      advance s;
+      let var = ident s in
+      expect s Tcomma "','";
+      Some (St (var, integer s))
+    | Tident "ld" ->
+      advance s;
+      let r = ident s in
+      expect s Tcomma "','";
+      Some (Ld (r, ident s))
+    | _ -> raise (Syntax (line_of s, "expected st, ld, membar or empty cell"))
+  in
+  let rec rows () =
+    match peek s with
+    | Tident "exists" -> ()
+    | Teof -> raise (Syntax (line_of s, "missing exists clause"))
+    | _ ->
+      for col = 0 to n - 1 do
+        (match parse_cell () with
+        | Some i -> columns.(col) <- i :: columns.(col)
+        | None -> ());
+        if col < n - 1 then expect s Tpipe "'|'"
+      done;
+      expect s Tsemi "';'";
+      rows ()
+  in
+  rows ();
+  Array.to_list (Array.map List.rev columns)
+
+(* exists (0:r1 = 1 /\ 1:r2 = 0) *)
+let parse_exists s =
+  expect s (Tident "exists") "'exists'";
+  expect s Tlparen "'('";
+  let rec conds acc =
+    let thread = integer s in
+    expect s Tcolon "':'";
+    let register = ident s in
+    expect s Teq "'='";
+    let value = integer s in
+    let acc = { thread; register; value } :: acc in
+    match peek s with
+    | Tand ->
+      advance s;
+      conds acc
+    | Trparen ->
+      advance s;
+      List.rev acc
+    | _ -> raise (Syntax (line_of s, "expected '/\\' or ')'"))
+  in
+  conds []
+
+let parse src =
+  try
+    let s = { toks = lex src } in
+    expect s (Tident "GPU") "'GPU'";
+    let name = ident s in
+    let init = parse_init s in
+    let threads = parse_threads s in
+    let exists = parse_exists s in
+    let t = { name; init; threads; exists } in
+    (* Static checks: variables and thread indices must exist. *)
+    let vars = List.map (fun (v, _, _) -> v) init in
+    List.iteri
+      (fun ti instrs ->
+        ignore ti;
+        List.iter
+          (function
+            | Ld (_, v) | St (v, _) ->
+              if not (List.mem v vars) then
+                raise (Syntax (0, "undeclared variable " ^ v))
+            | Membar -> ())
+          instrs)
+      threads;
+    List.iter
+      (fun c ->
+        if c.thread < 0 || c.thread >= List.length threads then
+          raise (Syntax (0, "exists refers to missing thread")))
+      exists;
+    Ok t
+  with Syntax (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                              *)
+
+let pp ppf t =
+  Fmt.pf ppf "GPU %s@." t.name;
+  Fmt.pf ppf "{ %s }@."
+    (String.concat "; "
+       (List.map
+          (fun (v, i, off) ->
+            match off with
+            | None -> Printf.sprintf "%s = %d" v i
+            | Some o -> Printf.sprintf "%s = %d @ %d" v i o)
+          t.init));
+  let n = List.length t.threads in
+  Fmt.pf ppf "%s ;@."
+    (String.concat " | " (List.init n (Printf.sprintf "P%d")));
+  let instr_str = function
+    | Ld (r, v) -> Printf.sprintf "ld %s, %s" r v
+    | St (v, i) -> Printf.sprintf "st %s, %d" v i
+    | Membar -> "membar"
+  in
+  let height =
+    List.fold_left (fun m th -> Int.max m (List.length th)) 0 t.threads
+  in
+  for row = 0 to height - 1 do
+    let cells =
+      List.map
+        (fun th ->
+          match List.nth_opt th row with
+          | Some i -> instr_str i
+          | None -> "")
+        t.threads
+    in
+    Fmt.pf ppf "%s ;@." (String.concat " | " cells)
+  done;
+  Fmt.pf ppf "exists (%s)@."
+    (String.concat {| /\ |}
+       (List.map
+          (fun c -> Printf.sprintf "%d:%s = %d" c.thread c.register c.value)
+          t.exists))
+
+(* ------------------------------------------------------------------ *)
+(* Layout and compilation                                               *)
+
+let layout t =
+  let next = ref 0 in
+  let entries =
+    List.map
+      (fun (v, _, off) ->
+        let o = match off with Some o -> o | None -> !next in
+        next := Int.max !next (o + 1);
+        (v, o))
+      t.init
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (v, o) ->
+      if Hashtbl.mem seen o then
+        invalid_arg (Printf.sprintf "Lang.layout: variables overlap at %d" o);
+      Hashtbl.add seen o v)
+    entries;
+  (entries, !next)
+
+let regs_of_thread instrs =
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | Ld (r, _) -> if List.mem r acc then acc else acc @ [ r ]
+      | St _ | Membar -> acc)
+    [] instrs
+
+let out_slot ~thread ~index = (thread * 8) + index
+
+let thread_body t ~thread instrs =
+  let open Gpusim.Kbuild in
+  let offsets, _ = layout t in
+  let addr v = param "base" + int (List.assoc v offsets) in
+  let body =
+    List.map
+      (function
+        | St (v, value) -> store (addr v) (int value)
+        | Ld (r, v) -> load r (addr v)
+        | Membar -> fence)
+      instrs
+  in
+  let dump =
+    List.mapi
+      (fun index r ->
+        store (param "out" + int (out_slot ~thread ~index)) (reg r))
+      (regs_of_thread instrs)
+  in
+  body @ dump
+
+let to_kernel t =
+  let open Gpusim.Kbuild in
+  let rec dispatch i = function
+    | [] -> []
+    | [ instrs ] -> thread_body t ~thread:i instrs
+    | instrs :: rest ->
+      let next = Stdlib.( + ) i 1 in
+      [ if_ (bid = int i) (thread_body t ~thread:i instrs) (dispatch next rest) ]
+  in
+  kernel ("litmus_" ^ t.name) ~params:[ "base"; "out" ]
+    (dispatch 0 t.threads)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                              *)
+
+type outcome = {
+  registers : (int * string * int) list;
+  satisfied : bool;
+}
+
+let poison = -99999
+
+let check_exists t registers =
+  List.for_all
+    (fun c ->
+      match
+        List.find_opt
+          (fun (th, r, _) -> th = c.thread && r = c.register)
+          registers
+      with
+      | Some (_, _, v) -> v = c.value
+      (* A register the thread never loads reads as 0, matching the
+         kernel language's uninitialised-register semantics. *)
+      | None -> c.value = 0)
+    t.exists
+
+let run_once ~chip ~seed ?(env = Gpusim.Sim.no_environment) t =
+  let sim = Gpusim.Sim.create ~words:4096 ~chip ~seed () in
+  Gpusim.Sim.set_environment sim env;
+  let _, extent = layout t in
+  let base = Gpusim.Sim.alloc sim extent in
+  let n = List.length t.threads in
+  let out = Gpusim.Sim.alloc sim (8 * n) in
+  Gpusim.Sim.fill sim ~base:out ~len:(8 * n) poison;
+  List.iter
+    (fun (v, value, _) ->
+      let offsets, _ = layout t in
+      Gpusim.Sim.write sim (base + List.assoc v offsets) value)
+    t.init;
+  let result =
+    Gpusim.Sim.launch sim ~max_ticks:50_000 ~grid:n ~block:1 (to_kernel t)
+      ~args:[ ("base", base); ("out", out) ]
+  in
+  match result.Gpusim.Sim.outcome with
+  | Gpusim.Sim.Timeout | Gpusim.Sim.Trapped _ -> None
+  | Gpusim.Sim.Finished ->
+    let registers =
+      List.concat
+        (List.mapi
+           (fun thread instrs ->
+             List.mapi
+               (fun index r ->
+                 (thread, r, Gpusim.Sim.read sim (out + out_slot ~thread ~index)))
+               (regs_of_thread instrs))
+           t.threads)
+    in
+    Some { registers; satisfied = check_exists t registers }
+
+let count_satisfied ~chip ~seed ?env ~runs t =
+  let master = Gpusim.Rng.create seed in
+  let n = ref 0 in
+  for _ = 1 to runs do
+    match run_once ~chip ~seed:(Gpusim.Rng.bits30 master) ?env t with
+    | Some o when o.satisfied -> incr n
+    | Some _ | None -> ()
+  done;
+  !n
+
+let sc_allows t =
+  let offsets, _ = layout t in
+  let mk thread instrs =
+    Gpusim.Kernel.label
+      { Gpusim.Kernel.name = Printf.sprintf "t%d" thread;
+        params = [ "base"; "out" ];
+        body = thread_body t ~thread instrs }
+  in
+  let threads = List.mapi mk t.threads in
+  let args = List.map (fun _ -> [ ("base", 0); ("out", 1000) ]) t.threads in
+  let init = List.map (fun (v, value, _) -> (List.assoc v offsets, value)) t.init in
+  let watch_regs =
+    List.concat
+      (List.mapi
+         (fun thread instrs ->
+           List.map (fun r -> (thread, r)) (regs_of_thread instrs))
+         t.threads)
+  in
+  let states =
+    Gpusim.Sc_ref.run ~threads ~args ~init ~watch_mem:[] ~watch_regs
+  in
+  List.exists (fun s -> check_exists t s.Gpusim.Sc_ref.registers) states

@@ -1,0 +1,78 @@
+(** A concrete syntax for GPU litmus tests, in the style of the [litmus]
+    tool's [.litmus] files, with a hand-written lexer and recursive-descent
+    parser.
+
+    Example:
+
+    {v
+GPU MP
+{ x = 0; y = 0 @ 64 }
+P0          | P1         ;
+st x, 1     | ld r1, y   ;
+membar      | ld r2, x   ;
+st y, 1     |            ;
+exists (1:r1 = 1 /\ 1:r2 = 0)
+    v}
+
+    Variables are allocated in global memory in declaration order; an
+    optional [@ offset] pins a variable's word offset from the first
+    variable, so the communication distance (Sec. 3.1) can be controlled
+    from the test source.  Threads run in distinct blocks.  [membar] is a
+    device-scope fence. *)
+
+type instr =
+  | Ld of string * string  (** [ld r, x] *)
+  | St of string * int  (** [st x, 1] *)
+  | Membar
+
+type cond = { thread : int; register : string; value : int }
+
+type t = {
+  name : string;
+  init : (string * int * int option) list;
+      (** variable, initial value, optional word offset *)
+  threads : instr list list;
+  exists : cond list;  (** conjunction *)
+}
+
+val parse : string -> (t, string) result
+(** Parse a test from source; errors carry a line number. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print back in concrete syntax ([parse] of the output round-trips). *)
+
+val layout : t -> (string * int) list * int
+(** Word offsets of each variable (declaration order, honouring [@]
+    pins) and the total extent.  Fails on overlapping pins. *)
+
+val to_kernel : t -> Gpusim.Kernel.t
+(** A grid-of-[n]-blocks kernel: block [i] runs thread [i]'s instructions;
+    each observed register [r] of thread [i] is written to
+    [out + i*8 + index(r)].  Parameters: [base] (variables) and [out]. *)
+
+type outcome = {
+  registers : (int * string * int) list;  (** all registers' final values *)
+  satisfied : bool;  (** the [exists] condition held *)
+}
+
+val run_once :
+  chip:Gpusim.Chip.t ->
+  seed:int ->
+  ?env:Gpusim.Sim.environment ->
+  t ->
+  outcome option
+(** One execution on the weak machine; [None] on timeout. *)
+
+val count_satisfied :
+  chip:Gpusim.Chip.t ->
+  seed:int ->
+  ?env:Gpusim.Sim.environment ->
+  runs:int ->
+  t ->
+  int
+
+val sc_allows : t -> bool
+(** Whether the [exists] condition is reachable under sequential
+    consistency (via {!Gpusim.Sc_ref}); a test whose condition is
+    SC-unreachable but observed on the weak machine is a weak
+    behaviour. *)

@@ -1,0 +1,33 @@
+(** Executing litmus-test instances on the simulated GPU and counting
+    weak behaviours.
+
+    This is the inner loop of all of Sec. 3's tuning campaigns: hundreds
+    of thousands of short executions, each on a freshly zeroed device,
+    under a caller-supplied testing environment (stressing blocks and/or
+    thread randomisation). *)
+
+type outcome = {
+  r1 : int;
+  r2 : int;
+  weak : bool;
+  timed_out : bool;
+}
+
+val run_once :
+  chip:Gpusim.Chip.t ->
+  seed:int ->
+  ?env:Gpusim.Sim.environment ->
+  Test.instance ->
+  outcome
+(** One execution: allocate the communication pair and the observation
+    array, launch the two-block kernel, read back [r1, r2]. *)
+
+val count_weak :
+  chip:Gpusim.Chip.t ->
+  seed:int ->
+  ?env:Gpusim.Sim.environment ->
+  runs:int ->
+  Test.instance ->
+  int
+(** Number of weak outcomes over [runs] executions with seeds derived
+    from [seed].  Timeouts are not counted as weak. *)

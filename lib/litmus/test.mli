@@ -1,0 +1,38 @@
+(** The MP, LB and SB litmus tests (Fig. 2 of the paper), instantiated at
+    a configurable distance between their communication locations.
+
+    A test instance [Td] places the two communication locations [x] and
+    [y] exactly [d] words apart in global memory, with the two
+    communicating threads in distinct blocks; this mirrors Sec. 3.1, where
+    the unknown data layout of applications is modelled by sweeping [d]. *)
+
+type idiom = MP | LB | SB
+
+val idiom_name : idiom -> string
+val idioms : idiom list
+
+type instance = {
+  idiom : idiom;
+  distance : int;  (** words between the communication locations *)
+}
+
+val kernel : instance -> Gpusim.Kernel.t
+(** The two-block CUDA kernel for the instance.  Parameters: [x] (base of
+    the communication pair; [y] is at [x + max 1 distance]) and [out]
+    (two words receiving the observer's registers [r1, r2]). *)
+
+val layout_words : instance -> int
+(** Words needed for the communication pair. *)
+
+val weak : instance -> r1:int -> r2:int -> bool
+(** The test's weak-behaviour query on the final registers:
+    MP: r1=1 and r2=0;  LB: r1=1 and r2=1;  SB: r1=0 and r2=0. *)
+
+val sc_outcomes : instance -> (int * int) list
+(** All (r1, r2) outcomes reachable under sequential consistency, computed
+    with the independent {!Gpusim.Sc_ref} oracle (fences stripped to
+    straight-line threads). *)
+
+val threads : instance -> x:int -> Gpusim.Kernel.t list * (string * int) list list
+(** The per-thread straight-line kernels and arguments used by
+    {!sc_outcomes}; exposed for the test suite. *)

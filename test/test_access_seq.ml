@@ -1,0 +1,94 @@
+(* Access sequences: enumeration, notation, rotation classes. *)
+
+module A = Core.Access_seq
+
+let seq_t = Alcotest.testable (fun ppf s -> Fmt.string ppf (A.to_string s)) ( = )
+
+let test_enumeration_count () =
+  (* 2 + 4 + ... + 2^N sequences. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "count for N=%d" n)
+        ((1 lsl (n + 1)) - 2)
+        (List.length (A.all ~max_len:n)))
+    [ 1; 2; 3; 5 ]
+
+let test_enumeration_distinct () =
+  let all = A.all ~max_len:5 in
+  Alcotest.(check int) "no duplicates" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_to_string () =
+  Alcotest.(check string) "ld st2 ld" "ld st2 ld"
+    (A.to_string [ A.Ld; A.St; A.St; A.Ld ]);
+  Alcotest.(check string) "ld4 st" "ld4 st"
+    (A.to_string [ A.Ld; A.Ld; A.Ld; A.Ld; A.St ]);
+  Alcotest.(check string) "single" "st" (A.to_string [ A.St ])
+
+let test_of_string () =
+  Alcotest.(check (option seq_t)) "parse compact"
+    (Some [ A.Ld; A.St; A.St; A.Ld ])
+    (A.of_string "ld st2 ld");
+  Alcotest.(check (option seq_t)) "parse spelled out"
+    (Some [ A.Ld; A.Ld; A.St ])
+    (A.of_string "ld ld st");
+  Alcotest.(check (option seq_t)) "reject garbage" None (A.of_string "xy 2");
+  Alcotest.(check (option seq_t)) "reject empty" None (A.of_string "")
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 6) (map (fun b -> if b then A.Ld else A.St) bool))
+  in
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:300
+    (QCheck.make ~print:A.to_string gen)
+  @@ fun s -> A.of_string (A.to_string s) = Some s
+
+let test_rotations () =
+  let s = [ A.Ld; A.St; A.St ] in
+  Alcotest.(check int) "three rotations" 3 (List.length (A.rotations s));
+  Alcotest.(check bool) "contains itself" true (List.mem s (A.rotations s))
+
+let prop_rotation_class_invariant =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 6) (map (fun b -> if b then A.Ld else A.St) bool))
+  in
+  QCheck.Test.make ~name:"rotation class is rotation-invariant" ~count:200
+    (QCheck.make ~print:A.to_string gen)
+  @@ fun s ->
+  List.for_all (fun r -> A.rotation_class r = A.rotation_class s) (A.rotations s)
+
+let test_paper_winners_parse () =
+  (* Every sequence in Table 2 must be expressible. *)
+  List.iter
+    (fun str ->
+      match A.of_string str with
+      | Some _ -> ()
+      | None -> Alcotest.fail ("cannot parse Table 2 sequence " ^ str))
+    [ "ld4 st"; "ld3 st ld"; "ld st2 ld"; "st2 ld2"; "ld st" ]
+
+let test_rotation_equivalences_from_paper () =
+  (* Sec. 3.3 notes ld st2 ld ~ st2 ld2 under rotation. *)
+  let a = Option.get (A.of_string "ld st2 ld") in
+  let b = Option.get (A.of_string "st2 ld2") in
+  Alcotest.(check seq_t) "same rotation class" (A.rotation_class a)
+    (A.rotation_class b)
+
+let () =
+  Alcotest.run "access_seq"
+    [ ( "unit",
+        [ Alcotest.test_case "enumeration count" `Quick test_enumeration_count;
+          Alcotest.test_case "enumeration distinct" `Quick
+            test_enumeration_distinct;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "rotations" `Quick test_rotations;
+          Alcotest.test_case "paper winners parse" `Quick
+            test_paper_winners_parse;
+          Alcotest.test_case "paper rotation equivalence" `Quick
+            test_rotation_equivalences_from_paper ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_rotation_class_invariant ] ) ]

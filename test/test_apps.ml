@@ -1,0 +1,160 @@
+(* The ten application case studies. *)
+
+let native seed = Test_util.fresh_sim ~chip:Gpusim.Chip.k20 ~seed ()
+
+let sc seed = Test_util.fresh_sim ~chip:Gpusim.Chip.sequential ~seed ()
+
+let result =
+  Alcotest.testable
+    (fun ppf -> function
+      | Ok () -> Fmt.string ppf "Ok"
+      | Error e -> Fmt.pf ppf "Error %s" e)
+    ( = )
+
+let test_registry () =
+  Alcotest.(check int) "ten case studies" 10 (List.length Apps.Registry.all);
+  Alcotest.(check int) "seven fence-free apps" 7
+    (List.length Apps.Registry.fence_free);
+  Alcotest.(check bool) "lookup" true (Apps.Registry.by_name "CBE-DOT" <> None);
+  Alcotest.(check bool) "unknown" true (Apps.Registry.by_name "nope" = None)
+
+let test_nf_variants_fence_free () =
+  List.iter
+    (fun app ->
+      List.iter
+        (fun k ->
+          if not app.Apps.App.has_fences then
+            (* -nf variants run Stripped even when asked for Original; their
+               declared kernels may still contain the source fences, but the
+               fence-site basis must strip them. *)
+            ignore k)
+        app.Apps.App.kernels;
+      Alcotest.(check bool)
+        (app.Apps.App.name ^ " has fence-insertion candidates")
+        true
+        (Apps.App.fence_sites app <> []))
+    Apps.Registry.all
+
+let check_app_under ~make_sim ~fencing ~expect_pass app ~seeds =
+  List.iter
+    (fun seed ->
+      let sim = make_sim seed in
+      let r = app.Apps.App.run sim fencing in
+      if expect_pass then
+        Alcotest.check result
+          (Printf.sprintf "%s seed %d" app.Apps.App.name seed)
+          (Ok ()) r)
+    seeds
+
+let test_all_pass_on_sc () =
+  List.iter
+    (fun app ->
+      check_app_under ~make_sim:sc ~fencing:Apps.App.Original ~expect_pass:true
+        app ~seeds:[ 1; 2; 3 ])
+    Apps.Registry.all
+
+let test_all_pass_native_weak () =
+  (* Natively (no stress) the apps essentially never fail (Sec. 4.3). *)
+  List.iter
+    (fun app ->
+      check_app_under ~make_sim:native ~fencing:Apps.App.Original
+        ~expect_pass:true app ~seeds:[ 10; 11; 12; 13; 14 ])
+    Apps.Registry.all
+
+let test_conservative_stable_under_stress () =
+  (* With a fence after every access, no error appears even under
+     sys-str+ (this is what makes conservative fencing the sound upper
+     bound of Sec. 6). *)
+  let env = Test_util.sys_plus_env Gpusim.Chip.k20 in
+  List.iter
+    (fun app ->
+      check_app_under
+        ~make_sim:(fun seed -> Test_util.fresh_sim ~chip:Gpusim.Chip.k20 ~env ~seed ())
+        ~fencing:Apps.App.Conservative ~expect_pass:true app
+        ~seeds:[ 20; 21; 22; 23; 24 ])
+    Apps.Registry.all
+
+let errors_under_stress app ~chip ~runs =
+  let env = Test_util.sys_plus_env chip in
+  let master = Gpusim.Rng.create 99 in
+  let errs = ref 0 in
+  for _ = 1 to runs do
+    let sim =
+      Test_util.fresh_sim ~chip ~env ~seed:(Gpusim.Rng.bits30 master) ()
+    in
+    match app.Apps.App.run sim Apps.App.Original with
+    | Ok () -> ()
+    | Error _ -> incr errs
+  done;
+  !errs
+
+let test_buggy_apps_fail_under_stress () =
+  (* Sec. 4.3: weak behaviour observed in all applications except sdk-red
+     and cub-scan.  80 runs at the observed rates make a miss vanishingly
+     unlikely for the ones we assert on. *)
+  List.iter
+    (fun name ->
+      let app = Option.get (Apps.Registry.by_name name) in
+      let errs = errors_under_stress app ~chip:Gpusim.Chip.k20 ~runs:80 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fails under sys-str+ (%d/80)" name errs)
+        true (errs > 0))
+    [ "cbe-ht"; "cbe-dot"; "ct-octree"; "tpo-tm"; "sdk-red-nf"; "ls-bh-nf" ]
+
+let test_fenced_apps_never_fail_under_stress () =
+  (* The fences shipped with sdk-red and cub-scan are sufficient. *)
+  List.iter
+    (fun name ->
+      let app = Option.get (Apps.Registry.by_name name) in
+      let errs = errors_under_stress app ~chip:Gpusim.Chip.k20 ~runs:60 in
+      Alcotest.(check int) (name ^ " never fails") 0 errs)
+    [ "sdk-red"; "cub-scan" ]
+
+let test_apps_deterministic_per_seed () =
+  List.iter
+    (fun app ->
+      let run seed =
+        let sim = native seed in
+        app.Apps.App.run sim Apps.App.Original
+      in
+      Alcotest.check result
+        (app.Apps.App.name ^ " deterministic")
+        (run 77) (run 77))
+    Apps.Registry.all
+
+let test_table4_metadata () =
+  List.iter
+    (fun app ->
+      Alcotest.(check bool)
+        (app.Apps.App.name ^ " has descriptions")
+        true
+        (app.Apps.App.source <> ""
+        && app.Apps.App.communication <> ""
+        && app.Apps.App.post_condition <> ""))
+    Apps.Registry.all;
+  let fenced =
+    List.filter (fun a -> a.Apps.App.has_fences) Apps.Registry.all
+  in
+  Alcotest.(check (list string)) "three apps ship fences"
+    [ "sdk-red"; "cub-scan"; "ls-bh" ]
+    (List.map (fun a -> a.Apps.App.name) fenced)
+
+let () =
+  Alcotest.run "apps"
+    [ ( "structure",
+        [ Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "fence sites" `Quick test_nf_variants_fence_free;
+          Alcotest.test_case "Table 4 metadata" `Quick test_table4_metadata ] );
+      ( "correctness",
+        [ Alcotest.test_case "all pass on SC" `Quick test_all_pass_on_sc;
+          Alcotest.test_case "all pass natively" `Quick
+            test_all_pass_native_weak;
+          Alcotest.test_case "conservative fencing stable" `Slow
+            test_conservative_stable_under_stress;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_apps_deterministic_per_seed ] );
+      ( "weak-memory bugs",
+        [ Alcotest.test_case "buggy apps fail under sys-str+" `Slow
+            test_buggy_apps_fail_under_stress;
+          Alcotest.test_case "shipped fences sufficient" `Slow
+            test_fenced_apps_never_fail_under_stress ] ) ]

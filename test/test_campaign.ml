@@ -1,0 +1,75 @@
+(* The Table 5 campaign runner. *)
+
+let test_cell_counting () =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let env =
+    Core.Environment.sys_plus ~tuned:(Core.Tuning.shipped ~chip:Gpusim.Chip.k20)
+  in
+  let cell =
+    Core.Campaign.test_app ~chip:Gpusim.Chip.k20 ~env ~app ~runs:30 ~seed:1
+  in
+  Alcotest.(check string) "app name" "cbe-dot" cell.Core.Campaign.app;
+  Alcotest.(check int) "runs recorded" 30 cell.Core.Campaign.runs;
+  Alcotest.(check bool) "errors within range" true
+    (cell.Core.Campaign.errors >= 0 && cell.Core.Campaign.errors <= 30);
+  Alcotest.(check bool) "example message accompanies errors" true
+    (cell.Core.Campaign.errors = 0 || cell.Core.Campaign.example <> "")
+
+let test_no_stress_environment_clean () =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let env = Core.Environment.make Core.Stress.No_stress ~randomise:false in
+  let cell =
+    Core.Campaign.test_app ~chip:Gpusim.Chip.k20 ~env ~app ~runs:25 ~seed:2
+  in
+  Alcotest.(check int) "native runs pass" 0 cell.Core.Campaign.errors
+
+let test_grid_and_summary () =
+  let apps =
+    List.filter_map Apps.Registry.by_name [ "cbe-dot"; "sdk-red" ]
+  in
+  let envs chip =
+    let tuned = Core.Tuning.shipped ~chip in
+    [ Core.Environment.make Core.Stress.No_stress ~randomise:false;
+      Core.Environment.sys_plus ~tuned ]
+  in
+  let rows =
+    Core.Campaign.run ~chips:[ Gpusim.Chip.k20 ] ~environments_for:envs ~apps
+      ~runs:25 ~seed:3 ()
+  in
+  Alcotest.(check int) "one row per environment" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "cells per row" 2
+        (List.length row.Core.Campaign.cells);
+      Alcotest.(check bool) "effective <= capable" true
+        (row.Core.Campaign.effective <= row.Core.Campaign.capable))
+    rows;
+  (* sys-str+ must beat no-str- on the buggy app. *)
+  let find label =
+    List.find (fun r -> r.Core.Campaign.environment = label) rows
+  in
+  let errors_of row name =
+    let c =
+      List.find (fun c -> c.Core.Campaign.app = name) row.Core.Campaign.cells
+    in
+    c.Core.Campaign.errors
+  in
+  Alcotest.(check bool) "sys-str+ exposes cbe-dot" true
+    (errors_of (find "sys-str+") "cbe-dot" > errors_of (find "no-str-") "cbe-dot");
+  Alcotest.(check int) "sdk-red survives sys-str+" 0
+    (errors_of (find "sys-str+") "sdk-red")
+
+let test_threshold () =
+  Alcotest.(check (float 1e-9)) "paper threshold" 0.05
+    Core.Campaign.effectiveness_threshold
+
+let () =
+  Alcotest.run "campaign"
+    [ ( "unit",
+        [ Alcotest.test_case "cell counting" `Quick test_cell_counting;
+          Alcotest.test_case "native clean" `Quick
+            test_no_stress_environment_clean;
+          Alcotest.test_case "threshold" `Quick test_threshold ] );
+      ( "grid",
+        [ Alcotest.test_case "grid and summary" `Slow test_grid_and_summary ] )
+    ]

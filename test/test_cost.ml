@@ -1,0 +1,114 @@
+(* The fence-cost benchmark (Sec. 6). *)
+
+let measure app fencing =
+  Core.Cost.measure ~chip:Gpusim.Chip.k20 ~app ~fencing ~runs:8 ~seed:4
+
+let test_fences_never_cheaper () =
+  (* "We see no points below the diagonal" (Fig. 5): conservative fencing
+     never reduces runtime or energy. *)
+  List.iter
+    (fun name ->
+      let app = Option.get (Apps.Registry.by_name name) in
+      let no = measure app Apps.App.Stripped in
+      let cons = measure app Apps.App.Conservative in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cons runtime (%.0f) >= none (%.0f)" name
+           cons.Core.Cost.runtime no.Core.Cost.runtime)
+        true
+        (cons.Core.Cost.runtime >= no.Core.Cost.runtime);
+      Alcotest.(check bool) (name ^ ": cons energy >= none") true
+        (cons.Core.Cost.energy >= no.Core.Cost.energy))
+    [ "cbe-dot"; "cbe-ht"; "sdk-red-nf" ]
+
+let test_empirical_between () =
+  (* Empirical fences are a subset of conservative ones: cost in
+     between. *)
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let chip = Gpusim.Chip.k20 in
+  let config =
+    { (Core.Harden.default_config ~chip) with stability_runs = 50 }
+  in
+  let h = Core.Harden.insert ~chip ~config ~app ~seed:5 () in
+  let no = measure app Apps.App.Stripped in
+  let emp = measure app (Apps.App.Sites h.Core.Harden.fences) in
+  let cons = measure app Apps.App.Conservative in
+  Alcotest.(check bool) "emp >= no" true
+    (emp.Core.Cost.runtime >= no.Core.Cost.runtime);
+  Alcotest.(check bool) "cons >= emp" true
+    (cons.Core.Cost.runtime >= emp.Core.Cost.runtime)
+
+let test_overhead_pct () =
+  Alcotest.(check (float 1e-9)) "+50%" 50.0
+    (Core.Cost.overhead_pct ~base:100.0 150.0);
+  Alcotest.(check (float 1e-9)) "zero base guarded" 0.0
+    (Core.Cost.overhead_pct ~base:0.0 10.0)
+
+let test_summary_medians () =
+  let m r e = { Core.Cost.runtime = r; energy = e; discarded = 0 } in
+  let point app no emp cons =
+    { Core.Cost.chip = "K20"; app; nvml = true; no_fences = m no no;
+      emp = m emp emp; cons = m cons cons; emp_count = 1 }
+  in
+  let points =
+    [ point "a" 100. 101. 200.; point "b" 100. 102. 300.;
+      point "c" 100. 110. 400. ]
+  in
+  let s = Core.Cost.summarise points in
+  Alcotest.(check (float 1e-6)) "median emp runtime" 2.0
+    s.Core.Cost.median_emp_runtime_pct;
+  Alcotest.(check (float 1e-6)) "median cons runtime" 200.0
+    s.Core.Cost.median_cons_runtime_pct;
+  Alcotest.(check (float 1e-6)) "max cons" 300.0 s.Core.Cost.max_cons_runtime_pct
+
+let test_discard_counting () =
+  (* Under an aggressive environment errors appear; Cost.measure itself is
+     native, so discards should be zero for correct apps. *)
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let no = measure app Apps.App.Stripped in
+  Alcotest.(check int) "nothing discarded natively" 0 no.Core.Cost.discarded
+
+let test_run_points () =
+  let apps = List.filter_map Apps.Registry.by_name [ "cbe-dot"; "cbe-ht" ] in
+  let points =
+    Core.Cost.run ~chips:[ Gpusim.Chip.k20; Gpusim.Chip.c2075 ] ~apps
+      ~emp_for:(fun _ _ -> []) ~runs:5 ~seed:6 ()
+  in
+  Alcotest.(check int) "chips x apps points" 4 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "positive runtimes" true
+        (p.Core.Cost.no_fences.Core.Cost.runtime > 0.0))
+    points;
+  (* Empirical set empty => emp == no fences modulo seeds. *)
+  ()
+
+let test_fermi_cons_costlier_than_kepler () =
+  (* The oldest chips show the most dramatic conservative-fencing costs
+     (Sec. 6). *)
+  let app = Option.get (Apps.Registry.by_name "cbe-ht") in
+  let pct chip =
+    let no = Core.Cost.measure ~chip ~app ~fencing:Apps.App.Stripped ~runs:6 ~seed:7 in
+    let cons =
+      Core.Cost.measure ~chip ~app ~fencing:Apps.App.Conservative ~runs:6 ~seed:7
+    in
+    Core.Cost.overhead_pct ~base:no.Core.Cost.runtime cons.Core.Cost.runtime
+  in
+  let kepler = pct Gpusim.Chip.k20 and fermi = pct Gpusim.Chip.c2075 in
+  Alcotest.(check bool)
+    (Printf.sprintf "Fermi (%.0f%%) > Kepler (%.0f%%)" fermi kepler)
+    true (fermi > kepler)
+
+let () =
+  Alcotest.run "cost"
+    [ ( "unit",
+        [ Alcotest.test_case "overhead pct" `Quick test_overhead_pct;
+          Alcotest.test_case "summary medians" `Quick test_summary_medians;
+          Alcotest.test_case "no native discards" `Quick test_discard_counting
+        ] );
+      ( "benchmarks",
+        [ Alcotest.test_case "fences never cheaper" `Slow
+            test_fences_never_cheaper;
+          Alcotest.test_case "empirical between" `Slow test_empirical_between;
+          Alcotest.test_case "run grid" `Slow test_run_points;
+          Alcotest.test_case "Fermi cons cost" `Slow
+            test_fermi_cons_costlier_than_kepler ] ) ]

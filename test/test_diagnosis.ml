@@ -1,0 +1,76 @@
+(* Reordering diagnosis: symbolisation and aggregation. *)
+
+let test_describe_regions () =
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.k20 ~seed:1 () in
+  let d = Gpusim.Diagnosis.attach sim in
+  Gpusim.Diagnosis.add_region d "flags" ~base:100 ~len:8;
+  Alcotest.(check string) "inside region" "flags[+3]"
+    (Gpusim.Diagnosis.describe d 103);
+  Alcotest.(check string) "outside region" "@99"
+    (Gpusim.Diagnosis.describe d 99)
+
+let test_empty_report () =
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.sequential ~seed:1 () in
+  let d = Gpusim.Diagnosis.attach sim in
+  let open Gpusim.Kbuild in
+  let k = kernel "noop" ~params:[] [ store (int 0) (int 1) ] in
+  ignore (Gpusim.Sim.launch sim ~grid:1 ~block:1 k ~args:[]);
+  Alcotest.(check int) "SC chip never reorders" 0
+    (List.length (Gpusim.Diagnosis.report d))
+
+let test_spinlock_bypass_diagnosed () =
+  (* An unfenced critical section: the mutex release must eventually show
+     up as overtaking the protected store. *)
+  let k =
+    let open Gpusim.Kbuild in
+    kernel "cs" ~params:[ "mutex"; "data" ]
+      (lock (param "mutex")
+      @ [ load "v" (param "data");
+          store (param "data") (reg "v" + int 1);
+          unlock (param "mutex") ])
+  in
+  let found = ref false in
+  let attempt = ref 0 in
+  while (not !found) && !attempt < 50 do
+    incr attempt;
+    let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.c2075 ~seed:!attempt () in
+    let d = Gpusim.Diagnosis.attach sim in
+    Gpusim.Diagnosis.add_region d "mutex" ~base:0 ~len:1;
+    Gpusim.Diagnosis.add_region d "data" ~base:64 ~len:1;
+    ignore
+      (Gpusim.Sim.launch sim ~grid:4 ~block:1 k
+         ~args:[ ("mutex", 0); ("data", 64) ]);
+    if
+      List.exists
+        (fun f ->
+          f.Gpusim.Diagnosis.overtaken = "data[+0]"
+          && f.Gpusim.Diagnosis.committed = "mutex[+0]")
+        (Gpusim.Diagnosis.report d)
+    then found := true
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "unlock-overtakes-store diagnosed within %d attempts"
+       !attempt)
+    true !found
+
+let test_clear () =
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.k20 ~seed:5 () in
+  let d = Gpusim.Diagnosis.attach sim in
+  let open Gpusim.Kbuild in
+  let k =
+    kernel "two" ~params:[]
+      [ store (int 0) (int 1); store (int 40) (int 1);
+        atomic_add (int 80) (int 1) ]
+  in
+  ignore (Gpusim.Sim.launch sim ~grid:2 ~block:1 k ~args:[]);
+  Gpusim.Diagnosis.clear d;
+  Alcotest.(check int) "cleared" 0 (List.length (Gpusim.Diagnosis.report d))
+
+let () =
+  Alcotest.run "diagnosis"
+    [ ( "unit",
+        [ Alcotest.test_case "describe" `Quick test_describe_regions;
+          Alcotest.test_case "empty report" `Quick test_empty_report;
+          Alcotest.test_case "spinlock bypass" `Quick
+            test_spinlock_bypass_diagnosed;
+          Alcotest.test_case "clear" `Quick test_clear ] ) ]

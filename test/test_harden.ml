@@ -1,0 +1,145 @@
+(* Empirical fence insertion (Alg. 1), first against a synthetic oracle
+   with a known minimal fence set, then end-to-end on real applications. *)
+
+(* A synthetic application whose behaviour depends only on which of its
+   "fence sites" are enabled: it fails deterministically unless [needed]
+   is a subset of the enabled fences.  This isolates the reduction logic
+   from testing noise. *)
+let oracle_app ~n_sites ~needed =
+  let open Gpusim.Kbuild in
+  (* One global access per site so fence_sites has the right arity. *)
+  let k =
+    kernel "oracle" ~params:[ "out" ]
+      (List.init n_sites (fun i -> store (param "out" + int i) (int 1)))
+  in
+  let sites = Gpusim.Kernel.global_access_sites (Gpusim.Kernel.label k) in
+  let site i = ("oracle", List.nth sites i) in
+  let app =
+    { Apps.App.name = "oracle";
+      source = "synthetic"; communication = "n/a"; post_condition = "n/a";
+      has_fences = false;
+      kernels = [ k ];
+      max_ticks = 1000;
+      run =
+        (fun _sim fencing ->
+          match fencing with
+          | Apps.App.Sites enabled ->
+            if List.for_all (fun i -> List.mem (site i) enabled) needed then
+              Ok ()
+            else Error "missing required fence"
+          | Apps.App.Conservative | Apps.App.Original | Apps.App.Stripped ->
+            Ok ()) }
+  in
+  (app, site)
+
+let quick_config chip =
+  { (Core.Harden.default_config ~chip) with
+    initial_iterations = 4;
+    stability_runs = 8 }
+
+let test_oracle_single_fence () =
+  let app, site = oracle_app ~n_sites:8 ~needed:[ 5 ] in
+  let r =
+    Core.Harden.insert ~chip:Gpusim.Chip.k20
+      ~config:(quick_config Gpusim.Chip.k20) ~app ~seed:1 ()
+  in
+  Alcotest.(check bool) "converged" true r.Core.Harden.converged;
+  Alcotest.(check (list (pair string int))) "exactly the needed fence"
+    [ site 5 ] r.Core.Harden.fences
+
+let test_oracle_two_fences () =
+  let app, site = oracle_app ~n_sites:10 ~needed:[ 2; 7 ] in
+  let r =
+    Core.Harden.insert ~chip:Gpusim.Chip.k20
+      ~config:(quick_config Gpusim.Chip.k20) ~app ~seed:1 ()
+  in
+  Alcotest.(check bool) "converged" true r.Core.Harden.converged;
+  Alcotest.(check (list (pair string int))) "both needed fences"
+    (List.sort compare [ site 2; site 7 ])
+    (List.sort compare r.Core.Harden.fences)
+
+let test_oracle_no_fence_needed () =
+  let app, _ = oracle_app ~n_sites:6 ~needed:[] in
+  let r =
+    Core.Harden.insert ~chip:Gpusim.Chip.k20
+      ~config:(quick_config Gpusim.Chip.k20) ~app ~seed:1 ()
+  in
+  Alcotest.(check int) "empty fence set" 0 (List.length r.Core.Harden.fences)
+
+let test_oracle_all_needed () =
+  (* Worst case for binary reduction: every fence needed. *)
+  let app, _ = oracle_app ~n_sites:4 ~needed:[ 0; 1; 2; 3 ] in
+  let r =
+    Core.Harden.insert ~chip:Gpusim.Chip.k20
+      ~config:(quick_config Gpusim.Chip.k20) ~app ~seed:1 ()
+  in
+  Alcotest.(check int) "keeps all four" 4 (List.length r.Core.Harden.fences)
+
+let test_initial_set_size () =
+  let app, _ = oracle_app ~n_sites:9 ~needed:[] in
+  let r =
+    Core.Harden.insert ~chip:Gpusim.Chip.k20
+      ~config:(quick_config Gpusim.Chip.k20) ~app ~seed:1 ()
+  in
+  Alcotest.(check int) "initial = all access sites" 9 r.Core.Harden.initial
+
+let test_check_application () =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let chip = Gpusim.Chip.k20 in
+  let env = Core.Environment.sys_plus ~tuned:(Core.Tuning.shipped ~chip) in
+  (* With every fence enabled, checks pass even under stress. *)
+  Alcotest.(check bool) "conservative set passes" true
+    (Core.Harden.check_application ~chip ~env ~app
+       ~fences:(Apps.App.fence_sites app) ~iterations:10 ~seed:3);
+  (* With no fences, 30 stressed runs essentially always catch the bug. *)
+  Alcotest.(check bool) "empty set fails" false
+    (Core.Harden.check_application ~chip ~env ~app ~fences:[] ~iterations:30
+       ~seed:3)
+
+let test_cbe_dot_converges_to_critical_store () =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let chip = Gpusim.Chip.k20 in
+  let config =
+    { (Core.Harden.default_config ~chip) with stability_runs = 60 }
+  in
+  let r = Core.Harden.insert ~chip ~config ~app ~seed:5 () in
+  Alcotest.(check bool) "converged" true r.Core.Harden.converged;
+  Alcotest.(check int) "a single fence suffices (Table 6)" 1
+    (List.length r.Core.Harden.fences);
+  (* The surviving fence follows the critical-section store to c: the same
+     fence prior hand analysis prescribed (Sec. 5.2). *)
+  let k =
+    Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences)
+      (List.hd app.Apps.App.kernels)
+  in
+  let s = Gpusim.Kernel_pp.to_string k in
+  Alcotest.(check bool) "fence right after the store to c" true
+    (Test_util.contains s "g[%c] = (old_c + cache0);\n    __threadfence();")
+
+let test_hardened_app_is_stable () =
+  let app = Option.get (Apps.Registry.by_name "cbe-ht") in
+  let chip = Gpusim.Chip.k20 in
+  let config =
+    { (Core.Harden.default_config ~chip) with stability_runs = 60 }
+  in
+  let r = Core.Harden.insert ~chip ~config ~app ~seed:6 () in
+  let env = Core.Environment.sys_plus ~tuned:(Core.Tuning.shipped ~chip) in
+  Alcotest.(check bool) "hardened app passes a fresh stressed check" true
+    (Core.Harden.check_application ~chip ~env ~app
+       ~fences:r.Core.Harden.fences ~iterations:40 ~seed:123)
+
+let () =
+  Alcotest.run "harden"
+    [ ( "oracle",
+        [ Alcotest.test_case "single fence" `Quick test_oracle_single_fence;
+          Alcotest.test_case "two fences" `Quick test_oracle_two_fences;
+          Alcotest.test_case "no fence needed" `Quick
+            test_oracle_no_fence_needed;
+          Alcotest.test_case "all needed" `Quick test_oracle_all_needed;
+          Alcotest.test_case "initial set" `Quick test_initial_set_size ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "check_application" `Slow test_check_application;
+          Alcotest.test_case "cbe-dot converges" `Slow
+            test_cbe_dot_converges_to_critical_store;
+          Alcotest.test_case "hardened app stable" `Slow
+            test_hardened_app_is_stable ] ) ]

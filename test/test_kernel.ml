@@ -1,0 +1,114 @@
+(* Kernel AST: labelling, access-site enumeration, and the fence
+   transformation passes used by empirical fence insertion. *)
+
+open Gpusim.Kbuild
+
+let sample =
+  kernel "sample" ~params:[ "a"; "out" ]
+    [ global_tid "t";
+      load "x" (param "a" + reg "t");
+      when_ (reg "x" > int 0)
+        [ store (param "out") (reg "x"); fence ];
+      while_ (reg "t" < int 4)
+        [ atomic_add (param "out") (int 1); def "t" (reg "t" + int 1) ];
+      barrier ]
+
+let test_label_preorder () =
+  let sids = ref [] in
+  Gpusim.Kernel.iter_stmts (fun s -> sids := s.Gpusim.Kernel.sid :: !sids) sample;
+  let sids = List.rev !sids in
+  Alcotest.(check (list int))
+    "pre-order ids are 0..n-1" (List.init (List.length sids) Fun.id) sids
+
+let test_max_sid () =
+  Alcotest.(check int) "max sid"
+    (Stdlib.( - ) (Gpusim.Kernel.count_stmts sample) 1)
+    (Gpusim.Kernel.max_sid sample)
+
+let test_global_access_sites () =
+  let sites = Gpusim.Kernel.global_access_sites sample in
+  (* load, store, atomic = three global accesses. *)
+  Alcotest.(check int) "three global access sites" 3 (List.length sites)
+
+let test_fence_sites () =
+  Alcotest.(check int) "one fence" 1
+    (List.length (Gpusim.Kernel.fence_sites sample))
+
+let test_strip_fences () =
+  let stripped = Gpusim.Kernel.strip_fences sample in
+  Alcotest.(check int) "no fences left" 0
+    (List.length (Gpusim.Kernel.fence_sites stripped));
+  Alcotest.(check int) "one statement fewer"
+    (Stdlib.( - ) (Gpusim.Kernel.count_stmts sample) 1)
+    (Gpusim.Kernel.count_stmts stripped)
+
+let test_insert_all () =
+  let base = Gpusim.Kernel.label (Gpusim.Kernel.strip_fences sample) in
+  let fenced =
+    Gpusim.Kernel.insert_fences_after ~scope:Gpusim.Kernel.Device
+      ~sites:(fun _ -> true) base
+  in
+  Alcotest.(check int) "a fence per global access"
+    (List.length (Gpusim.Kernel.global_access_sites base))
+    (List.length (Gpusim.Kernel.fence_sites fenced))
+
+let test_insert_selected () =
+  let base = Gpusim.Kernel.label (Gpusim.Kernel.strip_fences sample) in
+  let sites = Gpusim.Kernel.global_access_sites base in
+  let chosen = List.hd sites in
+  let fenced =
+    Gpusim.Kernel.insert_fences_after ~scope:Gpusim.Kernel.Device
+      ~sites:(fun s -> Stdlib.( = ) s chosen) base
+  in
+  Alcotest.(check int) "exactly one fence" 1
+    (List.length (Gpusim.Kernel.fence_sites fenced))
+
+let test_insert_preserves_sites () =
+  (* Inserted fences carry the site id of the access they follow, so the
+     original access sites remain identifiable. *)
+  let base = Gpusim.Kernel.label (Gpusim.Kernel.strip_fences sample) in
+  let fenced =
+    Gpusim.Kernel.insert_fences_after ~scope:Gpusim.Kernel.Device
+      ~sites:(fun _ -> true) base
+  in
+  Alcotest.(check (list int)) "access sites unchanged"
+    (Gpusim.Kernel.global_access_sites base)
+    (Gpusim.Kernel.global_access_sites fenced)
+
+let test_shared_not_fence_candidate () =
+  let k =
+    kernel "sh" ~params:[]
+      [ store ~space:Gpusim.Kernel.Shared (int 0) (int 1);
+        load ~space:Gpusim.Kernel.Shared "x" (int 0) ]
+  in
+  Alcotest.(check int) "shared accesses are not candidates" 0
+    (List.length (Gpusim.Kernel.global_access_sites k))
+
+let test_pp_mentions_constructs () =
+  let s = Gpusim.Kernel_pp.to_string ~sids:true sample in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pretty-print contains %S" frag)
+        true
+        (Test_util.contains s frag))
+    [ "__global__"; "atomicAdd"; "__threadfence"; "__syncthreads"; "while";
+      "s0:" ]
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "passes",
+        [ Alcotest.test_case "label pre-order" `Quick test_label_preorder;
+          Alcotest.test_case "max sid" `Quick test_max_sid;
+          Alcotest.test_case "global access sites" `Quick
+            test_global_access_sites;
+          Alcotest.test_case "fence sites" `Quick test_fence_sites;
+          Alcotest.test_case "strip fences" `Quick test_strip_fences;
+          Alcotest.test_case "insert everywhere" `Quick test_insert_all;
+          Alcotest.test_case "insert selected" `Quick test_insert_selected;
+          Alcotest.test_case "insert preserves sites" `Quick
+            test_insert_preserves_sites;
+          Alcotest.test_case "shared not candidate" `Quick
+            test_shared_not_fence_candidate;
+          Alcotest.test_case "pretty printer" `Quick test_pp_mentions_constructs
+        ] ) ]

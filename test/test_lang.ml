@@ -1,0 +1,141 @@
+(* The litmus concrete-syntax front end. *)
+
+let mp_src =
+  {|GPU MP
+# classic message passing, y far from x
+{ x = 0; y = 0 @ 65 }
+P0          | P1         ;
+st x, 1     | ld r1, y   ;
+st y, 1     | ld r2, x   ;
+exists (1:r1 = 1 /\ 1:r2 = 0)
+|}
+
+let mp_fenced_src =
+  {|GPU MP-fenced
+{ x = 0; y = 0 @ 65 }
+P0          | P1         ;
+st x, 1     | ld r1, y   ;
+membar      | membar     ;
+st y, 1     | ld r2, x   ;
+exists (1:r1 = 1 /\ 1:r2 = 0)
+|}
+
+let parse_ok src =
+  match Litmus.Lang.parse src with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_mp () =
+  let t = parse_ok mp_src in
+  Alcotest.(check string) "name" "MP" t.Litmus.Lang.name;
+  Alcotest.(check int) "two threads" 2 (List.length t.Litmus.Lang.threads);
+  Alcotest.(check int) "two conditions" 2 (List.length t.Litmus.Lang.exists);
+  Alcotest.(check int) "thread 0 instrs" 2
+    (List.length (List.nth t.Litmus.Lang.threads 0))
+
+let test_layout () =
+  let t = parse_ok mp_src in
+  let offsets, extent = Litmus.Lang.layout t in
+  Alcotest.(check int) "x at 0" 0 (List.assoc "x" offsets);
+  Alcotest.(check int) "y pinned at 65" 65 (List.assoc "y" offsets);
+  Alcotest.(check int) "extent" 66 extent
+
+let test_layout_overlap_rejected () =
+  let src =
+    {|GPU bad
+{ x = 0; y = 0 @ 0 }
+P0 ;
+st x, 1 ;
+exists (0:r0 = 0)
+|}
+  in
+  let t = parse_ok src in
+  Alcotest.(check bool) "overlap rejected" true
+    (try
+       ignore (Litmus.Lang.layout t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_parse_errors () =
+  List.iter
+    (fun (src, frag) ->
+      match Litmus.Lang.parse src with
+      | Ok _ -> Alcotest.failf "expected a parse error for %s" frag
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %s (got %s)" frag e)
+          true
+          (Test_util.contains e frag))
+    [ ("CPU MP", "expected 'GPU'");
+      ("GPU t { x = 0 } P0 ; st y, 1 ; exists (0:r0 = 0)", "undeclared");
+      ("GPU t { x = 0 } P0 ; st x, 1 ; exists (3:r0 = 0)", "missing thread");
+      ("GPU t { x = 0 } P0 ; st x ; exists (0:r0 = 0)", "','") ]
+
+let test_roundtrip () =
+  let t = parse_ok mp_src in
+  let printed = Fmt.str "%a" Litmus.Lang.pp t in
+  let t2 = parse_ok printed in
+  Alcotest.(check bool) "round-trips" true (t = t2)
+
+let test_sc_allows () =
+  Alcotest.(check bool) "MP weak outcome is not SC" false
+    (Litmus.Lang.sc_allows (parse_ok mp_src));
+  let reachable =
+    {|GPU ok
+{ x = 0 }
+P0 ;
+st x, 1 ;
+exists (0:r0 = 0)
+|}
+  in
+  (* r0 never assigned: reads as 0. *)
+  Alcotest.(check bool) "trivial condition reachable" true
+    (Litmus.Lang.sc_allows (parse_ok reachable))
+
+let stress_env chip =
+  Core.Environment.for_litmus
+    (Core.Environment.sys_plus ~tuned:(Core.Tuning.shipped ~chip))
+
+let test_weak_machine_exposes_mp () =
+  let t = parse_ok mp_src in
+  let chip = Gpusim.Chip.titan in
+  let n =
+    Litmus.Lang.count_satisfied ~chip ~seed:3 ~env:(stress_env chip) ~runs:400 t
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "weak outcome observed under stress (%d/400)" n)
+    true (n > 0)
+
+let test_fences_suppress () =
+  let t = parse_ok mp_fenced_src in
+  let chip = Gpusim.Chip.titan in
+  let n =
+    Litmus.Lang.count_satisfied ~chip ~seed:3 ~env:(stress_env chip) ~runs:200 t
+  in
+  Alcotest.(check int) "fenced MP never weak" 0 n
+
+let test_run_once_registers () =
+  let t = parse_ok mp_src in
+  match Litmus.Lang.run_once ~chip:Gpusim.Chip.sequential ~seed:1 t with
+  | None -> Alcotest.fail "unexpected timeout"
+  | Some o ->
+    Alcotest.(check int) "two observed registers" 2
+      (List.length o.Litmus.Lang.registers);
+    Alcotest.(check bool) "SC run not weak" false o.Litmus.Lang.satisfied
+
+let () =
+  Alcotest.run "lang"
+    [ ( "parser",
+        [ Alcotest.test_case "parse MP" `Quick test_parse_mp;
+          Alcotest.test_case "layout" `Quick test_layout;
+          Alcotest.test_case "layout overlap" `Quick
+            test_layout_overlap_rejected;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip ] );
+      ( "execution",
+        [ Alcotest.test_case "sc_allows" `Quick test_sc_allows;
+          Alcotest.test_case "weak machine exposes MP" `Slow
+            test_weak_machine_exposes_mp;
+          Alcotest.test_case "fences suppress" `Slow test_fences_suppress;
+          Alcotest.test_case "run_once registers" `Quick
+            test_run_once_registers ] ) ]

@@ -1,0 +1,130 @@
+(* Litmus representation and runner. *)
+
+let test_layout () =
+  List.iter
+    (fun d ->
+      let inst = { Litmus.Test.idiom = Litmus.Test.MP; distance = d } in
+      Alcotest.(check int)
+        (Printf.sprintf "layout for d=%d" d)
+        (d + 2)
+        (Litmus.Test.layout_words inst))
+    [ 0; 1; 32; 255 ]
+
+let test_weak_predicates () =
+  let open Litmus.Test in
+  Alcotest.(check bool) "MP weak" true
+    (weak { idiom = MP; distance = 0 } ~r1:1 ~r2:0);
+  Alcotest.(check bool) "MP strong" false
+    (weak { idiom = MP; distance = 0 } ~r1:1 ~r2:1);
+  Alcotest.(check bool) "LB weak" true
+    (weak { idiom = LB; distance = 0 } ~r1:1 ~r2:1);
+  Alcotest.(check bool) "SB weak" true
+    (weak { idiom = SB; distance = 0 } ~r1:0 ~r2:0)
+
+let test_runner_deterministic () =
+  let inst = { Litmus.Test.idiom = Litmus.Test.SB; distance = 64 } in
+  let a =
+    Litmus.Runner.count_weak ~chip:Gpusim.Chip.titan ~seed:12 ~runs:100 inst
+  in
+  let b =
+    Litmus.Runner.count_weak ~chip:Gpusim.Chip.titan ~seed:12 ~runs:100 inst
+  in
+  Alcotest.(check int) "same seed, same count" a b
+
+let test_sc_chip_never_weak () =
+  List.iter
+    (fun idiom ->
+      List.iter
+        (fun distance ->
+          let inst = { Litmus.Test.idiom; distance } in
+          Alcotest.(check int)
+            (Printf.sprintf "%s d=%d on SC" (Litmus.Test.idiom_name idiom)
+               distance)
+            0
+            (Litmus.Runner.count_weak ~chip:Gpusim.Chip.sequential ~seed:3
+               ~runs:50 inst))
+        [ 0; 64 ])
+    Litmus.Test.idioms
+
+let stress_env ~loc =
+  let strategy =
+    Core.Stress.Fixed
+      { sequence = [ Core.Access_seq.St; Core.Access_seq.Ld ];
+        locations = [ loc ]; scratch_words = 256 }
+  in
+  Core.Environment.for_litmus (Core.Environment.make strategy ~randomise:false)
+
+let test_same_patch_never_weak () =
+  (* d = 0 puts both communication locations in one partition: FIFO order
+     makes the weak outcome unobservable, even under heavy stress.  This is
+     the paper's "no weak behaviour for d < patch size". *)
+  List.iter
+    (fun idiom ->
+      let inst = { Litmus.Test.idiom; distance = 0 } in
+      List.iter
+        (fun loc ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s d=0 stress@%d" (Litmus.Test.idiom_name idiom)
+               loc)
+            0
+            (Litmus.Runner.count_weak ~chip:Gpusim.Chip.titan ~seed:17
+               ~env:(stress_env ~loc) ~runs:150 inst))
+        [ 0; 128 ])
+    Litmus.Test.idioms
+
+let test_matching_stress_provokes_weak () =
+  (* Stressing the partition of a communication location at d = 64 exposes
+     weak behaviour far more often than native runs. *)
+  let inst = { Litmus.Test.idiom = Litmus.Test.SB; distance = 64 } in
+  let native =
+    Litmus.Runner.count_weak ~chip:Gpusim.Chip.titan ~seed:21 ~runs:200 inst
+  in
+  (* The scratchpad lands at base 128 after the test's allocations, so
+     location 192 maps to the partition of y. *)
+  let stressed =
+    Litmus.Runner.count_weak ~chip:Gpusim.Chip.titan ~seed:21
+      ~env:(stress_env ~loc:192) ~runs:200 inst
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stressed (%d) >> native (%d)" stressed native)
+    true
+    (stressed > native + 10)
+
+let test_timeout_not_weak () =
+  let o =
+    Litmus.Runner.run_once ~chip:Gpusim.Chip.titan ~seed:5
+      { Litmus.Test.idiom = Litmus.Test.MP; distance = 1 }
+  in
+  if o.Litmus.Runner.timed_out then
+    Alcotest.(check bool) "timeout never counts as weak" false
+      o.Litmus.Runner.weak
+
+let prop_weak_outcomes_match_observed =
+  (* Whatever the machine produces, non-weak outcomes must be among the
+     SC-reachable ones OR the designated weak outcome; nothing else is
+     expressible by the kernels. *)
+  QCheck.Test.make ~name:"observed registers are boolean" ~count:60
+    QCheck.(pair (int_range 0 2) (int_range 0 100))
+  @@ fun (i, d) ->
+  let idiom = List.nth Litmus.Test.idioms i in
+  let inst = { Litmus.Test.idiom; distance = d } in
+  let o = Litmus.Runner.run_once ~chip:Gpusim.Chip.c2075 ~seed:(d + 1000) inst in
+  o.Litmus.Runner.timed_out
+  || (List.mem o.Litmus.Runner.r1 [ 0; 1 ] && List.mem o.Litmus.Runner.r2 [ 0; 1 ])
+
+let () =
+  Alcotest.run "litmus"
+    [ ( "unit",
+        [ Alcotest.test_case "layout" `Quick test_layout;
+          Alcotest.test_case "weak predicates" `Quick test_weak_predicates;
+          Alcotest.test_case "runner determinism" `Quick
+            test_runner_deterministic;
+          Alcotest.test_case "SC chip never weak" `Quick
+            test_sc_chip_never_weak;
+          Alcotest.test_case "same patch never weak" `Quick
+            test_same_patch_never_weak;
+          Alcotest.test_case "matching stress provokes weak" `Quick
+            test_matching_stress_provokes_weak;
+          Alcotest.test_case "timeout not weak" `Quick test_timeout_not_weak ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_weak_outcomes_match_observed ] ) ]

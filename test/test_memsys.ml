@@ -1,0 +1,154 @@
+(* The weak memory subsystem in isolation. *)
+
+let make ?(chip = Gpusim.Chip.k20) ?(seed = 1) ?(words = 512) ?(nthreads = 4) () =
+  Gpusim.Memsys.create ~chip ~rng:(Gpusim.Rng.create seed) ~words ~nthreads
+
+let test_host_rw () =
+  let m = make () in
+  Gpusim.Memsys.write m 5 42;
+  Alcotest.(check int) "read back" 42 (Gpusim.Memsys.read m 5);
+  Alcotest.(check int) "zero initialised" 0 (Gpusim.Memsys.read m 6)
+
+let test_store_buffering () =
+  let m = make () in
+  Gpusim.Memsys.store m ~tid:0 ~addr:1 ~value:9;
+  Alcotest.(check int) "store is buffered, not visible" 0
+    (Gpusim.Memsys.read m 1);
+  Alcotest.(check int) "pending" 1 (Gpusim.Memsys.pending_count m ~tid:0);
+  let n = Gpusim.Memsys.drain m ~tid:0 in
+  Alcotest.(check int) "drained one" 1 n;
+  Alcotest.(check int) "now visible" 9 (Gpusim.Memsys.read m 1)
+
+let test_forwarding () =
+  let m = make () in
+  Gpusim.Memsys.store m ~tid:0 ~addr:2 ~value:7;
+  let p = Gpusim.Memsys.load m ~tid:0 ~addr:2 in
+  Alcotest.(check int) "load forwards own pending store" 7
+    (Gpusim.Memsys.force m ~tid:0 p)
+
+let test_no_cross_thread_forwarding () =
+  let m = make () in
+  Gpusim.Memsys.store m ~tid:0 ~addr:3 ~value:5;
+  let p = Gpusim.Memsys.load m ~tid:1 ~addr:3 in
+  Alcotest.(check int) "other thread reads memory" 0
+    (Gpusim.Memsys.force m ~tid:1 p)
+
+let test_same_address_order () =
+  (* Coherence: same-address stores retire in order under any commit
+     pattern. *)
+  let m = make ~seed:7 () in
+  Gpusim.Memsys.store m ~tid:0 ~addr:4 ~value:1;
+  Gpusim.Memsys.store m ~tid:0 ~addr:4 ~value:2;
+  for _ = 1 to 200 do
+    Gpusim.Memsys.tick m;
+    Gpusim.Memsys.attempt_commits m ~tid:0
+  done;
+  ignore (Gpusim.Memsys.drain m ~tid:0);
+  Alcotest.(check int) "last store wins" 2 (Gpusim.Memsys.read m 4)
+
+let test_atomic_sees_own_past () =
+  let m = make () in
+  Gpusim.Memsys.store m ~tid:0 ~addr:6 ~value:10;
+  let old = Gpusim.Memsys.atomic m ~tid:0 ~addr:6 (fun v -> v + 1) in
+  Alcotest.(check int) "atomic observed own pending store" 10 old;
+  Alcotest.(check int) "atomic effect immediate" 11 (Gpusim.Memsys.read m 6)
+
+let test_atomic_no_full_drain () =
+  let m = make () in
+  Gpusim.Memsys.store m ~tid:0 ~addr:7 ~value:1;
+  ignore (Gpusim.Memsys.atomic m ~tid:0 ~addr:8 (fun v -> v + 1));
+  Alcotest.(check int)
+    "atomic on another address leaves pending stores alone" 1
+    (Gpusim.Memsys.pending_count m ~tid:0)
+
+let test_strong_mode () =
+  let m = make ~chip:Gpusim.Chip.sequential () in
+  Alcotest.(check bool) "strong" true (Gpusim.Memsys.strong m);
+  Gpusim.Memsys.store m ~tid:0 ~addr:9 ~value:3;
+  Alcotest.(check int) "immediately visible" 3 (Gpusim.Memsys.read m 9);
+  let p = Gpusim.Memsys.load m ~tid:0 ~addr:9 in
+  Alcotest.(check bool) "load resolved at issue" true
+    (Gpusim.Memsys.resolved p)
+
+let test_reorder_counting () =
+  (* Two stores to different partitions can commit out of order; drive
+     commits until the younger one retires first at least once. *)
+  let chip = Gpusim.Chip.k20 in
+  let observed = ref false in
+  let attempts = ref 0 in
+  while (not !observed) && !attempts < 200 do
+    incr attempts;
+    let m = make ~chip ~seed:!attempts () in
+    Gpusim.Memsys.store m ~tid:0 ~addr:0 ~value:1;
+    (* partition 0 *)
+    Gpusim.Memsys.store m ~tid:0 ~addr:32 ~value:1;
+    (* partition 1 *)
+    for _ = 1 to 50 do
+      Gpusim.Memsys.tick m;
+      Gpusim.Memsys.attempt_commits m ~tid:0
+    done;
+    ignore (Gpusim.Memsys.drain m ~tid:0);
+    if Gpusim.Memsys.reorders m > 0 then observed := true
+  done;
+  Alcotest.(check bool) "reordering observed and counted" true !observed
+
+let test_contention_decay () =
+  let m = make () in
+  Gpusim.Memsys.stress_access m ~sid:0 ~kind:`Store ~addr:0 ~boundary:false;
+  let c0 = Gpusim.Memsys.contention m ~part:0 ~kind:`Store in
+  Alcotest.(check bool) "bump recorded" true (c0 > 0.0);
+  for _ = 1 to 500 do
+    Gpusim.Memsys.tick m
+  done;
+  let c1 = Gpusim.Memsys.contention m ~part:0 ~kind:`Store in
+  Alcotest.(check bool) "decayed to (near) zero" true (c1 < 0.01 *. c0 +. 1e-9)
+
+let test_stress_gain_scales () =
+  let bump gain =
+    let m = make () in
+    Gpusim.Memsys.set_stress_gain m gain;
+    Gpusim.Memsys.stress_access m ~sid:0 ~kind:`Load ~addr:0 ~boundary:false;
+    Gpusim.Memsys.contention m ~part:0 ~kind:`Load
+  in
+  let b1 = bump 1.0 and b2 = bump 2.0 in
+  Alcotest.(check bool) "gain doubles the bump" true
+    (Float.abs (b2 -. (2.0 *. b1)) < 1e-9)
+
+let test_pure_run_decays () =
+  (* Long same-kind runs lose pressure (why pure sequences rank last). *)
+  let m = make () in
+  let bumps =
+    List.init 8 (fun _ ->
+        let before = Gpusim.Memsys.contention m ~part:0 ~kind:`Store in
+        Gpusim.Memsys.stress_access m ~sid:0 ~kind:`Store ~addr:0
+          ~boundary:false;
+        Gpusim.Memsys.contention m ~part:0 ~kind:`Store -. before)
+  in
+  let first = List.hd bumps in
+  let last = List.nth bumps 7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "eighth store bump (%.2f) well below first (%.2f)" last
+       first)
+    true
+    (last < 0.3 *. first)
+
+let () =
+  Alcotest.run "memsys"
+    [ ( "unit",
+        [ Alcotest.test_case "host read/write" `Quick test_host_rw;
+          Alcotest.test_case "store buffering" `Quick test_store_buffering;
+          Alcotest.test_case "forwarding" `Quick test_forwarding;
+          Alcotest.test_case "no cross-thread forwarding" `Quick
+            test_no_cross_thread_forwarding;
+          Alcotest.test_case "same-address order" `Quick
+            test_same_address_order;
+          Alcotest.test_case "atomic sees own past" `Quick
+            test_atomic_sees_own_past;
+          Alcotest.test_case "atomic does not drain" `Quick
+            test_atomic_no_full_drain;
+          Alcotest.test_case "strong mode" `Quick test_strong_mode;
+          Alcotest.test_case "reorder counting" `Quick test_reorder_counting;
+          Alcotest.test_case "contention decay" `Quick test_contention_decay;
+          Alcotest.test_case "stress gain" `Quick test_stress_gain_scales;
+          Alcotest.test_case "pure runs decay" `Quick test_pure_run_decays ] )
+    ]

@@ -1,0 +1,79 @@
+(* Pareto selection used by the sequence and spread finders. *)
+
+let scores (x : int array) = x
+
+let test_dominates () =
+  Alcotest.(check bool) "strictly better" true
+    (Core.Pareto.dominates ~scores [| 2; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "equal does not dominate" false
+    (Core.Pareto.dominates ~scores [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "trade-off does not dominate" false
+    (Core.Pareto.dominates ~scores [| 3; 0 |] [| 0; 3 |])
+
+let test_front () =
+  let items = [ [| 3; 0 |]; [| 0; 3 |]; [| 1; 1 |]; [| 0; 0 |]; [| 3; 1 |] ] in
+  let front = Core.Pareto.front ~scores items in
+  Alcotest.(check int) "front size" 2 (List.length front);
+  Alcotest.(check bool) "[|3;1|] on front" true (List.mem [| 3; 1 |] front);
+  Alcotest.(check bool) "[|0;3|] on front" true (List.mem [| 0; 3 |] front)
+
+let test_select_unique () =
+  let items = [ [| 1; 1; 1 |]; [| 2; 2; 2 |]; [| 0; 3; 0 |] ] in
+  Alcotest.(check (option (array int)))
+    "dominating item selected"
+    (Some [| 2; 2; 2 |])
+    (Core.Pareto.select ~scores ~tie:compare items)
+
+let test_select_tie_break_wins () =
+  (* a wins two objectives, b wins one: a preferred (the paper's "most
+     effective for two of the three tests"). *)
+  let a = [| 5; 5; 0 |] and b = [| 0; 0; 9 |] in
+  Alcotest.(check (option (array int)))
+    "majority-objective winner" (Some a)
+    (Core.Pareto.select ~scores ~tie:compare [ b; a ])
+
+let test_select_empty () =
+  Alcotest.(check (option (array int)))
+    "empty" None
+    (Core.Pareto.select ~scores ~tie:compare [])
+
+let gen_items =
+  QCheck.Gen.(
+    list_size (int_range 1 12)
+      (array_size (return 3) (int_range 0 20)))
+
+let prop_select_on_front =
+  QCheck.Test.make ~name:"selected item is Pareto optimal" ~count:300
+    (QCheck.make gen_items)
+  @@ fun items ->
+  match Core.Pareto.select ~scores ~tie:compare items with
+  | None -> items = []
+  | Some x -> List.mem x (Core.Pareto.front ~scores items)
+
+let prop_front_members_undominated =
+  QCheck.Test.make ~name:"front members are undominated" ~count:300
+    (QCheck.make gen_items)
+  @@ fun items ->
+  let front = Core.Pareto.front ~scores items in
+  List.for_all
+    (fun f -> not (List.exists (fun o -> Core.Pareto.dominates ~scores o f) items))
+    front
+
+let prop_front_nonempty =
+  QCheck.Test.make ~name:"non-empty input has non-empty front" ~count:300
+    (QCheck.make gen_items)
+  @@ fun items -> items = [] || Core.Pareto.front ~scores items <> []
+
+let () =
+  Alcotest.run "pareto"
+    [ ( "unit",
+        [ Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "front" `Quick test_front;
+          Alcotest.test_case "select unique" `Quick test_select_unique;
+          Alcotest.test_case "select tie break" `Quick
+            test_select_tie_break_wins;
+          Alcotest.test_case "select empty" `Quick test_select_empty ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_select_on_front; prop_front_members_undominated;
+            prop_front_nonempty ] ) ]

@@ -1,0 +1,135 @@
+(* The dynamic race detector and targeted stressing (the paper's
+   future-work item (e)). *)
+
+let run_with_detector kernel ~grid ~block ~args =
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.sequential ~seed:1 () in
+  let det = Gpusim.Race.attach sim in
+  ignore (Gpusim.Sim.launch sim ~grid ~block kernel ~args);
+  Gpusim.Race.detach sim;
+  det
+
+let test_private_data_not_reported () =
+  let open Gpusim.Kbuild in
+  let k =
+    kernel "private" ~params:[ "out" ]
+      [ global_tid "g";
+        store (param "out" + reg "g") (reg "g");
+        load "v" (param "out" + reg "g") ]
+  in
+  let det = run_with_detector k ~grid:2 ~block:4 ~args:[ ("out", 0) ] in
+  Alcotest.(check (list int)) "no shared locations" []
+    (List.map (fun f -> f.Gpusim.Race.addr) (Gpusim.Race.findings det))
+
+let test_shared_counter_reported () =
+  let open Gpusim.Kbuild in
+  let k =
+    kernel "shared" ~params:[ "c" ]
+      [ load "v" (param "c"); store (param "c") (reg "v" + int 1) ]
+  in
+  let det = run_with_detector k ~grid:4 ~block:1 ~args:[ ("c", 7) ] in
+  match Gpusim.Race.findings det with
+  | [ f ] ->
+    Alcotest.(check int) "address" 7 f.Gpusim.Race.addr;
+    Alcotest.(check int) "writers" 4 f.Gpusim.Race.writers;
+    Alcotest.(check bool) "not atomic-only" false f.Gpusim.Race.atomic_only;
+    Alcotest.(check (list int)) "is a data location" [ 7 ]
+      (Gpusim.Race.data_locations det)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_atomic_only_flagged () =
+  let open Gpusim.Kbuild in
+  let k =
+    kernel "mutexish" ~params:[ "m" ] [ atomic_add (param "m") (int 1) ]
+  in
+  let det = run_with_detector k ~grid:3 ~block:1 ~args:[ ("m", 3) ] in
+  match Gpusim.Race.findings det with
+  | [ f ] ->
+    Alcotest.(check bool) "atomic only" true f.Gpusim.Race.atomic_only;
+    Alcotest.(check (list int)) "not a data target" []
+      (Gpusim.Race.data_locations det)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_read_only_sharing_not_racy () =
+  let open Gpusim.Kbuild in
+  let k = kernel "ro" ~params:[ "x" ] [ load "v" (param "x") ] in
+  let det = run_with_detector k ~grid:4 ~block:1 ~args:[ ("x", 5) ] in
+  Alcotest.(check int) "read-only sharing is not a communication" 0
+    (List.length (Gpusim.Race.findings det))
+
+let test_stress_accesses_invisible () =
+  (* The detector must see the application only, never the stressing
+     threads (they are disjoint by construction). *)
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let chip = Gpusim.Chip.k20 in
+  let sim = Gpusim.Sim.create ~chip ~seed:2 () in
+  Gpusim.Sim.set_environment sim (Test_util.sys_plus_env chip);
+  let det = Gpusim.Race.attach sim in
+  ignore (app.Apps.App.run sim Apps.App.Original);
+  Gpusim.Race.detach sim;
+  (* The scratchpad lives above the app's allocations; no finding may
+     point into it.  cbe-dot's own data ends well below 1024. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding @%d is app memory" f.Gpusim.Race.addr)
+        true
+        (f.Gpusim.Race.addr < 1024))
+    (Gpusim.Race.findings det)
+
+let test_detector_finds_cbe_dot_idiom () =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.sequential ~seed:3 () in
+  let det = Gpusim.Race.attach sim in
+  ignore (app.Apps.App.run sim Apps.App.Original);
+  let findings = Gpusim.Race.findings det in
+  Alcotest.(check bool) "mutex detected as synchronisation-only" true
+    (List.exists (fun f -> f.Gpusim.Race.atomic_only) findings);
+  Alcotest.(check int) "exactly one data communication location" 1
+    (List.length (Gpusim.Race.data_locations det))
+
+let test_targeted_beats_blind_stress () =
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let chip = Gpusim.Chip.k20 in
+  (* Detect the communication locations natively... *)
+  let sim = Gpusim.Sim.create ~chip ~seed:4 () in
+  let det = Gpusim.Race.attach sim in
+  ignore (app.Apps.App.run sim Apps.App.Original);
+  Gpusim.Race.detach sim;
+  let addresses = Gpusim.Race.data_locations det in
+  Alcotest.(check bool) "found targets" true (addresses <> []);
+  (* ... then stress exactly their partitions. *)
+  let tuned = Core.Tuning.shipped ~chip in
+  let targeted =
+    Core.Environment.make
+      (Core.Stress.Targeted
+         { sequence = tuned.Core.Stress.sequence; addresses })
+      ~randomise:true
+  in
+  let errors env =
+    (Core.Campaign.test_app ~chip ~env ~app ~runs:60 ~seed:5)
+      .Core.Campaign.errors
+  in
+  let blind = errors (Core.Environment.sys_plus ~tuned) in
+  let tgt = errors targeted in
+  Alcotest.(check bool)
+    (Printf.sprintf "targeted (%d/60) > blind (%d/60)" tgt blind)
+    true (tgt > blind)
+
+let () =
+  Alcotest.run "race"
+    [ ( "detector",
+        [ Alcotest.test_case "private data" `Quick
+            test_private_data_not_reported;
+          Alcotest.test_case "shared counter" `Quick
+            test_shared_counter_reported;
+          Alcotest.test_case "atomic-only flagged" `Quick
+            test_atomic_only_flagged;
+          Alcotest.test_case "read-only sharing" `Quick
+            test_read_only_sharing_not_racy;
+          Alcotest.test_case "stress invisible" `Quick
+            test_stress_accesses_invisible;
+          Alcotest.test_case "cbe-dot idiom" `Quick
+            test_detector_finds_cbe_dot_idiom ] );
+      ( "targeted stressing",
+        [ Alcotest.test_case "targeted beats blind" `Slow
+            test_targeted_beats_blind_stress ] ) ]

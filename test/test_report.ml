@@ -1,0 +1,107 @@
+(* Report formatting: each table/figure renders and carries its key
+   content. *)
+
+let render f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_table1 () =
+  let s = render Core.Report.table1 in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("table 1 mentions " ^ frag) true
+        (Test_util.contains s frag))
+    [ "GTX 980"; "Tesla K20"; "Fermi"; "Kepler"; "Maxwell"; "2010" ]
+
+let test_table4 () =
+  let s = render Core.Report.table4 in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("table 4 mentions " ^ frag) true
+        (Test_util.contains s frag))
+    [ "cbe-dot"; "ls-bh-nf"; "CUDA by Example"; "post-condition" ]
+
+let test_table5 () =
+  let row =
+    { Core.Campaign.chip = "K20"; environment = "sys-str+";
+      cells =
+        [ { Core.Campaign.app = "cbe-dot"; errors = 10; runs = 40;
+            example = "x" } ];
+      capable = 1; effective = 1 }
+  in
+  let s = render (fun ppf -> Core.Report.table5 ppf [ row ]) in
+  Alcotest.(check bool) "has the a/b cell" true (Test_util.contains s "1 / 1");
+  Alcotest.(check bool) "has the chip" true (Test_util.contains s "K20")
+
+let test_table6 () =
+  let r =
+    { Core.Harden.app = "cbe-dot"; chip = "K20"; initial = 7;
+      fences = [ ("dot", 24) ]; converged = true; rounds = 1; checks = 9;
+      elapsed_s = 12.0 }
+  in
+  let s = render (fun ppf -> Core.Report.table6 ppf [ r ]) in
+  Alcotest.(check bool) "initial count" true (Test_util.contains s "7");
+  Alcotest.(check bool) "fence site" true (Test_util.contains s "dot:s24")
+
+let test_figure5_and_csv () =
+  let m r e = { Core.Cost.runtime = r; energy = e; discarded = 0 } in
+  let p =
+    { Core.Cost.chip = "K20"; app = "cbe-dot"; nvml = true;
+      no_fences = m 100. 50.; emp = m 103. 51.; cons = m 250. 120.;
+      emp_count = 1 }
+  in
+  let s = render (fun ppf -> Core.Report.figure5 ppf [ p ]) in
+  Alcotest.(check bool) "medians present" true (Test_util.contains s "medians");
+  let csv = Core.Report.cost_csv [ p ] in
+  Alcotest.(check bool) "csv header" true
+    (Test_util.contains csv "chip,app,nvml");
+  Alcotest.(check bool) "csv row" true (Test_util.contains csv "K20,cbe-dot")
+
+let test_figure3_and_csv () =
+  let r =
+    { Core.Patch_finder.cells =
+        [ { Core.Patch_finder.idiom = Litmus.Test.MP; distance = 0;
+            location = 0; weak = 5 };
+          { Core.Patch_finder.idiom = Litmus.Test.MP; distance = 0;
+            location = 8; weak = 0 } ];
+      runs = 40;
+      per_idiom = [ (Litmus.Test.MP, Some 32) ];
+      critical = Some 32; chosen = 32 }
+  in
+  let s = render (fun ppf -> Core.Report.figure3 ppf ~chip:"Titan" r) in
+  Alcotest.(check bool) "chip named" true (Test_util.contains s "Titan");
+  Alcotest.(check bool) "patch size" true
+    (Test_util.contains s "critical patch size: 32");
+  let csv = Core.Report.patch_csv r in
+  Alcotest.(check bool) "csv rows" true (Test_util.contains csv "MP,0,0,5")
+
+let test_figure4_and_csv () =
+  let r =
+    { Core.Spread_finder.points =
+        [ { Core.Spread_finder.spread = 1;
+            scores = List.map (fun i -> (i, 3)) Litmus.Test.idioms };
+          { Core.Spread_finder.spread = 2;
+            scores = List.map (fun i -> (i, 9)) Litmus.Test.idioms } ];
+      winner = 2;
+      sequence = [ Core.Access_seq.Ld; Core.Access_seq.St ];
+      patch = 32 }
+  in
+  let s = render (fun ppf -> Core.Report.figure4 ppf ~chip:"980" r) in
+  Alcotest.(check bool) "winner shown" true
+    (Test_util.contains s "most effective spread: 2");
+  let csv = Core.Report.spread_csv r in
+  Alcotest.(check bool) "csv rows" true (Test_util.contains csv "2,MP,9")
+
+let () =
+  Alcotest.run "report"
+    [ ( "render",
+        [ Alcotest.test_case "table 1" `Quick test_table1;
+          Alcotest.test_case "table 4" `Quick test_table4;
+          Alcotest.test_case "table 5" `Quick test_table5;
+          Alcotest.test_case "table 6" `Quick test_table6;
+          Alcotest.test_case "figure 3" `Quick test_figure3_and_csv;
+          Alcotest.test_case "figure 4" `Quick test_figure4_and_csv;
+          Alcotest.test_case "figure 5" `Quick test_figure5_and_csv ] ) ]

@@ -1,0 +1,119 @@
+(* The PRNG underpins reproducibility of every experiment. *)
+
+let test_determinism () =
+  let a = Gpusim.Rng.create 1234 and b = Gpusim.Rng.create 1234 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Gpusim.Rng.int64 a) (Gpusim.Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Gpusim.Rng.create 1 and b = Gpusim.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Gpusim.Rng.int64 a = Gpusim.Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Gpusim.Rng.create 7 in
+  let b = Gpusim.Rng.copy a in
+  let va = Gpusim.Rng.int64 a in
+  let vb = Gpusim.Rng.int64 b in
+  Alcotest.(check int64) "copy resumes at same point" va vb;
+  ignore (Gpusim.Rng.int64 a);
+  let va2 = Gpusim.Rng.int64 a and vb2 = Gpusim.Rng.int64 b in
+  Alcotest.(check bool) "diverge after unequal draws" true (va2 <> vb2)
+
+let test_split_independent () =
+  let a = Gpusim.Rng.create 99 in
+  let b = Gpusim.Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Gpusim.Rng.int64 a = Gpusim.Rng.int64 b then incr matches
+  done;
+  Alcotest.(check bool) "split streams differ" true (!matches < 4)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+  @@ fun (seed, n) ->
+  let t = Gpusim.Rng.create seed in
+  let v = Gpusim.Rng.int t n in
+  v >= 0 && v < n
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int_in within inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+  @@ fun (seed, lo, width) ->
+  let hi = lo + width in
+  let t = Gpusim.Rng.create seed in
+  let v = Gpusim.Rng.int_in t lo hi in
+  v >= lo && v <= hi
+
+let prop_float_unit =
+  QCheck.Test.make ~name:"float in [0,1)" ~count:500 QCheck.small_int
+  @@ fun seed ->
+  let t = Gpusim.Rng.create seed in
+  let v = Gpusim.Rng.float t in
+  v >= 0.0 && v < 1.0
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (int_range 0 30))
+  @@ fun (seed, n) ->
+  let t = Gpusim.Rng.create seed in
+  let a = Array.init n (fun i -> i) in
+  Gpusim.Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  sorted = Array.init n (fun i -> i)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_distinct: distinct, in range, right size"
+    ~count:200
+    QCheck.(pair small_int (int_range 0 20))
+  @@ fun (seed, n) ->
+  let t = Gpusim.Rng.create seed in
+  let m = if n = 0 then 0 else Gpusim.Rng.int t (n + 1) in
+  let s = Gpusim.Rng.sample_distinct t m n in
+  List.length s = m
+  && List.sort_uniq compare s = List.sort compare s
+  && List.for_all (fun x -> x >= 0 && x < n) s
+
+let test_uniformity () =
+  (* Coarse chi-square-free sanity: each bucket of 8 gets 10-40% over 1000
+     draws of [Rng.int t 8]. *)
+  let t = Gpusim.Rng.create 5 in
+  let buckets = Array.make 8 0 in
+  for _ = 1 to 1000 do
+    let v = Gpusim.Rng.int t 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d reasonable (%d)" i c)
+        true
+        (c > 60 && c < 250))
+    buckets
+
+let test_chance_extremes () =
+  let t = Gpusim.Rng.create 3 in
+  for _ = 1 to 20 do
+    Alcotest.(check bool) "p=0 never" false (Gpusim.Rng.chance t 0.0);
+    Alcotest.(check bool) "p=1 always" true (Gpusim.Rng.chance t 1.0)
+  done
+
+let () =
+  Alcotest.run "rng"
+    [ ( "unit",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_uniformity;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_bounds; prop_int_in_bounds; prop_float_unit;
+            prop_shuffle_permutation; prop_sample_distinct ] ) ]

@@ -1,0 +1,117 @@
+(* The sequentially consistent oracle. *)
+
+let mp_threads () =
+  Litmus.Test.threads { Litmus.Test.idiom = Litmus.Test.MP; distance = 0 } ~x:0
+
+let test_mp_outcomes () =
+  let inst = { Litmus.Test.idiom = Litmus.Test.MP; distance = 0 } in
+  Alcotest.(check (list (pair int int)))
+    "MP under SC" [ (0, 0); (0, 1); (1, 1) ]
+    (Litmus.Test.sc_outcomes inst)
+
+let test_lb_outcomes () =
+  let inst = { Litmus.Test.idiom = Litmus.Test.LB; distance = 3 } in
+  Alcotest.(check (list (pair int int)))
+    "LB under SC" [ (0, 0); (0, 1); (1, 0) ]
+    (Litmus.Test.sc_outcomes inst)
+
+let test_sb_outcomes () =
+  let inst = { Litmus.Test.idiom = Litmus.Test.SB; distance = 0 } in
+  Alcotest.(check (list (pair int int)))
+    "SB under SC" [ (0, 1); (1, 0); (1, 1) ]
+    (Litmus.Test.sc_outcomes inst)
+
+let test_weak_outcome_not_sc () =
+  (* The weak query of each idiom names exactly the outcome SC forbids. *)
+  List.iter
+    (fun idiom ->
+      let inst = { Litmus.Test.idiom; distance = 5 } in
+      let sc = Litmus.Test.sc_outcomes inst in
+      List.iter
+        (fun r1 ->
+          List.iter
+            (fun r2 ->
+              let weak = Litmus.Test.weak inst ~r1 ~r2 in
+              let reachable = List.mem (r1, r2) sc in
+              if weak then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s (%d,%d) weak implies not SC"
+                     (Litmus.Test.idiom_name idiom) r1 r2)
+                  false reachable)
+            [ 0; 1 ])
+        [ 0; 1 ])
+    Litmus.Test.idioms
+
+let test_allows () =
+  let threads, args = mp_threads () in
+  let state =
+    { Gpusim.Sc_ref.memory = []; registers = [] }
+  in
+  Alcotest.(check bool) "empty projection always allowed" true
+    (Gpusim.Sc_ref.allows ~threads ~args ~init:[] state)
+
+let test_rejects_loops () =
+  let open Gpusim.Kbuild in
+  let k = kernel "loop" ~params:[] [ while_ (int 1) [] ] in
+  Alcotest.(check bool) "loops rejected" true
+    (try
+       ignore
+         (Gpusim.Sc_ref.run ~threads:[ k ] ~args:[ [] ] ~init:[] ~watch_mem:[]
+            ~watch_regs:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_single_thread_deterministic () =
+  let open Gpusim.Kbuild in
+  let k =
+    kernel "seq" ~params:[]
+      [ store (int 0) (int 4);
+        load "x" (int 0);
+        store (int 1) (reg "x" + int 1) ]
+  in
+  let states =
+    Gpusim.Sc_ref.run ~threads:[ k ] ~args:[ [] ] ~init:[] ~watch_mem:[ 0; 1 ]
+      ~watch_regs:[]
+  in
+  Alcotest.(check int) "one final state" 1 (List.length states);
+  match states with
+  | [ s ] ->
+    Alcotest.(check (list (pair int int))) "memory" [ (0, 4); (1, 5) ]
+      s.Gpusim.Sc_ref.memory
+  | _ -> Alcotest.fail "expected exactly one state"
+
+let test_interleaving_count () =
+  (* Two racing unfenced stores: both final values possible. *)
+  let open Gpusim.Kbuild in
+  let k v = kernel "st" ~params:[] [ store (int 0) (int v) ] in
+  let states =
+    Gpusim.Sc_ref.run ~threads:[ k 1; k 2 ] ~args:[ []; [] ] ~init:[]
+      ~watch_mem:[ 0 ] ~watch_regs:[]
+  in
+  Alcotest.(check int) "two final states" 2 (List.length states)
+
+let test_atomic_in_sc () =
+  let open Gpusim.Kbuild in
+  let k = kernel "inc" ~params:[] [ atomic_add (int 0) (int 1) ] in
+  let states =
+    Gpusim.Sc_ref.run ~threads:[ k; k ] ~args:[ []; [] ] ~init:[]
+      ~watch_mem:[ 0 ] ~watch_regs:[]
+  in
+  Alcotest.(check (list (pair int int))) "both increments always land"
+    [ (0, 2) ]
+    (List.concat_map (fun s -> s.Gpusim.Sc_ref.memory) states)
+
+let () =
+  Alcotest.run "sc_ref"
+    [ ( "oracle",
+        [ Alcotest.test_case "MP outcomes" `Quick test_mp_outcomes;
+          Alcotest.test_case "LB outcomes" `Quick test_lb_outcomes;
+          Alcotest.test_case "SB outcomes" `Quick test_sb_outcomes;
+          Alcotest.test_case "weak outcomes are non-SC" `Quick
+            test_weak_outcome_not_sc;
+          Alcotest.test_case "allows" `Quick test_allows;
+          Alcotest.test_case "rejects loops" `Quick test_rejects_loops;
+          Alcotest.test_case "deterministic single thread" `Quick
+            test_single_thread_deterministic;
+          Alcotest.test_case "interleavings" `Quick test_interleaving_count;
+          Alcotest.test_case "atomics" `Quick test_atomic_in_sc ] ) ]

@@ -1,0 +1,133 @@
+(* Stressing strategies and environments. *)
+
+let seq_stld = [ Core.Access_seq.St; Core.Access_seq.Ld ]
+
+let test_kernel_shape () =
+  let k = Core.Stress.kernel ~sequence:seq_stld ~n_locations:2 in
+  Alcotest.(check (list string)) "parameters"
+    [ "scratch"; "l0"; "l1" ] k.Gpusim.Kernel.params;
+  (* Location selection reads no global memory; the loop does one access
+     per sequence element. *)
+  Alcotest.(check int) "two global accesses" 2
+    (List.length (Gpusim.Kernel.global_access_sites k))
+
+let test_kernel_rejects_zero_locations () =
+  Alcotest.(check bool) "invalid" true
+    (try
+       ignore (Core.Stress.kernel ~sequence:seq_stld ~n_locations:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_intensity_full_and_diluted () =
+  (* Enough threads per location: full (= n_locations).  Starved: less. *)
+  let full = Core.Stress.(intensity_for ~n_threads:32 ~n_locations:2) in
+  Alcotest.(check (float 1e-9)) "full at 16/location" 2.0 full;
+  let diluted = Core.Stress.(intensity_for ~n_threads:32 ~n_locations:16) in
+  Alcotest.(check bool) "diluted below full" true (diluted < 16.0);
+  Alcotest.(check bool) "still positive" true (diluted > 0.0)
+
+let test_names () =
+  Alcotest.(check string) "no" "no-str" (Core.Stress.name Core.Stress.No_stress);
+  Alcotest.(check string) "sys" "sys-str"
+    (Core.Stress.name
+       (Core.Stress.Sys { sequence = seq_stld; spread = 2; regions = 16 }));
+  Alcotest.(check string) "rand" "rand-str"
+    (Core.Stress.name (Core.Stress.Rand { scratch_words = 64 }));
+  Alcotest.(check string) "cache" "cache-str" (Core.Stress.name Core.Stress.Cache)
+
+let test_environment_labels () =
+  let tuned = Core.Tuning.shipped ~chip:Gpusim.Chip.k20 in
+  let labels =
+    List.map (fun e -> e.Core.Environment.label) (Core.Environment.all ~tuned)
+  in
+  Alcotest.(check (list string)) "the eight environments of Table 5"
+    [ "no-str-"; "no-str+"; "sys-str-"; "sys-str+"; "rand-str-"; "rand-str+";
+      "cache-str-"; "cache-str+" ]
+    labels
+
+let spec_of strategy =
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.k20 ~seed:4 () in
+  Core.Stress.make_stress_litmus strategy sim ~app_grid:2 ~app_block:1
+
+let test_no_stress_yields_none () =
+  Alcotest.(check bool) "no spec" true (spec_of Core.Stress.No_stress = None)
+
+let test_sys_spec () =
+  match
+    spec_of (Core.Stress.Sys { sequence = seq_stld; spread = 2; regions = 16 })
+  with
+  | None -> Alcotest.fail "expected a stress spec"
+  | Some spec ->
+    Alcotest.(check int) "period = sequence length" 2 spec.Gpusim.Sim.period;
+    Alcotest.(check bool) "has blocks" true (spec.Gpusim.Sim.blocks > 0);
+    Alcotest.(check bool) "warmup covers prologues" true
+      (spec.Gpusim.Sim.warmup
+      > 3 * spec.Gpusim.Sim.blocks * spec.Gpusim.Sim.block_size);
+    (* The two location arguments address distinct patch regions. *)
+    let l0 = List.assoc "l0" spec.Gpusim.Sim.args in
+    let l1 = List.assoc "l1" spec.Gpusim.Sim.args in
+    Alcotest.(check bool) "distinct regions" true (l0 <> l1);
+    Alcotest.(check int) "patch aligned l0" 0
+      (l0 mod Gpusim.Chip.k20.Gpusim.Chip.weakness.patch_size);
+    Alcotest.(check int) "patch aligned l1" 0
+      (l1 mod Gpusim.Chip.k20.Gpusim.Chip.weakness.patch_size)
+
+let test_cache_spec_uses_l2 () =
+  match spec_of Core.Stress.Cache with
+  | None -> Alcotest.fail "expected a stress spec"
+  | Some spec ->
+    Alcotest.(check int) "scratchpad is L2-sized"
+      Gpusim.Chip.k20.Gpusim.Chip.l2_words
+      (List.assoc "words" spec.Gpusim.Sim.args)
+
+let test_scratchpad_disjoint_from_app () =
+  (* The stressing scratchpad must never overlap application data. *)
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.k20 ~seed:4 () in
+  let app_base = Gpusim.Sim.alloc sim 100 in
+  match
+    Core.Stress.make_stress_litmus
+      (Core.Stress.Sys { sequence = seq_stld; spread = 2; regions = 16 })
+      sim ~app_grid:2 ~app_block:1
+  with
+  | None -> Alcotest.fail "expected a stress spec"
+  | Some spec ->
+    let scratch = List.assoc "scratch" spec.Gpusim.Sim.args in
+    Alcotest.(check bool) "scratch above app data" true
+      (scratch >= app_base + 100)
+
+let test_stress_env_does_not_change_results () =
+  (* A correct (racy-free) kernel computes the same answer under stress:
+     stress memory and threads are disjoint. *)
+  let open Gpusim.Kbuild in
+  let k =
+    kernel "sum" ~params:[ "out" ]
+      [ global_tid "g"; atomic_add (param "out") (reg "g") ]
+  in
+  let run env =
+    let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.titan ~seed:8 () in
+    (match env with Some e -> Gpusim.Sim.set_environment sim e | None -> ());
+    let out = Gpusim.Sim.alloc sim 1 in
+    ignore (Gpusim.Sim.launch sim ~grid:4 ~block:4 k ~args:[ ("out", out) ]);
+    Gpusim.Sim.read sim out
+  in
+  let native = run None in
+  let stressed = run (Some (Test_util.sys_plus_env Gpusim.Chip.titan)) in
+  Alcotest.(check int) "same sum" native stressed
+
+let () =
+  Alcotest.run "stress"
+    [ ( "unit",
+        [ Alcotest.test_case "kernel shape" `Quick test_kernel_shape;
+          Alcotest.test_case "zero locations rejected" `Quick
+            test_kernel_rejects_zero_locations;
+          Alcotest.test_case "intensity" `Quick test_intensity_full_and_diluted;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "environment labels" `Quick
+            test_environment_labels;
+          Alcotest.test_case "no-stress spec" `Quick test_no_stress_yields_none;
+          Alcotest.test_case "sys spec" `Quick test_sys_spec;
+          Alcotest.test_case "cache spec" `Quick test_cache_spec_uses_l2;
+          Alcotest.test_case "scratchpad disjoint" `Quick
+            test_scratchpad_disjoint_from_app;
+          Alcotest.test_case "stress preserves correct results" `Quick
+            test_stress_env_does_not_change_results ] ) ]

@@ -1,0 +1,28 @@
+(* Shared helpers for the test suites (linked into every test executable). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* A device with a given chip and ambient environment. *)
+let fresh_sim ?(chip = Gpusim.Chip.k20) ?env ~seed () =
+  let sim = Gpusim.Sim.create ~chip ~seed () in
+  (match env with Some e -> Gpusim.Sim.set_environment sim e | None -> ());
+  sim
+
+(* Run a kernel on the SC reference chip and return a reader. *)
+let run_sc ?(grid = 1) ?(block = 1) ?(shared_words = 64) kernel args =
+  let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.sequential ~seed:1 () in
+  let result =
+    Gpusim.Sim.launch sim ~shared_words ~grid ~block kernel ~args
+  in
+  (sim, result)
+
+let sys_plus_env chip =
+  Core.Environment.for_app
+    (Core.Environment.sys_plus ~tuned:(Core.Tuning.shipped ~chip))

@@ -1,0 +1,172 @@
+(* End-to-end properties of the weak machine, checked against the
+   independent SC oracle:
+
+   - a fully fenced program only exhibits sequentially consistent
+     outcomes, whatever the chip and stress;
+   - the MP/LB/SB weak outcomes observed by the machine are exactly the
+     documented non-SC ones (no wild values). *)
+
+type op = St of int * int | Ld of string * int
+
+let addresses = [ 0; 40; 80 ]  (* distinct partitions for patch size 32 *)
+
+let gen_thread =
+  let open QCheck.Gen in
+  let gen_op =
+    int_range 0 2 >>= fun a ->
+    let addr = List.nth addresses a in
+    bool >>= fun is_store ->
+    if is_store then map (fun v -> St (addr, 1 + v)) (int_range 0 2)
+    else map (fun r -> Ld (Printf.sprintf "r%d" r, addr)) (int_range 0 2)
+  in
+  list_size (int_range 1 4) gen_op
+
+let gen_program = QCheck.Gen.pair gen_thread gen_thread
+
+let print_program (a, b) =
+  let op = function
+    | St (a, v) -> Printf.sprintf "st[%d]=%d" a v
+    | Ld (r, a) -> Printf.sprintf "%s=ld[%d]" r a
+  in
+  Printf.sprintf "T0: %s | T1: %s"
+    (String.concat "; " (List.map op a))
+    (String.concat "; " (List.map op b))
+
+(* Registers a thread defines, in order of first definition. *)
+let regs_of ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Ld (r, _) -> if List.mem r acc then acc else acc @ [ r ]
+      | St _ -> acc)
+    [] ops
+
+let out_base = 200
+
+let body ~fenced ~out ops =
+  let open Gpusim.Kbuild in
+  let stmt = function
+    | St (a, v) -> [ store (int a) (int v) ]
+    | Ld (r, a) -> [ load r (int a) ]
+  in
+  let fence_after stmts = if fenced then stmts @ [ fence ] else stmts in
+  List.concat_map (fun op -> fence_after (stmt op)) ops
+  @ List.mapi (fun i r -> store (int (Stdlib.( + ) out i)) (reg r)) (regs_of ops)
+
+(* Watched locations: the data addresses plus each thread's register dump. *)
+let watched (a, b) =
+  addresses
+  @ List.mapi (fun i _ -> out_base + i) (regs_of a)
+  @ List.mapi (fun i _ -> out_base + 20 + i) (regs_of b)
+
+let sc_states (a, b) ~fenced =
+  let mk name out ops =
+    Gpusim.Kernel.label
+      { Gpusim.Kernel.name; params = []; body = body ~fenced ~out ops }
+  in
+  Gpusim.Sc_ref.run
+    ~threads:[ mk "t0" out_base a; mk "t1" (out_base + 20) b ]
+    ~args:[ []; [] ] ~init:[] ~watch_mem:(watched (a, b)) ~watch_regs:[]
+
+let weak_kernel (a, b) ~fenced =
+  let out1 = out_base + 20 in
+  let open Gpusim.Kbuild in
+  kernel "generated" ~params:[]
+    [ if_ (bid = int 0)
+        (body ~fenced ~out:out_base a)
+        (body ~fenced ~out:out1 b) ]
+
+let observe_weak_machine (a, b) ~fenced ~chip ~seed =
+  let sim = Gpusim.Sim.create ~words:1024 ~chip ~seed () in
+  let r =
+    Gpusim.Sim.launch sim ~grid:2 ~block:1 (weak_kernel (a, b) ~fenced)
+      ~args:[]
+  in
+  match r.Gpusim.Sim.outcome with
+  | Gpusim.Sim.Finished ->
+    Some (List.map (fun addr -> (addr, Gpusim.Sim.read sim addr)) (watched (a, b)))
+  | Gpusim.Sim.Timeout | Gpusim.Sim.Trapped _ -> None
+
+let prop_fenced_is_sc chip =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "fully fenced => SC outcomes (%s)" chip.Gpusim.Chip.name)
+    ~count:60
+    (QCheck.make ~print:print_program gen_program)
+  @@ fun prog ->
+  let sc =
+    List.map (fun s -> List.sort compare s.Gpusim.Sc_ref.memory)
+      (sc_states prog ~fenced:true)
+  in
+  let ok = ref true in
+  for seed = 1 to 12 do
+    match observe_weak_machine prog ~fenced:true ~chip ~seed with
+    | None -> ()
+    | Some mem ->
+      if not (List.mem (List.sort compare mem) sc) then ok := false
+  done;
+  !ok
+
+let prop_unfenced_final_stores_coherent =
+  (* Even without fences, the final value of every address must be one of
+     the values some thread stored to it (or its initial 0): the machine
+     never invents values. *)
+  QCheck.Test.make ~name:"no invented values" ~count:60
+    (QCheck.make ~print:print_program gen_program)
+  @@ fun ((a, b) as prog) ->
+  let stored addr =
+    0
+    :: List.filter_map
+         (function St (x, v) when x = addr -> Some v | St _ | Ld _ -> None)
+         (a @ b)
+  in
+  let ok = ref true in
+  for seed = 1 to 10 do
+    match observe_weak_machine prog ~fenced:false ~chip:Gpusim.Chip.c2050 ~seed with
+    | None -> ()
+    | Some mem ->
+      List.iter
+        (fun (addr, v) ->
+          if List.mem addr addresses && not (List.mem v (stored addr)) then
+            ok := false)
+        mem
+  done;
+  !ok
+
+let test_unfenced_mp_stays_within_envelope () =
+  (* Unfenced MP may show the weak outcome but never anything outside
+     SC ∪ {weak}. *)
+  let inst = { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 } in
+  let sc = Litmus.Test.sc_outcomes inst in
+  for seed = 1 to 300 do
+    let o = Litmus.Runner.run_once ~chip:Gpusim.Chip.titan ~seed inst in
+    if not o.Litmus.Runner.timed_out then begin
+      let pair = (o.Litmus.Runner.r1, o.Litmus.Runner.r2) in
+      let allowed =
+        List.mem pair sc || Litmus.Test.weak inst ~r1:o.Litmus.Runner.r1 ~r2:o.Litmus.Runner.r2
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "outcome (%d,%d) within envelope" o.Litmus.Runner.r1
+           o.Litmus.Runner.r2)
+        true allowed
+    end
+  done
+
+let test_deterministic_replay () =
+  let prog = ([ St (0, 1); Ld ("r0", 40) ], [ St (40, 2); Ld ("r1", 0) ]) in
+  let a = observe_weak_machine prog ~fenced:false ~chip:Gpusim.Chip.k20 ~seed:9 in
+  let b = observe_weak_machine prog ~fenced:false ~chip:Gpusim.Chip.k20 ~seed:9 in
+  Alcotest.(check bool) "same seed, same observation" true (a = b)
+
+let () =
+  Alcotest.run "weak-machine"
+    [ ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fenced_is_sc Gpusim.Chip.k20;
+            prop_fenced_is_sc Gpusim.Chip.c2075;
+            prop_fenced_is_sc Gpusim.Chip.gtx980;
+            prop_unfenced_final_stores_coherent ] );
+      ( "unit",
+        [ Alcotest.test_case "MP outcome envelope" `Quick
+            test_unfenced_mp_stays_within_envelope;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay ] ) ]
