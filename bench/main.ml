@@ -1,14 +1,31 @@
 (* Benchmark harness: regenerates every table and figure of the paper at a
-   scaled-down budget (part 1), then times the code behind each experiment
-   with Bechamel, one Test.make per table/figure (part 2).
+   scaled-down budget (part 1), times the code behind each experiment
+   with Bechamel, one Test.make per table/figure (part 2), and compares
+   the serial and parallel execution backends on the two heaviest
+   campaigns (part 3).
 
    Paper-scale budgets are available from the CLI, e.g.:
-     gpuwmm table 2 --all-chips --full *)
+     gpuwmm table 2 --all-chips --full
+
+   With `--json FILE` (or `dune exec bench/main.exe -- --json FILE`), all
+   wall-clock and Bechamel timings are also written to FILE as JSON, so
+   successive commits have a machine-readable perf trajectory. *)
 
 open Bechamel
 open Toolkit
 
 let seed = 42
+
+(* Machine-readable timing collection for --json. *)
+let recorded : (string * float) list ref = ref []
+
+let record name seconds = recorded := (name, seconds) :: !recorded
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  record name (Unix.gettimeofday () -. t0);
+  r
 
 (* Two chips covering both patch-size architectures keep the printing
    phase inside minutes; the CLI reproduces everything on all seven. *)
@@ -183,6 +200,56 @@ let bench_tests =
            Litmus.Runner.run_once ~chip ~seed:1
              { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 })) ]
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: serial vs parallel executor backends                         *)
+
+let backend_comparison () =
+  section "Executor backends: serial vs parallel wall-clock";
+  (* Scale the pool to the machine: with more domains than cores, OCaml 5's
+     stop-the-world minor collections make oversubscription strictly
+     counter-productive, which would benchmark the scheduler rather than
+     the engine. *)
+  let cores = Domain.recommended_domain_count () in
+  let jobs = Int.max 2 (Int.min 4 cores) in
+  if cores < 2 then
+    Fmt.pr
+      "note: only %d core(s) available; parallel cannot beat serial here \
+       (this checks determinism, not speedup)@."
+      cores;
+  let compare_on name ~equal run =
+    let rs = timed (name ^ "_serial_s") (fun () -> run Core.Exec.Serial) in
+    let rp =
+      timed
+        (Printf.sprintf "%s_parallel%d_s" name jobs)
+        (fun () -> run (Core.Exec.Parallel jobs))
+    in
+    let ts = List.assoc (name ^ "_serial_s") !recorded in
+    let tp = List.assoc (Printf.sprintf "%s_parallel%d_s" name jobs) !recorded in
+    Fmt.pr
+      "%-18s serial %6.2f s | parallel (%d jobs) %6.2f s | speedup %.2fx | \
+       identical results: %b@."
+      name ts jobs tp
+      (if tp > 0.0 then ts /. tp else 0.0)
+      (equal rs rp);
+    if not (equal rs rp) then
+      failwith (name ^ ": serial and parallel results diverge")
+  in
+  compare_on "table5_campaign" ~equal:( = ) (fun backend ->
+      Core.Campaign.run ~backend ~chips:bench_chips
+        ~environments_for:(fun chip ->
+          Core.Environment.all ~tuned:(Core.Tuning.shipped ~chip))
+        ~apps:Apps.Registry.all ~runs:campaign_runs ~seed ());
+  compare_on "sec3_tuning_sweep"
+    ~equal:(fun (a : Core.Tuning.result) b ->
+      (* elapsed_s is wall-clock; everything else must agree bitwise. *)
+      a.Core.Tuning.patch = b.Core.Tuning.patch
+      && a.Core.Tuning.sequences = b.Core.Tuning.sequences
+      && a.Core.Tuning.spreads = b.Core.Tuning.spreads
+      && a.Core.Tuning.tuned = b.Core.Tuning.tuned)
+    (fun backend ->
+      Core.Tuning.run ~backend ~chip:Gpusim.Chip.titan ~seed
+        ~budget:bench_budget ())
+
 let run_bechamel () =
   section "Bechamel micro-benchmarks (one per table/figure)";
   let ols =
@@ -209,6 +276,8 @@ let run_bechamel () =
         | Some [ t ] -> t
         | Some _ | None -> nan
       in
+      if not (Float.is_nan time_ns) then
+        record (name ^ "_ns") time_ns;
       let pretty =
         if Float.is_nan time_ns then "n/a"
         else if time_ns > 1e9 then Fmt.str "%.2f s" (time_ns /. 1e9)
@@ -224,15 +293,45 @@ let run_bechamel () =
       Fmt.pr "%-32s %14s %10s@." name pretty r2)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+
+let json_out () =
+  let rec go i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"unix_time\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"default_jobs\": %d,\n  \"timings\": {\n"
+    (Core.Exec.default_jobs ());
+  let entries = List.rev !recorded in
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    %S: %g%s\n" name v (if i = n - 1 then "" else ","))
+    entries;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
 let () =
   let t0 = Unix.gettimeofday () in
-  print_table1 ();
-  let patches = print_fig3 () in
-  let tuning = print_table2_3 patches in
-  print_fig4 tuning;
-  print_table4 ();
-  print_table5 ();
-  let harden_results = print_table6 () in
-  print_fig5 harden_results;
+  timed "table1_s" print_table1;
+  let patches = timed "fig3_s" print_fig3 in
+  let tuning = timed "table2_3_s" (fun () -> print_table2_3 patches) in
+  timed "fig4_s" (fun () -> print_fig4 tuning);
+  timed "table4_s" print_table4;
+  timed "table5_s" print_table5;
+  let harden_results = timed "table6_s" print_table6 in
+  timed "fig5_s" (fun () -> print_fig5 harden_results);
+  backend_comparison ();
   run_bechamel ();
-  Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)
+  record "total_s" (Unix.gettimeofday () -. t0);
+  Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0);
+  Option.iter write_json (json_out ())

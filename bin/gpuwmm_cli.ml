@@ -3,12 +3,15 @@
 
 open Cmdliner
 
+let progress msg = Logs.info (fun m -> m "%s" msg)
+
 let setup_log verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
-
-let progress msg = Logs.info (fun m -> m "%s" msg)
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
+  (* The execution engine owns campaign progress/throughput reporting;
+     point it at the logger. *)
+  Core.Exec.set_progress (Some progress)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                     *)
@@ -20,6 +23,24 @@ let seed =
   Arg.(
     value & opt int 42
     & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed; equal seeds reproduce runs exactly.")
+
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ]
+        ~docv:"N"
+        ~env:(Cmd.Env.info "GPUWMM_JOBS")
+        ~doc:
+          "Worker domains for campaign execution.  Defaults to \
+           $(b,GPUWMM_JOBS) if set, else the runtime's recommended domain \
+           count.  $(docv) = 1 selects the serial backend.  Results are \
+           bit-identical for every job count at a given --seed.")
+
+let backend_of jobs =
+  match jobs with
+  | Some n -> Core.Exec.backend_of_jobs n
+  | None -> Core.Exec.default_backend ()
 
 let chip_conv =
   let parse s =
@@ -172,16 +193,16 @@ let litmus_cmd =
       const run $ verbose $ seed $ chip $ idiom $ distance $ runs $ env_name)
 
 let tune_cmd =
-  let run verbose seed chip budget =
+  let run verbose seed chip budget jobs =
     setup_log verbose;
-    let r = Core.Tuning.run ~chip ~seed ~budget ~progress () in
+    let r = Core.Tuning.run ~backend:(backend_of jobs) ~chip ~seed ~budget () in
     Core.Report.table2 Fmt.stdout [ (r, r.Core.Tuning.elapsed_s /. 60.0) ];
     Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full Sec. 3 tuning pipeline for one chip.")
-    Term.(const run $ verbose $ seed $ chip $ budget_term)
+    Term.(const run $ verbose $ seed $ chip $ budget_term $ jobs_term)
 
 let test_cmd =
   let app_term =
@@ -194,7 +215,7 @@ let test_cmd =
   let env_name =
     Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
   in
-  let run verbose seed chip app runs env_name =
+  let run verbose seed chip app runs env_name jobs =
     setup_log verbose;
     let envs = tuned_envs chip in
     match
@@ -207,21 +228,32 @@ let test_cmd =
       let apps =
         match app with Some a -> [ a ] | None -> Apps.Registry.all
       in
+      let rows =
+        Core.Campaign.run ~backend:(backend_of jobs) ~chips:[ chip ]
+          ~environments_for:(fun _ -> [ env ])
+          ~apps ~runs ~seed ()
+      in
       List.iter
-        (fun app ->
-          let cell = Core.Campaign.test_app ~chip ~env ~app ~runs ~seed in
-          Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
-            cell.Core.Campaign.app chip.Gpusim.Chip.name env_name
-            cell.Core.Campaign.errors cell.Core.Campaign.runs
-            (if cell.Core.Campaign.example = "" then ""
-             else "  (e.g. " ^ cell.Core.Campaign.example ^ ")"))
-        apps
+        (fun row ->
+          List.iter
+            (fun cell ->
+              Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
+                cell.Core.Campaign.app chip.Gpusim.Chip.name env_name
+                cell.Core.Campaign.errors cell.Core.Campaign.runs
+                (match Core.Campaign.dominant cell with
+                | None -> ""
+                | Some (msg, n) ->
+                  Printf.sprintf "  (dominant: %s x%d)" msg n))
+            row.Core.Campaign.cells)
+        rows
   in
   Cmd.v
     (Cmd.info "test"
        ~doc:"Repeatedly execute applications under a testing environment \
              and count erroneous runs (Sec. 4).")
-    Term.(const run $ verbose $ seed $ chip $ app_term $ runs $ env_name)
+    Term.(
+      const run $ verbose $ seed $ chip $ app_term $ runs $ env_name
+      $ jobs_term)
 
 let harden_cmd =
   let app_term =
@@ -233,12 +265,14 @@ let harden_cmd =
   let stability =
     Arg.(value & opt int 200 & info [ "stability-runs" ] ~docv:"N")
   in
-  let run verbose seed chip app stability =
+  let run verbose seed chip app stability jobs =
     setup_log verbose;
     let config =
       { (Core.Harden.default_config ~chip) with stability_runs = stability }
     in
-    let r = Core.Harden.insert ~chip ~config ~app ~seed ~progress () in
+    let r =
+      Core.Harden.insert ~chip ~config ~backend:(backend_of jobs) ~app ~seed ()
+    in
     Core.Report.table6 Fmt.stdout [ r ];
     (* Show the hardened kernels. *)
     List.iter
@@ -254,7 +288,8 @@ let harden_cmd =
   Cmd.v
     (Cmd.info "harden"
        ~doc:"Empirical fence insertion (Alg. 1) for one application.")
-    Term.(const run $ verbose $ seed $ chip $ app_term $ stability)
+    Term.(
+      const run $ verbose $ seed $ chip $ app_term $ stability $ jobs_term)
 
 let inspect_cmd =
   let app_term =
@@ -427,33 +462,34 @@ let table_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-6).")
   in
   let runs = Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N") in
-  let run verbose seed chips all number budget runs =
+  let run verbose seed chips all number budget runs jobs =
     setup_log verbose;
     let chips = resolve_chips chips all in
+    let backend = backend_of jobs in
     match number with
     | 1 -> Core.Report.table1 Fmt.stdout
     | 2 ->
       let results =
         List.map
           (fun chip ->
-            let r = Core.Tuning.run ~chip ~seed ~budget ~progress () in
+            let r = Core.Tuning.run ~backend ~chip ~seed ~budget () in
             (r, r.Core.Tuning.elapsed_s /. 60.0))
           chips
       in
       Core.Report.table2 Fmt.stdout results
     | 3 ->
       let chip = List.hd chips in
-      let patch = Core.Patch_finder.run ~chip ~seed ~budget ~progress () in
+      let patch = Core.Patch_finder.run ~backend ~chip ~seed ~budget () in
       let r =
-        Core.Seq_finder.run ~chip ~seed ~budget
-          ~patch:patch.Core.Patch_finder.chosen ~progress ()
+        Core.Seq_finder.run ~backend ~chip ~seed ~budget
+          ~patch:patch.Core.Patch_finder.chosen ()
       in
       Core.Report.table3 Fmt.stdout r
     | 4 -> Core.Report.table4 Fmt.stdout
     | 5 ->
       let rows =
-        Core.Campaign.run ~chips ~environments_for:tuned_envs
-          ~apps:Apps.Registry.all ~runs ~seed ~progress ()
+        Core.Campaign.run ~backend ~chips ~environments_for:tuned_envs
+          ~apps:Apps.Registry.all ~runs ~seed ()
       in
       Core.Report.table5 Fmt.stdout rows
     | 6 ->
@@ -461,8 +497,7 @@ let table_cmd =
         List.concat_map
           (fun app ->
             List.map
-              (fun chip ->
-                Core.Harden.insert ~chip ~app ~seed ~progress ())
+              (fun chip -> Core.Harden.insert ~chip ~backend ~app ~seed ())
               chips)
           Apps.Registry.fence_free
       in
@@ -475,44 +510,45 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce a table of the paper.")
     Term.(
       const run $ verbose $ seed $ chips $ all_chips $ number $ budget_term
-      $ runs)
+      $ runs $ jobs_term)
 
 let figure_cmd =
   let number =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (3-5).")
   in
   let runs = Arg.(value & opt int 30 & info [ "runs" ] ~docv:"N") in
-  let run verbose seed chips all number budget runs csv =
+  let run verbose seed chips all number budget runs csv jobs =
     setup_log verbose;
     let chips = resolve_chips chips all in
+    let backend = backend_of jobs in
     match number with
     | 3 ->
       List.iter
         (fun chip ->
-          let r = Core.Patch_finder.run ~chip ~seed ~budget ~progress () in
+          let r = Core.Patch_finder.run ~backend ~chip ~seed ~budget () in
           Core.Report.figure3 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
           write_csv csv (Core.Report.patch_csv r))
         chips
     | 4 ->
       List.iter
         (fun chip ->
-          let patch = Core.Patch_finder.run ~chip ~seed ~budget ~progress () in
+          let patch = Core.Patch_finder.run ~backend ~chip ~seed ~budget () in
           let sequence = (Core.Tuning.shipped ~chip).Core.Stress.sequence in
           let r =
-            Core.Spread_finder.run ~chip ~seed ~budget
-              ~patch:patch.Core.Patch_finder.chosen ~sequence ~progress ()
+            Core.Spread_finder.run ~backend ~chip ~seed ~budget
+              ~patch:patch.Core.Patch_finder.chosen ~sequence ()
           in
           Core.Report.figure4 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
           write_csv csv (Core.Report.spread_csv r))
         chips
     | 5 ->
       let apps = Apps.Registry.fence_free in
+      (* emp_for runs inside a Cost job; keep the nested hardening serial
+         so a parallel cost campaign does not oversubscribe domains. *)
       let emp_for chip app =
-        (Core.Harden.insert ~chip ~app ~seed ~progress ()).Core.Harden.fences
+        (Core.Harden.insert ~chip ~app ~seed ()).Core.Harden.fences
       in
-      let points =
-        Core.Cost.run ~chips ~apps ~emp_for ~runs ~seed ~progress ()
-      in
+      let points = Core.Cost.run ~backend ~chips ~apps ~emp_for ~runs ~seed () in
       Core.Report.figure5 Fmt.stdout points;
       write_csv csv (Core.Report.cost_csv points)
     | n ->
@@ -523,7 +559,7 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Reproduce a figure of the paper.")
     Term.(
       const run $ verbose $ seed $ chips $ all_chips $ number $ budget_term
-      $ runs $ csv_out)
+      $ runs $ csv_out $ jobs_term)
 
 let main =
   Cmd.group

@@ -3,6 +3,7 @@ type cell = {
   errors : int;
   runs : int;
   example : string;
+  histogram : (string * int) list;
 }
 
 type row = {
@@ -16,21 +17,45 @@ type row = {
 let effectiveness_threshold = 0.05
 
 let test_app ~chip ~env ~app ~runs ~seed =
-  let master = Gpusim.Rng.create seed in
   let errors = ref 0 in
   let example = ref "" in
-  for _ = 1 to runs do
+  let counts = Hashtbl.create 7 in
+  for i = 0 to runs - 1 do
     let sim =
-      Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.bits30 master) ()
+      Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.subseed seed i) ()
     in
     Gpusim.Sim.set_environment sim (Environment.for_app env);
     match app.Apps.App.run sim Apps.App.Original with
     | Ok () -> ()
     | Error msg ->
       incr errors;
-      if !example = "" then example := msg
+      if !example = "" then example := msg;
+      Hashtbl.replace counts msg
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts msg))
   done;
-  { app = app.Apps.App.name; errors = !errors; runs; example = !example }
+  let histogram =
+    Hashtbl.fold (fun msg n acc -> (msg, n) :: acc) counts []
+    |> List.sort (fun (m1, n1) (m2, n2) ->
+           match Int.compare n2 n1 with
+           | 0 -> String.compare m1 m2
+           | c -> c)
+  in
+  { app = app.Apps.App.name; errors = !errors; runs; example = !example;
+    histogram }
+
+let dominant cell =
+  match cell.histogram with [] -> None | top :: _ -> Some top
+
+let merge_histograms hs =
+  let counts = Hashtbl.create 7 in
+  List.iter
+    (List.iter (fun (msg, n) ->
+         Hashtbl.replace counts msg
+           (n + Option.value ~default:0 (Hashtbl.find_opt counts msg))))
+    hs;
+  Hashtbl.fold (fun msg n acc -> (msg, n) :: acc) counts []
+  |> List.sort (fun (m1, n1) (m2, n2) ->
+         match Int.compare n2 n1 with 0 -> String.compare m1 m2 | c -> c)
 
 let summarise ~chip ~env cells =
   let capable = List.length (List.filter (fun c -> c.errors > 0) cells) in
@@ -45,25 +70,42 @@ let summarise ~chip ~env cells =
   { chip = chip.Gpusim.Chip.name; environment = env.Environment.label; cells;
     capable; effective }
 
-let run ~chips ~environments_for ~apps ~runs ~seed ?(progress = ignore) () =
-  let master = Gpusim.Rng.create seed in
-  List.concat_map
-    (fun chip ->
-      let environments = environments_for chip in
-      List.map
-        (fun env ->
-          progress
-            (Printf.sprintf "testing %s under %s" chip.Gpusim.Chip.name
-               env.Environment.label);
-          let cells =
-            List.map
-              (fun app ->
-                test_app ~chip ~env ~app ~runs
-                  ~seed:(Gpusim.Rng.bits30 master))
-              apps
-          in
-          summarise ~chip ~env cells)
-        environments)
-    chips
+let run ?backend ~chips ~environments_for ~apps ~runs ~seed () =
+  (* Plan: one job per (chip, environment, application) cell, flattened in
+     the historical nesting order so pre-derived job seeds match what the
+     former sequential loop drew from its master generator. *)
+  let plan_rows =
+    List.concat_map
+      (fun chip ->
+        List.map (fun env -> (chip, env)) (environments_for chip))
+      chips
+  in
+  let grid =
+    List.concat_map
+      (fun (chip, env) -> List.map (fun app -> (chip, env, app)) apps)
+      plan_rows
+  in
+  let cells =
+    Exec.run ?backend ~label:"campaign" ~execs_per_job:runs ~seed
+      ~f:(fun ~seed (chip, env, app) -> test_app ~chip ~env ~app ~runs ~seed)
+      grid
+  in
+  (* Reduce: regroup the flat cell list row by row, in plan order. *)
+  let per_row = List.length apps in
+  let rec rows acc plan cells =
+    match plan with
+    | [] -> List.rev acc
+    | (chip, env) :: plan ->
+      let rec take n acc cells =
+        if n = 0 then (List.rev acc, cells)
+        else
+          match cells with
+          | [] -> invalid_arg "Campaign.run: short cell list"
+          | c :: cells -> take (n - 1) (c :: acc) cells
+      in
+      let row_cells, cells = take per_row [] cells in
+      rows (summarise ~chip ~env row_cells :: acc) plan cells
+  in
+  rows [] plan_rows cells
 
 let sys_tuned_for chip = Tuning.shipped ~chip

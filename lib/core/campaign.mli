@@ -4,13 +4,20 @@
     is executed repeatedly under the environment and erroneous runs are
     counted.  The paper tests each combination for one hour; here the
     budget is an execution count, and rates are compared against the same
-    5% effectiveness threshold. *)
+    5% effectiveness threshold.
+
+    The grid is planned, executed and reduced through {!Exec}: one job per
+    cell with a pre-derived seed, so results are independent of execution
+    order and identical across executor backends. *)
 
 type cell = {
   app : string;
   errors : int;
   runs : int;
-  example : string;  (** one representative error message, if any *)
+  example : string;  (** first error message observed, if any *)
+  histogram : (string * int) list;
+      (** error message -> occurrence count, sorted by descending count
+          (ties by message); reveals a cell's dominant failure modes *)
 }
 
 type row = {
@@ -32,20 +39,30 @@ val test_app :
   seed:int ->
   cell
 (** Run one combination.  Applications that ship fences run [Original];
-    the [-nf] variants strip them (encoded in the application itself). *)
+    the [-nf] variants strip them (encoded in the application itself).
+    Per-run seeds are [Rng.subseed seed i]. *)
+
+val dominant : cell -> (string * int) option
+(** The cell's most frequent error message and its count, if any. *)
+
+val merge_histograms : (string * int) list list -> (string * int) list
+(** Order-independent merge of error histograms (summed counts, sorted by
+    descending count then message). *)
 
 val run :
+  ?backend:Exec.backend ->
   chips:Gpusim.Chip.t list ->
   environments_for:(Gpusim.Chip.t -> Environment.t list) ->
   apps:Apps.App.t list ->
   runs:int ->
   seed:int ->
-  ?progress:(string -> unit) ->
   unit ->
   row list
 (** The full grid, row per (chip, environment).  [environments_for]
     builds the environment list per chip, because the systematic strategy
-    uses per-chip tuned parameters. *)
+    uses per-chip tuned parameters.  [backend] selects the executor
+    (default {!Exec.Serial}); results are bit-identical across
+    backends. *)
 
 val sys_tuned_for : Gpusim.Chip.t -> Stress.tuned
 (** The shipped Table 2 parameters for a chip (used when the caller does

@@ -5,13 +5,12 @@ type measurement = {
 }
 
 let measure ~chip ~app ~fencing ~runs ~seed =
-  let master = Gpusim.Rng.create seed in
   let total_runtime = ref 0.0 in
   let total_energy = ref 0.0 in
   let kept = ref 0 in
   let discarded = ref 0 in
-  for _ = 1 to runs do
-    let sim = Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.bits30 master) () in
+  for i = 0 to runs - 1 do
+    let sim = Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.subseed seed i) () in
     match app.Apps.App.run sim fencing with
     | Ok () ->
       incr kept;
@@ -34,28 +33,27 @@ type point = {
   emp_count : int;
 }
 
-let run ~chips ~apps ~emp_for ~runs ~seed ?(progress = ignore) () =
-  let master = Gpusim.Rng.create seed in
-  List.concat_map
-    (fun chip ->
-      List.map
-        (fun app ->
-          progress
-            (Printf.sprintf "benchmarking %s on %s" app.Apps.App.name
-               chip.Gpusim.Chip.name);
-          let emp_fences = emp_for chip app in
-          let m fencing =
-            measure ~chip ~app ~fencing ~runs
-              ~seed:(Gpusim.Rng.bits30 master)
-          in
-          { chip = chip.Gpusim.Chip.name; app = app.Apps.App.name;
-            nvml = chip.Gpusim.Chip.cost.nvml_supported;
-            no_fences = m Apps.App.Stripped;
-            emp = m (Apps.App.Sites emp_fences);
-            cons = m Apps.App.Conservative;
-            emp_count = List.length emp_fences })
-        apps)
-    chips
+let run ?backend ~chips ~apps ~emp_for ~runs ~seed () =
+  (* Plan: one job per (chip, app) benchmark point; the three fencing
+     variants inside a job draw sub-seeds 0/1/2 from the job seed. *)
+  let grid =
+    List.concat_map
+      (fun chip -> List.map (fun app -> (chip, app)) apps)
+      chips
+  in
+  Exec.run ?backend ~label:"fence-cost" ~execs_per_job:(3 * runs) ~seed
+    ~f:(fun ~seed (chip, app) ->
+      let emp_fences = emp_for chip app in
+      let m i fencing =
+        measure ~chip ~app ~fencing ~runs ~seed:(Gpusim.Rng.subseed seed i)
+      in
+      { chip = chip.Gpusim.Chip.name; app = app.Apps.App.name;
+        nvml = chip.Gpusim.Chip.cost.nvml_supported;
+        no_fences = m 0 Apps.App.Stripped;
+        emp = m 1 (Apps.App.Sites emp_fences);
+        cons = m 2 Apps.App.Conservative;
+        emp_count = List.length emp_fences })
+    grid
 
 let overhead_pct ~base v = if base <= 0.0 then 0.0 else (v -. base) /. base *. 100.0
 

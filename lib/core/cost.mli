@@ -33,14 +33,17 @@ type point = {
 }
 
 val run :
+  ?backend:Exec.backend ->
   chips:Gpusim.Chip.t list ->
   apps:Apps.App.t list ->
   emp_for:(Gpusim.Chip.t -> Apps.App.t -> (string * int) list) ->
   runs:int ->
   seed:int ->
-  ?progress:(string -> unit) ->
   unit ->
   point list
+(** One {!Exec} job per (chip, app) point; results are bit-identical
+    across executor backends at the same seed.  [emp_for] runs inside
+    the job, so keep it serial when [backend] is parallel. *)
 
 val overhead_pct : base:float -> float -> float
 (** [(v - base) / base * 100]. *)

@@ -1,0 +1,146 @@
+type backend = Serial | Parallel of int
+
+let serial = Serial
+
+let backend_of_jobs n = if n <= 1 then Serial else Parallel n
+
+let jobs_of_backend = function Serial -> 1 | Parallel n -> Int.max 1 n
+
+let default_jobs () =
+  match Sys.getenv_opt "GPUWMM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_backend () = backend_of_jobs (default_jobs ())
+
+type 'a job = { index : int; seed : int; payload : 'a }
+
+let plan ~seed payloads =
+  List.mapi
+    (fun index payload ->
+      { index; seed = Gpusim.Rng.subseed seed index; payload })
+    payloads
+
+(* ------------------------------------------------------------------ *)
+(* Progress reporting                                                   *)
+
+let progress_hook : (string -> unit) option Atomic.t = Atomic.make None
+
+let set_progress h = Atomic.set progress_hook h
+
+let info msg =
+  match Atomic.get progress_hook with Some emit -> emit msg | None -> ()
+
+(* A rate-limited per-campaign reporter, safe to call from any worker
+   domain.  Throttling state lives behind a mutex; the job counter the
+   callers pass in is maintained with atomics by the executor. *)
+let make_ticker ~label ~execs_per_job ~total =
+  match (Atomic.get progress_hook, label) with
+  | None, _ | _, None -> fun _ -> ()
+  | Some emit, Some label ->
+    let t0 = Unix.gettimeofday () in
+    let mu = Mutex.create () in
+    let last = ref t0 in
+    fun jobs_done ->
+      let now = Unix.gettimeofday () in
+      if jobs_done = total || now -. !last >= 1.0 then begin
+        Mutex.lock mu;
+        if jobs_done = total || now -. !last >= 1.0 then begin
+          last := now;
+          let elapsed = now -. t0 in
+          let execs = jobs_done * execs_per_job in
+          let rate =
+            if elapsed > 0.0 then float_of_int execs /. elapsed else 0.0
+          in
+          emit
+            (Printf.sprintf "%s: %d/%d jobs (%.0f execs/s)" label jobs_done
+               total rate)
+        end;
+        Mutex.unlock mu
+      end
+
+(* ------------------------------------------------------------------ *)
+(* The worker pool                                                      *)
+
+(* Run [process i] for every i in [0, len) on [domains] domains (the
+   caller is one of them).  Indexes are handed out in chunks from a
+   shared atomic counter; [stop] lets callers abort early (used by
+   [for_all]).  The first exception is captured and re-raised on the
+   calling domain after every worker has drained. *)
+let pool_iter ~domains ~stop ~process len =
+  let next = Atomic.make 0 in
+  let error = Atomic.make None in
+  let chunk = Int.max 1 (len / (domains * 8)) in
+  let worker () =
+    let rec loop () =
+      if Atomic.get error = None && not (stop ()) then begin
+        let start = Atomic.fetch_and_add next chunk in
+        if start < len then begin
+          (try
+             let finish = Int.min len (start + chunk) in
+             for i = start to finish - 1 do
+               if Atomic.get error = None && not (stop ()) then process i
+             done
+           with e -> ignore (Atomic.compare_and_set error None (Some e)));
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  match Atomic.get error with Some e -> raise e | None -> ()
+
+let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
+  let arr = Array.of_list jobs in
+  let len = Array.length arr in
+  let tick = make_ticker ~label ~execs_per_job ~total:len in
+  let domains = Int.min (jobs_of_backend backend) (Int.max 1 len) in
+  if domains <= 1 then
+    List.mapi
+      (fun i j ->
+        let r = f j in
+        tick (i + 1);
+        r)
+      jobs
+  else begin
+    let results = Array.make len None in
+    let completed = Atomic.make 0 in
+    pool_iter ~domains
+      ~stop:(fun () -> false)
+      ~process:(fun i ->
+        results.(i) <- Some (f arr.(i));
+        tick (1 + Atomic.fetch_and_add completed 1))
+      len;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let run ?backend ?label ?execs_per_job ~seed ~f payloads =
+  map ?backend ?label ?execs_per_job
+    ~f:(fun j -> f ~seed:j.seed j.payload)
+    (plan ~seed payloads)
+
+let for_all ?(backend = Serial) ~seed ~f payloads =
+  let jobs = plan ~seed payloads in
+  let domains =
+    Int.min (jobs_of_backend backend) (Int.max 1 (List.length jobs))
+  in
+  if domains <= 1 then
+    List.for_all (fun j -> f ~seed:j.seed j.payload) jobs
+  else begin
+    let arr = Array.of_list jobs in
+    let failed = Atomic.make false in
+    pool_iter ~domains
+      ~stop:(fun () -> Atomic.get failed)
+      ~process:(fun i ->
+        let j = arr.(i) in
+        if not (f ~seed:j.seed j.payload) then Atomic.set failed true)
+      (Array.length arr);
+    not (Atomic.get failed)
+  end

@@ -1,0 +1,103 @@
+(** Deterministic plan/execute/reduce engine for campaign drivers.
+
+    Every campaign in this repository is a large grid of independent
+    simulated executions; the paper's methodology is throughput-bound
+    (~0.5 billion litmus executions for tuning, an hour of application
+    runs per Table 5 cell).  This module decouples {e what} a campaign
+    computes from {e how} its jobs are scheduled:
+
+    {ol
+    {- {b Plan}: the driver flattens its parameter grid into a list of
+       payloads; {!plan} assigns each job a pre-derived seed
+       ([Rng.subseed master_seed index]), so a job's result is a pure
+       function of [(seed, payload)] — never of execution order.}
+    {- {b Execute}: a pluggable {!backend} runs the jobs — [Serial] on
+       the calling domain, or [Parallel n] on a fixed pool of OCaml 5
+       domains pulling index chunks from a shared atomic work queue.}
+    {- {b Reduce}: results are returned in plan order regardless of
+       completion order, so drivers merge them back into their result
+       types deterministically.}}
+
+    {b Guarantee}: for a pure job function, [Parallel n] output is
+    bit-identical to [Serial] at the same seed, for every [n] (enforced
+    by property tests in [test/test_exec.ml]).
+
+    The engine also owns progress reporting (jobs completed, execs/sec);
+    drivers no longer thread ad-hoc [~progress] callbacks. *)
+
+type backend =
+  | Serial  (** run jobs in plan order on the calling domain *)
+  | Parallel of int
+      (** [Parallel n]: a pool of [n] domains (the caller participates);
+          [Parallel 1] behaves like [Serial] *)
+
+val serial : backend
+
+val backend_of_jobs : int -> backend
+(** [backend_of_jobs n] is [Serial] when [n <= 1], else [Parallel n]. *)
+
+val jobs_of_backend : backend -> int
+
+val default_jobs : unit -> int
+(** The [GPUWMM_JOBS] environment variable if set to a positive integer,
+    else [Domain.recommended_domain_count ()]. *)
+
+val default_backend : unit -> backend
+(** [backend_of_jobs (default_jobs ())]. *)
+
+type 'a job = {
+  index : int;  (** position in the plan, [0..n-1] *)
+  seed : int;  (** [Rng.subseed master_seed index], derived up front *)
+  payload : 'a;
+}
+
+val plan : seed:int -> 'a list -> 'a job list
+(** Pair each payload with its plan index and pre-derived seed.  The
+    seed sequence equals the [Rng.bits30] stream of
+    [Rng.create seed] — exactly what the drivers' former sequential
+    loops drew, so planned campaigns reproduce historical results. *)
+
+val map :
+  ?backend:backend ->
+  ?label:string ->
+  ?execs_per_job:int ->
+  f:('a job -> 'b) ->
+  'a job list ->
+  'b list
+(** Execute all jobs and return their results in plan order.  [f] must
+    be pure (up to its own fresh simulator state) for the backend
+    guarantee to hold.  [label] names the campaign in progress messages;
+    [execs_per_job] scales the reported execs/sec throughput.  An
+    exception raised by any job is re-raised after the pool drains. *)
+
+val run :
+  ?backend:backend ->
+  ?label:string ->
+  ?execs_per_job:int ->
+  seed:int ->
+  f:(seed:int -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [run ~seed ~f payloads] = [map ~f' (plan ~seed payloads)]: the
+    common plan-then-execute composition. *)
+
+val for_all :
+  ?backend:backend ->
+  seed:int ->
+  f:(seed:int -> 'a -> bool) ->
+  'a list ->
+  bool
+(** [true] iff [f] holds for every planned job.  Both backends
+    short-circuit once a failure is known (serially by early exit, in
+    parallel via a shared abort flag); the boolean is bit-identical
+    across backends because it does not depend on which jobs were
+    skipped. *)
+
+val set_progress : (string -> unit) option -> unit
+(** Install (or clear) the global progress sink.  The CLI points this at
+    its [Logs]-based reporter; when unset, campaigns run silently. *)
+
+val info : string -> unit
+(** Forward one message to the progress sink, if installed.  For the few
+    driver-level milestones that are not per-job (e.g. hardening
+    rounds). *)

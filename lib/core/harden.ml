@@ -27,16 +27,16 @@ let run_app ~chip ~env ~app ~fences ~seed =
   Gpusim.Sim.set_environment sim (Environment.for_app env);
   app.Apps.App.run sim (Apps.App.Sites fences)
 
-let check_application ~chip ~env ~app ~fences ~iterations ~seed =
-  let master = Gpusim.Rng.create seed in
-  let rec go i =
-    if i = 0 then true
-    else
-      match run_app ~chip ~env ~app ~fences ~seed:(Gpusim.Rng.bits30 master) with
-      | Ok () -> go (i - 1)
-      | Error _ -> false
-  in
-  go iterations
+let check_application ?backend ~chip ~env ~app ~fences ~iterations ~seed () =
+  (* Every iteration is an independent job; the boolean conjunction is
+     order-independent, so both executor backends may short-circuit on
+     the first failure without changing the result. *)
+  Exec.for_all ?backend ~seed
+    ~f:(fun ~seed () ->
+      match run_app ~chip ~env ~app ~fences ~seed with
+      | Ok () -> true
+      | Error _ -> false)
+    (List.init iterations (fun _ -> ()))
 
 (* SplitFences: the fences are kept sorted by code position (kernel order,
    then site id); the first half goes to F1 (Sec. 5.1). *)
@@ -51,15 +51,18 @@ let split fences =
 
 let diff f g = List.filter (fun x -> not (List.mem x g)) f
 
-let insert ~chip ?config ~app ~seed ?(progress = ignore) () =
+let insert ~chip ?config ?backend ~app ~seed () =
   let cfg = match config with Some c -> c | None -> default_config ~chip in
   let t0 = Unix.gettimeofday () in
-  let master = Gpusim.Rng.create seed in
   let checks = ref 0 in
   let check fences iterations =
+    (* The n-th check gets the n-th subseed: the reduction path is
+       adaptive, but each check's verdict is still a pure function of
+       (seed, check index, fence set). *)
+    let n = !checks in
     incr checks;
-    check_application ~chip ~env:cfg.environment ~app ~fences ~iterations
-      ~seed:(Gpusim.Rng.bits30 master)
+    check_application ?backend ~chip ~env:cfg.environment ~app ~fences
+      ~iterations ~seed:(Gpusim.Rng.subseed seed n) ()
   in
   let all = Apps.App.fence_sites app in
   let initial = List.length all in
@@ -83,7 +86,7 @@ let insert ~chip ?config ~app ~seed ?(progress = ignore) () =
       fences fences
   in
   let rec rounds i n =
-    progress
+    Exec.info
       (Printf.sprintf "hardening %s on %s: round %d (I=%d)"
          app.Apps.App.name chip.Gpusim.Chip.name n i);
     let fb = binary_reduction all i in

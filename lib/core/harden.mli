@@ -35,22 +35,27 @@ type result = {
 }
 
 val check_application :
+  ?backend:Exec.backend ->
   chip:Gpusim.Chip.t ->
   env:Environment.t ->
   app:Apps.App.t ->
   fences:(string * int) list ->
   iterations:int ->
   seed:int ->
+  unit ->
   bool
 (** Alg. 1's CheckApplication: [true] when no error is observed in
-    [iterations] executions of the application with the given fences. *)
+    [iterations] executions of the application with the given fences.
+    The iterations are independent {!Exec} jobs with pre-derived seeds,
+    so the verdict is identical across executor backends (both
+    short-circuit on the first failure). *)
 
 val insert :
   chip:Gpusim.Chip.t ->
   ?config:config ->
+  ?backend:Exec.backend ->
   app:Apps.App.t ->
   seed:int ->
-  ?progress:(string -> unit) ->
   unit ->
   result
 (** Run empirical fence insertion for one application on one chip.  The

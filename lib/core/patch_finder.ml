@@ -46,7 +46,7 @@ let modal_patch_size sizes =
     tbl None
   |> Option.map fst
 
-let run ~chip ~seed ~budget ?(progress = ignore) () =
+let run ?backend ~chip ~seed ~budget () =
   let b = budget in
   let locations =
     let rec go l acc =
@@ -55,38 +55,41 @@ let run ~chip ~seed ~budget ?(progress = ignore) () =
     in
     go 0 []
   in
-  let master = Gpusim.Rng.create seed in
-  let cells = ref [] in
-  List.iter
-    (fun idiom ->
-      progress
-        (Printf.sprintf "patch-finding %s on %s" (Litmus.Test.idiom_name idiom)
-           chip.Gpusim.Chip.name);
-      List.iter
-        (fun distance ->
-          List.iter
-            (fun location ->
-              let strategy =
-                Stress.Fixed
-                  { sequence = [ Access_seq.St; Access_seq.Ld ];
-                    locations = [ location ];
-                    scratch_words = b.Budget.max_location }
-              in
-              let env =
-                Environment.for_litmus
-                  (Environment.make strategy ~randomise:false)
-              in
-              let weak =
-                Litmus.Runner.count_weak ~chip
-                  ~seed:(Gpusim.Rng.bits30 master)
-                  ~env ~runs:b.Budget.runs_patch
-                  { Litmus.Test.idiom; distance }
-              in
-              cells := { idiom; distance; location; weak } :: !cells)
-            locations)
-        b.Budget.distances_patch)
-    Litmus.Test.idioms;
-  let cells = List.rev !cells in
+  (* Plan: one job per (idiom, distance, location) point, in the
+     historical nesting order so job seeds match the former loop. *)
+  let points =
+    List.concat_map
+      (fun idiom ->
+        List.concat_map
+          (fun distance ->
+            List.map (fun location -> (idiom, distance, location)) locations)
+          b.Budget.distances_patch)
+      Litmus.Test.idioms
+  in
+  let weaks =
+    Exec.run ?backend
+      ~label:(Printf.sprintf "patch-finding on %s" chip.Gpusim.Chip.name)
+      ~execs_per_job:b.Budget.runs_patch ~seed
+      ~f:(fun ~seed (idiom, distance, location) ->
+        let strategy =
+          Stress.Fixed
+            { sequence = [ Access_seq.St; Access_seq.Ld ];
+              locations = [ location ];
+              scratch_words = b.Budget.max_location }
+        in
+        let env =
+          Environment.for_litmus (Environment.make strategy ~randomise:false)
+        in
+        Litmus.Runner.count_weak ~chip ~seed ~env ~runs:b.Budget.runs_patch
+          { Litmus.Test.idiom; distance })
+      points
+  in
+  let cells =
+    List.map2
+      (fun (idiom, distance, location) weak ->
+        { idiom; distance; location; weak })
+      points weaks
+  in
   let per_idiom =
     List.map
       (fun idiom ->

@@ -29,10 +29,13 @@ type result = {
 }
 
 val run :
+  ?backend:Exec.backend ->
   chip:Gpusim.Chip.t -> seed:int -> budget:Budget.t ->
-  ?progress:(string -> unit) ->
   unit ->
   result
+(** The full (idiom, distance, location) grid is planned, executed and
+    reduced through {!Exec}; results are bit-identical across executor
+    backends at the same seed. *)
 
 val patch_sizes_of_row : eps:int -> stride:int -> (int * int) list -> int list
 (** [patch_sizes_of_row ~eps ~stride cells] extracts the sizes (in words)

@@ -110,7 +110,28 @@ let table5 ppf rows =
           | None -> Fmt.pf ppf "%-11s" "-")
         envs;
       Fmt.pf ppf "@.")
-    chips
+    chips;
+  (* Dominant failure modes, aggregated over every cell of a chip's rows:
+     the per-cell error histograms make the "what actually broke" question
+     answerable from the same campaign data. *)
+  let dominant_for chip =
+    List.filter (fun r -> r.Campaign.chip = chip) rows
+    |> List.concat_map (fun r ->
+           List.map (fun c -> c.Campaign.histogram) r.Campaign.cells)
+    |> Campaign.merge_histograms
+  in
+  let any_errors =
+    List.exists (fun chip -> dominant_for chip <> []) chips
+  in
+  if any_errors then begin
+    Fmt.pf ppf "dominant failure modes (errors summed over all cells):@.";
+    List.iter
+      (fun chip ->
+        match dominant_for chip with
+        | [] -> ()
+        | (msg, n) :: _ -> Fmt.pf ppf "  %-8s %s (x%d)@." chip msg n)
+      chips
+  end
 
 let table6 ppf (results : Harden.result list) =
   Fmt.pf ppf "Table 6: empirical fence insertion results@.";

@@ -14,42 +14,62 @@ let region_starts ~patch ~max_location =
   let rec go l acc = if l >= max_location then List.rev acc else go (l + patch) (l :: acc) in
   go 0 []
 
-let run ~chip ~seed ~budget ~patch ?(progress = ignore) () =
+let run ?backend ~chip ~seed ~budget ~patch () =
   let b = budget in
-  let master = Gpusim.Rng.create seed in
   let locations = region_starts ~patch ~max_location:b.Budget.max_location in
   let sequences = Access_seq.all ~max_len:b.Budget.seq_max_len in
-  let n = List.length sequences in
+  (* Plan: one job per (sequence, idiom, distance, location) point, in
+     the historical nesting order so job seeds match the former loop. *)
+  let points =
+    List.concat_map
+      (fun sequence ->
+        List.concat_map
+          (fun idiom ->
+            List.concat_map
+              (fun distance ->
+                List.map
+                  (fun location -> (sequence, idiom, distance, location))
+                  locations)
+              b.Budget.distances_seq)
+          Litmus.Test.idioms)
+      sequences
+  in
+  let weaks =
+    Exec.run ?backend
+      ~label:(Printf.sprintf "sequence finding on %s" chip.Gpusim.Chip.name)
+      ~execs_per_job:b.Budget.runs_seq ~seed
+      ~f:(fun ~seed (sequence, idiom, distance, location) ->
+        let strategy =
+          Stress.Fixed
+            { sequence; locations = [ location ];
+              scratch_words = b.Budget.max_location }
+        in
+        let env =
+          Environment.for_litmus (Environment.make strategy ~randomise:false)
+        in
+        Litmus.Runner.count_weak ~chip ~seed ~env ~runs:b.Budget.runs_seq
+          { Litmus.Test.idiom; distance })
+      points
+  in
+  (* Reduce: fold the flat weak counts back into per-sequence scores by
+     walking the same nesting. *)
+  let results = Array.of_list weaks in
+  let pos = ref 0 in
+  let next () =
+    let v = results.(!pos) in
+    incr pos;
+    v
+  in
   let table =
-    List.mapi
-      (fun i sequence ->
-        if i mod 8 = 0 then
-          progress
-            (Printf.sprintf "sequence finding on %s: %d/%d"
-               chip.Gpusim.Chip.name i n);
+    List.map
+      (fun sequence ->
         let scores =
           List.map
             (fun idiom ->
               let score = ref 0 in
               List.iter
-                (fun distance ->
-                  List.iter
-                    (fun location ->
-                      let strategy =
-                        Stress.Fixed
-                          { sequence; locations = [ location ];
-                            scratch_words = b.Budget.max_location }
-                      in
-                      let env =
-                        Environment.for_litmus
-                          (Environment.make strategy ~randomise:false)
-                      in
-                      score :=
-                        !score
-                        + Litmus.Runner.count_weak ~chip
-                            ~seed:(Gpusim.Rng.bits30 master)
-                            ~env ~runs:b.Budget.runs_seq
-                            { Litmus.Test.idiom; distance })
+                (fun _distance ->
+                  List.iter (fun _location -> score := !score + next ())
                     locations)
                 b.Budget.distances_seq;
               (idiom, !score))

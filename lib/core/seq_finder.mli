@@ -19,13 +19,16 @@ type result = {
 }
 
 val run :
+  ?backend:Exec.backend ->
   chip:Gpusim.Chip.t ->
   seed:int ->
   budget:Budget.t ->
   patch:int ->
-  ?progress:(string -> unit) ->
   unit ->
   result
+(** The (sequence, idiom, distance, location) grid runs through {!Exec};
+    results are bit-identical across executor backends at the same
+    seed. *)
 
 val rank_for :
   result -> Litmus.Test.idiom -> (int * Access_seq.t * int) list

@@ -10,9 +10,8 @@ type result = {
   patch : int;
 }
 
-let run ~chip ~seed ~budget ~patch ~sequence ?(progress = ignore) () =
+let run ?backend ~chip ~seed ~budget ~patch ~sequence () =
   let b = budget in
-  let master = Gpusim.Rng.create seed in
   let spreads =
     let rec go m acc =
       if m > b.Budget.max_spread then List.rev acc
@@ -20,32 +19,51 @@ let run ~chip ~seed ~budget ~patch ~sequence ?(progress = ignore) () =
     in
     go 1 []
   in
+  (* Plan: one job per (spread, idiom, distance) point, in the historical
+     nesting order so job seeds match the former loop. *)
+  let grid =
+    List.concat_map
+      (fun spread ->
+        List.concat_map
+          (fun idiom ->
+            List.map
+              (fun distance -> (spread, idiom, distance))
+              b.Budget.distances_spread)
+          Litmus.Test.idioms)
+      spreads
+  in
+  let weaks =
+    Exec.run ?backend
+      ~label:(Printf.sprintf "spread finding on %s" chip.Gpusim.Chip.name)
+      ~execs_per_job:b.Budget.runs_spread ~seed
+      ~f:(fun ~seed (spread, idiom, distance) ->
+        let strategy =
+          Stress.Sys { sequence; spread; regions = b.Budget.max_spread }
+        in
+        let env =
+          Environment.for_litmus (Environment.make strategy ~randomise:false)
+        in
+        Litmus.Runner.count_weak ~chip ~seed ~env ~runs:b.Budget.runs_spread
+          { Litmus.Test.idiom; distance })
+      grid
+  in
+  (* Reduce: sum weak counts per (spread, idiom) along the plan order. *)
+  let results = Array.of_list weaks in
+  let pos = ref 0 in
+  let next () =
+    let v = results.(!pos) in
+    incr pos;
+    v
+  in
   let points =
     List.map
       (fun spread ->
-        progress
-          (Printf.sprintf "spread finding on %s: m=%d" chip.Gpusim.Chip.name
-             spread);
         let scores =
           List.map
             (fun idiom ->
               let score = ref 0 in
               List.iter
-                (fun distance ->
-                  let strategy =
-                    Stress.Sys
-                      { sequence; spread; regions = b.Budget.max_spread }
-                  in
-                  let env =
-                    Environment.for_litmus
-                      (Environment.make strategy ~randomise:false)
-                  in
-                  score :=
-                    !score
-                    + Litmus.Runner.count_weak ~chip
-                        ~seed:(Gpusim.Rng.bits30 master)
-                        ~env ~runs:b.Budget.runs_spread
-                        { Litmus.Test.idiom; distance })
+                (fun _distance -> score := !score + next ())
                 b.Budget.distances_spread;
               (idiom, !score))
             Litmus.Test.idioms

@@ -19,11 +19,13 @@ type result = {
 }
 
 val run :
+  ?backend:Exec.backend ->
   chip:Gpusim.Chip.t ->
   seed:int ->
   budget:Budget.t ->
   patch:int ->
   sequence:Access_seq.t ->
-  ?progress:(string -> unit) ->
   unit ->
   result
+(** The (spread, idiom, distance) grid runs through {!Exec}; results are
+    bit-identical across executor backends at the same seed. *)

@@ -7,20 +7,23 @@ type result = {
   elapsed_s : float;
 }
 
-let run ~chip ~seed ~budget ?(progress = ignore) () =
+let run ?backend ~chip ~seed ~budget () =
   let t0 = Unix.gettimeofday () in
-  let sub = Gpusim.Rng.create seed in
+  (* The three stages are data-dependent and run in sequence; each stage
+     parallelises its own grid through Exec.  Stage seeds are split from
+     the master seed up front. *)
   let patch =
-    Patch_finder.run ~chip ~seed:(Gpusim.Rng.bits30 sub) ~budget ~progress ()
+    Patch_finder.run ?backend ~chip ~seed:(Gpusim.Rng.subseed seed 0) ~budget
+      ()
   in
   let sequences =
-    Seq_finder.run ~chip ~seed:(Gpusim.Rng.bits30 sub) ~budget
-      ~patch:patch.Patch_finder.chosen ~progress ()
+    Seq_finder.run ?backend ~chip ~seed:(Gpusim.Rng.subseed seed 1) ~budget
+      ~patch:patch.Patch_finder.chosen ()
   in
   let spreads =
-    Spread_finder.run ~chip ~seed:(Gpusim.Rng.bits30 sub) ~budget
+    Spread_finder.run ?backend ~chip ~seed:(Gpusim.Rng.subseed seed 2) ~budget
       ~patch:patch.Patch_finder.chosen
-      ~sequence:sequences.Seq_finder.winner ~progress ()
+      ~sequence:sequences.Seq_finder.winner ()
   in
   let tuned =
     { Stress.sequence = sequences.Seq_finder.winner;
@@ -50,6 +53,13 @@ let shipped ~chip =
   let sequence =
     match List.assoc_opt name table2 with
     | Some s -> parse s
-    | None -> parse "ld st"
+    | None ->
+      (* A typo'd chip must not silently masquerade as a tuned one. *)
+      Logs.warn (fun m ->
+          m
+            "Tuning.shipped: chip %S has no Table 2 parameters; falling back \
+             to the untuned sequence \"ld st\""
+            name);
+      parse "ld st"
   in
   { Stress.sequence; spread = 2; regions = Budget.default.Budget.max_spread }

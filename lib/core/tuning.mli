@@ -13,15 +13,20 @@ type result = {
 }
 
 val run :
+  ?backend:Exec.backend ->
   chip:Gpusim.Chip.t ->
   seed:int ->
   budget:Budget.t ->
-  ?progress:(string -> unit) ->
   unit ->
   result
+(** The three stages run in sequence (they are data-dependent); each
+    stage's grid executes through {!Exec} with the given [backend].
+    Results are bit-identical across backends at the same seed. *)
 
 val shipped : chip:Gpusim.Chip.t -> Stress.tuned
 (** The tuned parameters published in Table 2 of the paper, shipped as
     defaults so that users can apply sys-str without re-running the
     multi-hour tuning campaign.  (Patch size per architecture, the
-    paper's winning sequence per chip, spread 2.) *)
+    paper's winning sequence per chip, spread 2.)  A chip without Table 2
+    parameters falls back to the untuned ["ld st"] sequence and logs a
+    [Logs] warning. *)

@@ -23,6 +23,17 @@ let split t = { state = mix (int64 t) }
 
 let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
 
+let subseed seed i =
+  if i < 0 then invalid_arg "Rng.subseed: negative index";
+  (* Jump directly to the i-th state of [create seed]'s stream; the result
+     equals the (i+1)-th [bits30] draw without materialising a generator,
+     so per-job seeds can be derived in any order (or concurrently). *)
+  let state =
+    Int64.add (mix (Int64.of_int seed))
+      (Int64.mul (Int64.of_int (i + 1)) golden_gamma)
+  in
+  Int64.to_int (Int64.shift_right_logical (mix state) 34)
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over 30 bits avoids modulo bias for the small

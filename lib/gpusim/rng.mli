@@ -25,6 +25,13 @@ val int64 : t -> int64
 val bits30 : t -> int
 (** 30 uniform bits as a non-negative [int]. *)
 
+val subseed : int -> int -> int
+(** [subseed seed i] is the [i]-th value of the {!bits30} stream of
+    [create seed], computed purely (O(1), no shared state).  Campaign
+    drivers use it to pre-derive independent per-job seeds up front, so a
+    job's result is a function of [(seed, i)] alone — never of execution
+    order.  Requires [i >= 0]. *)
+
 val int : t -> int -> int
 (** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
 

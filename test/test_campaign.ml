@@ -13,7 +13,21 @@ let test_cell_counting () =
   Alcotest.(check bool) "errors within range" true
     (cell.Core.Campaign.errors >= 0 && cell.Core.Campaign.errors <= 30);
   Alcotest.(check bool) "example message accompanies errors" true
-    (cell.Core.Campaign.errors = 0 || cell.Core.Campaign.example <> "")
+    (cell.Core.Campaign.errors = 0 || cell.Core.Campaign.example <> "");
+  (* The error histogram partitions the failures by message. *)
+  Alcotest.(check int) "histogram counts sum to errors"
+    cell.Core.Campaign.errors
+    (List.fold_left (fun acc (_, n) -> acc + n) 0
+       cell.Core.Campaign.histogram);
+  Alcotest.(check bool) "histogram nonempty iff errors" true
+    ((cell.Core.Campaign.histogram <> []) = (cell.Core.Campaign.errors > 0));
+  Alcotest.(check bool) "histogram sorted by count, descending" true
+    (let counts = List.map snd cell.Core.Campaign.histogram in
+     List.sort (fun a b -> compare b a) counts = counts);
+  (* The dominant mode is the head of the histogram. *)
+  Alcotest.(check bool) "dominant is the top entry" true
+    (Core.Campaign.dominant cell
+    = List.nth_opt cell.Core.Campaign.histogram 0)
 
 let test_no_stress_environment_clean () =
   let app = Option.get (Apps.Registry.by_name "cbe-dot") in
@@ -21,7 +35,9 @@ let test_no_stress_environment_clean () =
   let cell =
     Core.Campaign.test_app ~chip:Gpusim.Chip.k20 ~env ~app ~runs:25 ~seed:2
   in
-  Alcotest.(check int) "native runs pass" 0 cell.Core.Campaign.errors
+  Alcotest.(check int) "native runs pass" 0 cell.Core.Campaign.errors;
+  Alcotest.(check bool) "clean cell has an empty histogram" true
+    (cell.Core.Campaign.histogram = [])
 
 let test_grid_and_summary () =
   let apps =

@@ -1,0 +1,62 @@
+(* The eight testing environments of Sec. 4.2 and their Table 5 column
+   order. *)
+
+let tuned = Core.Tuning.shipped ~chip:Gpusim.Chip.k20
+
+let test_eight_environments_in_order () =
+  let labels =
+    List.map (fun e -> e.Core.Environment.label) (Core.Environment.all ~tuned)
+  in
+  Alcotest.(check (list string)) "Table 5 column order"
+    [ "no-str-"; "no-str+"; "sys-str-"; "sys-str+"; "rand-str-"; "rand-str+";
+      "cache-str-"; "cache-str+" ]
+    labels
+
+let test_label_construction () =
+  let e = Core.Environment.make Core.Stress.Cache ~randomise:true in
+  Alcotest.(check string) "strategy name plus suffix" "cache-str+"
+    e.Core.Environment.label;
+  let e = Core.Environment.make Core.Stress.No_stress ~randomise:false in
+  Alcotest.(check string) "minus suffix when not randomising" "no-str-"
+    e.Core.Environment.label
+
+let test_sys_plus () =
+  let e = Core.Environment.sys_plus ~tuned in
+  Alcotest.(check string) "flagship label" "sys-str+" e.Core.Environment.label;
+  Alcotest.(check bool) "randomises" true e.Core.Environment.randomise;
+  Alcotest.(check bool) "systematic stressing" true
+    (match e.Core.Environment.strategy with
+    | Core.Stress.Sys _ -> true
+    | _ -> false)
+
+let test_randomise_propagates () =
+  List.iter
+    (fun env ->
+      let expected = env.Core.Environment.randomise in
+      Alcotest.(check bool)
+        (env.Core.Environment.label ^ " litmus randomise")
+        expected (Core.Environment.for_litmus env).Gpusim.Sim.randomise;
+      Alcotest.(check bool)
+        (env.Core.Environment.label ^ " app randomise")
+        expected (Core.Environment.for_app env).Gpusim.Sim.randomise)
+    (Core.Environment.all ~tuned)
+
+let test_distinct_labels () =
+  let labels =
+    List.map (fun e -> e.Core.Environment.label) (Core.Environment.all ~tuned)
+  in
+  Alcotest.(check int) "no duplicate environments" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+let () =
+  Alcotest.run "environment"
+    [ ( "environments",
+        [ Alcotest.test_case "eight in Table 5 order" `Quick
+            test_eight_environments_in_order;
+          Alcotest.test_case "label construction" `Quick
+            test_label_construction;
+          Alcotest.test_case "sys-str+" `Quick test_sys_plus;
+          Alcotest.test_case "randomise propagates" `Quick
+            test_randomise_propagates;
+          Alcotest.test_case "labels distinct" `Quick test_distinct_labels ] )
+    ]

@@ -1,0 +1,148 @@
+(* The plan/execute/reduce engine: seed derivation compatibility with
+   the historical sequential RNG threading, plan-order results, error
+   propagation, and the headline guarantee that the parallel backend is
+   bit-identical to the serial one on the real campaign drivers. *)
+
+let test_plan_matches_bits30_stream () =
+  (* The contract that keeps every historical seed-sensitive result
+     reproducible: plan's i-th seed is the i-th draw of the old
+     sequential master RNG. *)
+  List.iter
+    (fun master ->
+      let rng = Gpusim.Rng.create master in
+      let jobs = Core.Exec.plan ~seed:master (List.init 50 Fun.id) in
+      List.iter
+        (fun j ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d, job %d" master j.Core.Exec.index)
+            (Gpusim.Rng.bits30 rng) j.Core.Exec.seed)
+        jobs)
+    [ 0; 1; 3; 42; 123456789 ]
+
+let test_plan_indices_and_payloads () =
+  let jobs = Core.Exec.plan ~seed:7 [ "a"; "b"; "c" ] in
+  Alcotest.(check (list int)) "indices in order" [ 0; 1; 2 ]
+    (List.map (fun j -> j.Core.Exec.index) jobs);
+  Alcotest.(check (list string)) "payloads in order" [ "a"; "b"; "c" ]
+    (List.map (fun j -> j.Core.Exec.payload) jobs)
+
+let test_backend_of_jobs () =
+  Alcotest.(check bool) "0 jobs is serial" true
+    (Core.Exec.backend_of_jobs 0 = Core.Exec.Serial);
+  Alcotest.(check bool) "1 job is serial" true
+    (Core.Exec.backend_of_jobs 1 = Core.Exec.Serial);
+  Alcotest.(check bool) "4 jobs is parallel" true
+    (Core.Exec.backend_of_jobs 4 = Core.Exec.Parallel 4);
+  Alcotest.(check int) "jobs_of_backend inverts" 4
+    (Core.Exec.jobs_of_backend (Core.Exec.Parallel 4));
+  Alcotest.(check int) "serial is one domain" 1
+    (Core.Exec.jobs_of_backend Core.Exec.Serial)
+
+let test_map_preserves_plan_order () =
+  (* Results must come back in plan order even though the parallel pool
+     completes jobs in whatever order the scheduler picks. *)
+  let payloads = List.init 200 Fun.id in
+  let f j = (j.Core.Exec.index, j.Core.Exec.seed, j.Core.Exec.payload * 2) in
+  let serial =
+    Core.Exec.map ~backend:Core.Exec.Serial ~f (Core.Exec.plan ~seed:9 payloads)
+  in
+  List.iter
+    (fun jobs ->
+      let par =
+        Core.Exec.map ~backend:(Core.Exec.Parallel jobs) ~f
+          (Core.Exec.plan ~seed:9 payloads)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel %d = serial" jobs)
+        true (par = serial))
+    [ 2; 3; 4; 8 ]
+
+let test_exception_propagates () =
+  let payloads = List.init 64 Fun.id in
+  let boom j = if j.Core.Exec.payload = 37 then failwith "boom" else () in
+  List.iter
+    (fun backend ->
+      Alcotest.check_raises "job exception reaches the caller"
+        (Failure "boom") (fun () ->
+          ignore
+            (Core.Exec.map ~backend ~f:boom (Core.Exec.plan ~seed:1 payloads))))
+    [ Core.Exec.Serial; Core.Exec.Parallel 4 ]
+
+let test_for_all_agrees_across_backends () =
+  let payloads = List.init 100 Fun.id in
+  List.iter
+    (fun pred ->
+      let expect =
+        Core.Exec.for_all ~backend:Core.Exec.Serial ~seed:5
+          ~f:(fun ~seed:_ p -> pred p)
+          payloads
+      in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "for_all, %d domains" jobs)
+            expect
+            (Core.Exec.for_all ~backend:(Core.Exec.Parallel jobs) ~seed:5
+               ~f:(fun ~seed:_ p -> pred p)
+               payloads))
+        [ 2; 4 ])
+    [ (fun _ -> true); (fun p -> p <> 63); (fun p -> p < 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* The headline property: real campaign drivers are bit-identical
+   across backends at the same seed. *)
+
+let campaign_at ~backend ~seed =
+  let apps = List.filter_map Apps.Registry.by_name [ "cbe-dot"; "sdk-red" ] in
+  let envs chip =
+    let tuned = Core.Tuning.shipped ~chip in
+    [ Core.Environment.make Core.Stress.No_stress ~randomise:false;
+      Core.Environment.sys_plus ~tuned ]
+  in
+  Core.Campaign.run ~backend ~chips:[ Gpusim.Chip.k20 ] ~environments_for:envs
+    ~apps ~runs:5 ~seed ()
+
+let prop_campaign_backend_equality =
+  QCheck.Test.make ~name:"Campaign.run: serial = parallel (jobs in {1,2,4})"
+    ~count:4
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let reference = campaign_at ~backend:Core.Exec.Serial ~seed in
+      List.for_all
+        (fun jobs ->
+          campaign_at ~backend:(Core.Exec.backend_of_jobs jobs) ~seed
+          = reference)
+        [ 1; 2; 4 ])
+
+let patch_at ~backend ~seed =
+  Core.Patch_finder.run ~backend ~chip:Gpusim.Chip.titan ~seed
+    ~budget:Core.Budget.quick ()
+
+let prop_patch_finder_backend_equality =
+  QCheck.Test.make
+    ~name:"Patch_finder.run: serial = parallel (jobs in {1,2,4})" ~count:3
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let reference = patch_at ~backend:Core.Exec.Serial ~seed in
+      List.for_all
+        (fun jobs ->
+          patch_at ~backend:(Core.Exec.backend_of_jobs jobs) ~seed = reference)
+        [ 1; 2; 4 ])
+
+let () =
+  Alcotest.run "exec"
+    [ ( "engine",
+        [ Alcotest.test_case "plan seeds = bits30 stream" `Quick
+            test_plan_matches_bits30_stream;
+          Alcotest.test_case "plan order" `Quick test_plan_indices_and_payloads;
+          Alcotest.test_case "backend_of_jobs" `Quick test_backend_of_jobs;
+          Alcotest.test_case "map preserves plan order" `Quick
+            test_map_preserves_plan_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "for_all across backends" `Quick
+            test_for_all_agrees_across_backends ] );
+      ( "backend equality",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_campaign_backend_equality;
+            prop_patch_finder_backend_equality ] ) ]

@@ -90,11 +90,11 @@ let test_check_application () =
   (* With every fence enabled, checks pass even under stress. *)
   Alcotest.(check bool) "conservative set passes" true
     (Core.Harden.check_application ~chip ~env ~app
-       ~fences:(Apps.App.fence_sites app) ~iterations:10 ~seed:3);
+       ~fences:(Apps.App.fence_sites app) ~iterations:10 ~seed:3 ());
   (* With no fences, 30 stressed runs essentially always catch the bug. *)
   Alcotest.(check bool) "empty set fails" false
     (Core.Harden.check_application ~chip ~env ~app ~fences:[] ~iterations:30
-       ~seed:3)
+       ~seed:3 ())
 
 let test_cbe_dot_converges_to_critical_store () =
   let app = Option.get (Apps.Registry.by_name "cbe-dot") in
@@ -126,7 +126,7 @@ let test_hardened_app_is_stable () =
   let env = Core.Environment.sys_plus ~tuned:(Core.Tuning.shipped ~chip) in
   Alcotest.(check bool) "hardened app passes a fresh stressed check" true
     (Core.Harden.check_application ~chip ~env ~app
-       ~fences:r.Core.Harden.fences ~iterations:40 ~seed:123)
+       ~fences:r.Core.Harden.fences ~iterations:40 ~seed:123 ())
 
 let () =
   Alcotest.run "harden"

@@ -29,7 +29,8 @@ let test_table5 () =
     { Core.Campaign.chip = "K20"; environment = "sys-str+";
       cells =
         [ { Core.Campaign.app = "cbe-dot"; errors = 10; runs = 40;
-            example = "x" } ];
+            example = "x";
+            histogram = [ ("x", 7); ("y", 3) ] } ];
       capable = 1; effective = 1 }
   in
   let s = render (fun ppf -> Core.Report.table5 ppf [ row ]) in

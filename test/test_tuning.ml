@@ -61,6 +61,33 @@ let test_shipped_table2 () =
       Alcotest.(check string) (chip.Gpusim.Chip.name ^ " sequence") expected s)
     Gpusim.Chip.all
 
+let test_shipped_unknown_chip_warns () =
+  (* Count warnings through a scratch reporter: a chip outside Table 2
+     must fall back loudly, a Table 2 chip silently. *)
+  let warnings = ref 0 in
+  let saved = Logs.reporter () in
+  let counting =
+    { Logs.report =
+        (fun _src level ~over k msgf ->
+          if level = Logs.Warning then incr warnings;
+          msgf (fun ?header:_ ?tags:_ fmt ->
+              Format.ikfprintf (fun _ -> over (); k ()) Format.std_formatter
+                fmt)) }
+  in
+  Logs.set_reporter counting;
+  Logs.set_level (Some Logs.Warning);
+  Fun.protect
+    ~finally:(fun () -> Logs.set_reporter saved)
+    (fun () ->
+      ignore (Core.Tuning.shipped ~chip:Gpusim.Chip.k20);
+      Alcotest.(check int) "known chip is silent" 0 !warnings;
+      let fake = { Gpusim.Chip.k20 with Gpusim.Chip.name = "K21-typo" } in
+      let tuned = Core.Tuning.shipped ~chip:fake in
+      Alcotest.(check int) "unknown chip warns once" 1 !warnings;
+      Alcotest.(check string) "and falls back to the untuned sequence"
+        "ld st"
+        (Core.Access_seq.to_string tuned.Core.Stress.sequence))
+
 let test_quick_pipeline_runs () =
   (* End-to-end smoke on the quick budget: structure, not statistics. *)
   let r =
@@ -107,7 +134,9 @@ let () =
           Alcotest.test_case "stride one" `Quick test_patch_row_stride_one ] );
       ( "budgets and defaults",
         [ Alcotest.test_case "scaling" `Quick test_budget_scaling;
-          Alcotest.test_case "shipped Table 2" `Quick test_shipped_table2 ] );
+          Alcotest.test_case "shipped Table 2" `Quick test_shipped_table2;
+          Alcotest.test_case "unknown chip warns" `Quick
+            test_shipped_unknown_chip_warns ] );
       ( "pipeline",
         [ Alcotest.test_case "quick pipeline" `Slow test_quick_pipeline_runs;
           Alcotest.test_case "rank layout" `Slow test_seq_rank_layout ] ) ]
