@@ -153,6 +153,43 @@ let print_fig5 harden_results =
   Core.Report.figure5 Fmt.stdout points
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: tracing overhead                                            *)
+
+(* The observability layer promises to be free when off: every emit site
+   in the simulator is guarded by one cached boolean.  Measure a Table 5
+   cell (the heaviest per-execution workload) untraced and with the ring
+   buffer enabled, and report the ratio — regressions here mean an emit
+   site started allocating outside its guard. *)
+let tracing_overhead () =
+  section "Tracing overhead: disabled vs ring buffer enabled (Table 5 cell)";
+  let chip = Gpusim.Chip.titan in
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let tuned = Core.Tuning.shipped ~chip in
+  let env = Core.Environment.sys_plus ~tuned in
+  let reps = 40 in
+  let run_cell ~traced () =
+    for i = 0 to reps - 1 do
+      let sim =
+        Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.subseed seed i) ()
+      in
+      Gpusim.Sim.set_environment sim (Core.Environment.for_app env);
+      if traced then Gpusim.Trace.enable (Gpusim.Sim.trace sim);
+      ignore (app.Apps.App.run sim Apps.App.Original)
+    done
+  in
+  run_cell ~traced:false ();  (* warm-up *)
+  timed "trace_off_s" (run_cell ~traced:false);
+  timed "trace_on_s" (run_cell ~traced:true);
+  let toff = List.assoc "trace_off_s" !recorded in
+  let ton = List.assoc "trace_on_s" !recorded in
+  let ratio = if toff > 0.0 then ton /. toff else 0.0 in
+  record "trace_overhead_ratio" ratio;
+  Fmt.pr
+    "%d executions: untraced %.3f s | traced %.3f s | enabled/disabled \
+     ratio %.3fx@."
+    reps toff ton ratio
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one per table/figure              *)
 
 let quick = Core.Budget.quick
@@ -306,17 +343,21 @@ let json_out () =
   go 1
 
 let write_json path =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"unix_time\": %.0f,\n" (Unix.time ());
-  Printf.fprintf oc "  \"default_jobs\": %d,\n  \"timings\": {\n"
-    (Core.Exec.default_jobs ());
   let entries = List.rev !recorded in
-  let n = List.length entries in
-  List.iteri
-    (fun i (name, v) ->
-      Printf.fprintf oc "    %S: %g%s\n" name v (if i = n - 1 then "" else ","))
-    entries;
-  output_string oc "  }\n}\n";
+  let doc =
+    Core.Json.Assoc
+      [ ("schema", Core.Json.Int 2);
+        ("unix_time", Core.Json.Float (Unix.time ()));
+        ("default_jobs", Core.Json.Int (Core.Exec.default_jobs ()));
+        ( "timings",
+          Core.Json.Assoc
+            (List.map (fun (name, v) -> (name, Core.Json.Float v)) entries) );
+        ( "telemetry",
+          Core.Telemetry.snapshot_to_json (Core.Telemetry.snapshot ()) ) ]
+  in
+  let oc = open_out path in
+  output_string oc (Core.Json.to_string doc);
+  output_char oc '\n';
   close_out oc;
   Fmt.pr "wrote %s@." path
 
@@ -330,6 +371,7 @@ let () =
   timed "table5_s" print_table5;
   let harden_results = timed "table6_s" print_table6 in
   timed "fig5_s" (fun () -> print_fig5 harden_results);
+  tracing_overhead ();
   backend_comparison ();
   run_bechamel ();
   record "total_s" (Unix.gettimeofday () -. t0);

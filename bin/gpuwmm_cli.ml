@@ -115,14 +115,14 @@ let csv_out =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Also write raw data as CSV to FILE.")
 
+let write_file p contents =
+  let oc = open_out p in
+  output_string oc contents;
+  close_out oc;
+  Fmt.pr "wrote %s@." p
+
 let write_csv path contents =
-  match path with
-  | None -> ()
-  | Some p ->
-    let oc = open_out p in
-    output_string oc contents;
-    close_out oc;
-    Fmt.pr "wrote %s@." p
+  match path with None -> () | Some p -> write_file p contents
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
@@ -340,7 +340,7 @@ let target_cmd =
     (match app.Apps.App.run sim Apps.App.Original with
     | Ok () -> ()
     | Error e -> Fmt.pr "(native observation run failed: %s)@." e);
-    Gpusim.Race.detach sim;
+    Gpusim.Race.detach sim det;
     Fmt.pr "communication locations observed in %s:@." app.Apps.App.name;
     Gpusim.Race.pp_findings Fmt.stdout (Gpusim.Race.findings det);
     let addresses = Gpusim.Race.data_locations det in
@@ -365,6 +365,88 @@ let target_cmd =
     (Cmd.info "target"
        ~doc:"Detect an application's communication locations with the              dynamic race detector and stress exactly their memory              partitions (the paper's future-work item (e)).")
     Term.(const run $ verbose $ seed $ chip $ app_term $ runs)
+
+let trace_cmd =
+  let app_term =
+    Arg.(
+      required
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"Application to trace.")
+  in
+  let env_name =
+    Arg.(
+      value & opt string "sys-str+"
+      & info [ "env" ] ~docv:"ENV"
+          ~doc:"Testing environment: no-str-, sys-str+, rand-str+, ...")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Chrome trace-event output file; open in chrome://tracing or \
+             ui.perfetto.dev.")
+  in
+  let jsonl_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also write the raw event records as JSON Lines to FILE.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Gpusim.Trace.default_capacity
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Trace ring-buffer capacity; when a run emits more events, the \
+             oldest are dropped.")
+  in
+  let run verbose seed chip app env_name out jsonl_out capacity =
+    setup_log verbose;
+    if capacity <= 0 then begin
+      Fmt.epr "--capacity must be positive@.";
+      exit 1
+    end;
+    match
+      List.find_opt
+        (fun e -> e.Core.Environment.label = env_name)
+        (tuned_envs chip)
+    with
+    | None ->
+      Fmt.epr "unknown environment %s@." env_name;
+      exit 1
+    | Some env ->
+      let sim = Gpusim.Sim.create ~chip ~seed () in
+      Gpusim.Sim.set_environment sim (Core.Environment.for_app env);
+      let sink = Gpusim.Sim.trace sim in
+      Gpusim.Trace.enable ~capacity sink;
+      let outcome = app.Apps.App.run sim Apps.App.Original in
+      let records = Gpusim.Trace.records sink in
+      Fmt.pr "%s on %s under %s: %s@." app.Apps.App.name
+        chip.Gpusim.Chip.name env_name
+        (match outcome with Ok () -> "ok" | Error e -> "ERROR " ^ e);
+      Fmt.pr "%d event(s) recorded (%d emitted, %d dropped by the ring)@."
+        (List.length records)
+        (Gpusim.Trace.emitted sink)
+        (Gpusim.Trace.dropped sink);
+      write_file out
+        (Core.Json.to_string (Core.Telemetry.chrome_trace records) ^ "\n");
+      Option.iter
+        (fun p -> write_file p (Core.Telemetry.jsonl records))
+        jsonl_out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Execute one application with the event tracer enabled and export \
+          the recorded simulator events (instruction issue and commit, \
+          reorders, fences, barriers, contention samples) as a Chrome \
+          trace-event file.")
+    Term.(
+      const run $ verbose $ seed $ chip $ app_term $ env_name $ out
+      $ jsonl_out $ capacity)
 
 let ablate_cmd =
   let runs = Arg.(value & opt int 150 & info [ "runs" ] ~docv:"N") in
@@ -568,6 +650,6 @@ let main =
          "Exposing errors related to weak memory in (simulated) GPU \
           applications — reproduction of Sorensen & Donaldson, PLDI 2016.")
     [ chips_cmd; litmus_cmd; run_litmus_cmd; tune_cmd; test_cmd; harden_cmd;
-      target_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd ]
+      target_cmd; trace_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd ]
 
 let () = exit (Cmd.eval main)

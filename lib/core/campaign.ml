@@ -16,10 +16,14 @@ type row = {
 
 let effectiveness_threshold = 0.05
 
+let runs_counter = Telemetry.counter "campaign.runs"
+let errors_counter = Telemetry.counter "campaign.errors"
+
 let test_app ~chip ~env ~app ~runs ~seed =
   let errors = ref 0 in
   let example = ref "" in
   let counts = Hashtbl.create 7 in
+  Telemetry.add runs_counter runs;
   for i = 0 to runs - 1 do
     let sim =
       Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.subseed seed i) ()
@@ -29,6 +33,7 @@ let test_app ~chip ~env ~app ~runs ~seed =
     | Ok () -> ()
     | Error msg ->
       incr errors;
+      Telemetry.incr errors_counter;
       if !example = "" then example := msg;
       Hashtbl.replace counts msg
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts msg))

@@ -65,16 +65,17 @@ let make_ticker ~label ~execs_per_job ~total =
 (* ------------------------------------------------------------------ *)
 (* The worker pool                                                      *)
 
-(* Run [process i] for every i in [0, len) on [domains] domains (the
-   caller is one of them).  Indexes are handed out in chunks from a
-   shared atomic counter; [stop] lets callers abort early (used by
-   [for_all]).  The first exception is captured and re-raised on the
-   calling domain after every worker has drained. *)
+(* Run [process ~worker i] for every i in [0, len) on [domains] domains
+   (the caller is one of them; it is worker 0, helpers are 1..).
+   Indexes are handed out in chunks from a shared atomic counter; [stop]
+   lets callers abort early (used by [for_all]).  The first exception is
+   captured and re-raised on the calling domain after every worker has
+   drained. *)
 let pool_iter ~domains ~stop ~process len =
   let next = Atomic.make 0 in
   let error = Atomic.make None in
   let chunk = Int.max 1 (len / (domains * 8)) in
-  let worker () =
+  let worker w =
     let rec loop () =
       if Atomic.get error = None && not (stop ()) then begin
         let start = Atomic.fetch_and_add next chunk in
@@ -82,7 +83,8 @@ let pool_iter ~domains ~stop ~process len =
           (try
              let finish = Int.min len (start + chunk) in
              for i = start to finish - 1 do
-               if Atomic.get error = None && not (stop ()) then process i
+               if Atomic.get error = None && not (stop ()) then
+                 process ~worker:w i
              done
            with e -> ignore (Atomic.compare_and_set error None (Some e)));
           loop ()
@@ -91,20 +93,46 @@ let pool_iter ~domains ~stop ~process len =
     in
     loop ()
   in
-  let helpers = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let helpers =
+    List.init (domains - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+  in
+  worker 0;
   List.iter Domain.join helpers;
   match Atomic.get error with Some e -> raise e | None -> ()
+
+(* Wrap a job function with telemetry: every completed job bumps the
+   exec counters/histograms, and — when span recording is on — leaves a
+   span with its schedule (worker slot, queue wait, run time).  None of
+   this touches the job's result, so the backend determinism guarantee
+   is unaffected. *)
+let instrumented ?label ~f ~queued_at =
+  let jobs_c = Telemetry.counter "exec.jobs" in
+  let run_h = Telemetry.histogram "exec.run_seconds" in
+  let wait_h = Telemetry.histogram "exec.queue_wait_seconds" in
+  let label = match label with Some l -> l | None -> "map" in
+  fun ~worker j ->
+    let started_at = Unix.gettimeofday () in
+    let r = f j in
+    let ended_at = Unix.gettimeofday () in
+    Telemetry.incr jobs_c;
+    Telemetry.observe run_h (ended_at -. started_at);
+    Telemetry.observe wait_h (started_at -. queued_at);
+    if Telemetry.spans_enabled () then
+      Telemetry.record_span
+        { Telemetry.label; index = j.index; worker; queued_at; started_at;
+          ended_at };
+    r
 
 let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
   let arr = Array.of_list jobs in
   let len = Array.length arr in
   let tick = make_ticker ~label ~execs_per_job ~total:len in
   let domains = Int.min (jobs_of_backend backend) (Int.max 1 len) in
+  let exec = instrumented ?label ~f ~queued_at:(Unix.gettimeofday ()) in
   if domains <= 1 then
     List.mapi
       (fun i j ->
-        let r = f j in
+        let r = exec ~worker:0 j in
         tick (i + 1);
         r)
       jobs
@@ -113,8 +141,8 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
     let completed = Atomic.make 0 in
     pool_iter ~domains
       ~stop:(fun () -> false)
-      ~process:(fun i ->
-        results.(i) <- Some (f arr.(i));
+      ~process:(fun ~worker i ->
+        results.(i) <- Some (exec ~worker arr.(i));
         tick (1 + Atomic.fetch_and_add completed 1))
       len;
     Array.to_list
@@ -138,7 +166,7 @@ let for_all ?(backend = Serial) ~seed ~f payloads =
     let failed = Atomic.make false in
     pool_iter ~domains
       ~stop:(fun () -> Atomic.get failed)
-      ~process:(fun i ->
+      ~process:(fun ~worker:_ i ->
         let j = arr.(i) in
         if not (f ~seed:j.seed j.payload) then Atomic.set failed true)
       (Array.length arr);

@@ -66,9 +66,16 @@ val map :
   'b list
 (** Execute all jobs and return their results in plan order.  [f] must
     be pure (up to its own fresh simulator state) for the backend
-    guarantee to hold.  [label] names the campaign in progress messages;
-    [execs_per_job] scales the reported execs/sec throughput.  An
-    exception raised by any job is re-raised after the pool drains. *)
+    guarantee to hold.  [label] names the campaign in progress messages
+    and in recorded spans; [execs_per_job] scales the reported execs/sec
+    throughput.  An exception raised by any job is re-raised after the
+    pool drains.
+
+    Every completed job bumps the [exec.jobs] counter and the
+    [exec.run_seconds] / [exec.queue_wait_seconds] histograms in
+    {!Telemetry}; when {!Telemetry.set_spans} is on, each job also
+    records a span with its worker slot and schedule.  Instrumentation
+    never affects results. *)
 
 val run :
   ?backend:backend ->

@@ -1,0 +1,380 @@
+(* ------------------------------------------------------------------ *)
+(* Counters                                                             *)
+
+type counter = int Atomic.t
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let registry_mu = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+let counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add counters name c;
+        c)
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let counter_value c = Atomic.get c
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                           *)
+
+(* Log-scale duration bounds, seconds.  The last bucket is the overflow
+   catch-all. *)
+let bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; infinity |]
+
+type histogram = {
+  cells : int Atomic.t array;  (* one per bound, non-cumulative *)
+  sum : float Atomic.t;
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          { cells = Array.init (Array.length bounds) (fun _ -> Atomic.make 0);
+            sum = Atomic.make 0.0 }
+        in
+        Hashtbl.add histograms name h;
+        h)
+
+(* [compare_and_set] on a boxed float compares the box physically, so
+   the retry loop is sound: we only install a new box against the exact
+   box we read. *)
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let observe h v =
+  let v = Float.max 0.0 v in
+  let rec slot i = if v <= bounds.(i) then i else slot (i + 1) in
+  Atomic.incr h.cells.(slot 0);
+  atomic_add_float h.sum v
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+}
+
+let snapshot_histogram h =
+  let counts = Array.map Atomic.get h.cells in
+  let total = Array.fold_left ( + ) 0 counts in
+  (* Cumulative "le" semantics, Prometheus-style. *)
+  let acc = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i n ->
+           acc := !acc + n;
+           (bounds.(i), !acc))
+         counts)
+  in
+  { count = total; sum = Atomic.get h.sum; buckets }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  with_registry (fun () ->
+      { counters =
+          Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) counters []
+          |> List.sort by_name;
+        histograms =
+          Hashtbl.fold
+            (fun k h acc -> (k, snapshot_histogram h) :: acc)
+            histograms []
+          |> List.sort by_name })
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun c -> Atomic.set c 0) h.cells;
+          Atomic.set h.sum 0.0)
+        histograms)
+
+let bound_json b =
+  if Float.is_finite b then Json.Float b else Json.String "inf"
+
+let snapshot_to_json s =
+  let hist_json (hs : histogram_snapshot) =
+    (* Only buckets that gained samples over their predecessor. *)
+    let _, nonempty =
+      List.fold_left
+        (fun (prev, acc) (b, cum) ->
+          ( cum,
+            if cum > prev then
+              Json.Assoc [ ("le", bound_json b); ("n", Json.Int cum) ] :: acc
+            else acc ))
+        (0, []) hs.buckets
+    in
+    Json.Assoc
+      [ ("count", Json.Int hs.count);
+        ("sum", Json.Float hs.sum);
+        ("buckets", Json.List (List.rev nonempty)) ]
+  in
+  Json.Assoc
+    [ ( "counters",
+        Json.Assoc (List.map (fun (k, v) -> (k, Json.Int v)) s.counters) );
+      ( "histograms",
+        Json.Assoc (List.map (fun (k, h) -> (k, hist_json h)) s.histograms) )
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+
+type span = {
+  label : string;
+  index : int;
+  worker : int;
+  queued_at : float;
+  started_at : float;
+  ended_at : float;
+}
+
+let spans_on = Atomic.make false
+let span_log : span list ref = ref []
+let span_mu = Mutex.create ()
+
+let clear_spans () =
+  Mutex.lock span_mu;
+  span_log := [];
+  Mutex.unlock span_mu
+
+let set_spans on =
+  Atomic.set spans_on on;
+  if on then clear_spans ()
+
+let spans_enabled () = Atomic.get spans_on
+
+let record_span s =
+  if Atomic.get spans_on then begin
+    Mutex.lock span_mu;
+    span_log := s :: !span_log;
+    Mutex.unlock span_mu
+  end
+
+let spans () =
+  Mutex.lock span_mu;
+  let l = List.rev !span_log in
+  Mutex.unlock span_mu;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* JSONL: a lossless record serialisation                               *)
+
+let record_to_json { Gpusim.Trace.tick; event } =
+  let open Json in
+  let fields =
+    match event with
+    | Gpusim.Trace.Launch_begin
+        { kernel; grid; block; stress_blocks; stress_threads } ->
+      [ ("kernel", String kernel); ("grid", Int grid); ("block", Int block);
+        ("stress_blocks", Int stress_blocks);
+        ("stress_threads", Int stress_threads) ]
+    | Launch_end { outcome; divergence; metrics } ->
+      [ ("outcome", String outcome); ("divergence", Bool divergence);
+        ("metrics", Assoc (List.map (fun (k, v) -> (k, Int v)) metrics)) ]
+    | Access { tid; addr; write; atomic } ->
+      [ ("tid", Int tid); ("addr", Int addr); ("write", Bool write);
+        ("atomic", Bool atomic) ]
+    | Issue { tid; addr; part; is_store } ->
+      [ ("tid", Int tid); ("addr", Int addr); ("part", Int part);
+        ("is_store", Bool is_store) ]
+    | Commit { tid; addr; is_store; value; reordered } ->
+      [ ("tid", Int tid); ("addr", Int addr); ("is_store", Bool is_store);
+        ("value", Int value); ("reordered", Bool reordered) ]
+    | Reorder { tid; overtaken; committed } ->
+      [ ("tid", Int tid); ("overtaken", Int overtaken);
+        ("committed", Int committed) ]
+    | Atomic_rmw { tid; addr; before; after } ->
+      [ ("tid", Int tid); ("addr", Int addr); ("before", Int before);
+        ("after", Int after) ]
+    | Fence { tid; pending; device_scope } ->
+      [ ("tid", Int tid); ("pending", Int pending);
+        ("device_scope", Bool device_scope) ]
+    | Barrier_wait { tid; block } -> [ ("tid", Int tid); ("block", Int block) ]
+    | Barrier_release { block; by_exit } ->
+      [ ("block", Int block); ("by_exit", Bool by_exit) ]
+    | Thread_done { tid; daemon } ->
+      [ ("tid", Int tid); ("daemon", Bool daemon) ]
+    | Contention { part; read; write } ->
+      [ ("part", Int part); ("read", Float read); ("write", Float write) ]
+  in
+  Assoc
+    (("tick", Int tick)
+    :: ("ev", String (Gpusim.Trace.event_name event))
+    :: fields)
+
+exception Decode of string
+
+let record_of_json j =
+  let need k conv =
+    match Option.bind (Json.member k j) conv with
+    | Some v -> v
+    | None -> raise (Decode ("missing or mistyped field " ^ k))
+  in
+  let i k = need k Json.to_int in
+  let b k = need k Json.to_bool in
+  let s k = need k Json.to_str in
+  let f k = need k Json.to_float in
+  let metrics k =
+    match Json.member k j with
+    | Some (Json.Assoc kvs) ->
+      List.map
+        (fun (name, v) ->
+          match Json.to_int v with
+          | Some n -> (name, n)
+          | None -> raise (Decode ("non-integer metric " ^ name)))
+        kvs
+    | _ -> raise (Decode ("missing or mistyped field " ^ k))
+  in
+  match
+    let tick = i "tick" in
+    let event =
+      match s "ev" with
+      | "launch_begin" ->
+        Gpusim.Trace.Launch_begin
+          { kernel = s "kernel"; grid = i "grid"; block = i "block";
+            stress_blocks = i "stress_blocks";
+            stress_threads = i "stress_threads" }
+      | "launch_end" ->
+        Launch_end
+          { outcome = s "outcome"; divergence = b "divergence";
+            metrics = metrics "metrics" }
+      | "access" ->
+        Access
+          { tid = i "tid"; addr = i "addr"; write = b "write";
+            atomic = b "atomic" }
+      | "issue" ->
+        Issue
+          { tid = i "tid"; addr = i "addr"; part = i "part";
+            is_store = b "is_store" }
+      | "commit" ->
+        Commit
+          { tid = i "tid"; addr = i "addr"; is_store = b "is_store";
+            value = i "value"; reordered = b "reordered" }
+      | "reorder" ->
+        Reorder
+          { tid = i "tid"; overtaken = i "overtaken";
+            committed = i "committed" }
+      | "atomic_rmw" ->
+        Atomic_rmw
+          { tid = i "tid"; addr = i "addr"; before = i "before";
+            after = i "after" }
+      | "fence" ->
+        Fence
+          { tid = i "tid"; pending = i "pending";
+            device_scope = b "device_scope" }
+      | "barrier_wait" -> Barrier_wait { tid = i "tid"; block = i "block" }
+      | "barrier_release" ->
+        Barrier_release { block = i "block"; by_exit = b "by_exit" }
+      | "thread_done" -> Thread_done { tid = i "tid"; daemon = b "daemon" }
+      | "contention" ->
+        Contention { part = i "part"; read = f "read"; write = f "write" }
+      | other -> raise (Decode ("unknown event " ^ other))
+    in
+    { Gpusim.Trace.tick; event }
+  with
+  | r -> Ok r
+  | exception Decode msg -> Error msg
+
+let jsonl records =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Json.to_string (record_to_json r));
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let jsonl_parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go acc rest
+      else (
+        match Json.of_string line with
+        | Error e -> Error e
+        | Ok j -> (
+          match record_of_json j with
+          | Error e -> Error e
+          | Ok r -> go (r :: acc) rest))
+  in
+  go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                            *)
+
+let chrome_of_record r =
+  let { Gpusim.Trace.tick; event } = r in
+  let open Json in
+  match event with
+  | Gpusim.Trace.Contention { part; read; write } ->
+    (* Counter tracks: one per partition, plotted by the trace viewer. *)
+    Assoc
+      [ ("name", String (Printf.sprintf "contention.p%d" part));
+        ("ph", String "C"); ("ts", Int tick); ("pid", Int 0); ("tid", Int 0);
+        ("args", Assoc [ ("read", Float read); ("write", Float write) ]) ]
+  | event ->
+    let tid =
+      match Gpusim.Trace.tid_of_event event with Some t -> t | None -> 0
+    in
+    let args =
+      match record_to_json r with
+      | Assoc (("tick", _) :: ("ev", _) :: fields) -> fields
+      | _ -> []
+    in
+    Assoc
+      [ ("name", String (Gpusim.Trace.event_name event));
+        ("ph", String "i"); ("s", String "t"); ("ts", Int tick);
+        ("pid", Int 0); ("tid", Int tid); ("args", Assoc args) ]
+
+let chrome_of_span base s =
+  let us t = int_of_float ((t -. base) *. 1e6) in
+  Json.Assoc
+    [ ("name", Json.String s.label); ("ph", Json.String "X");
+      ("ts", Json.Int (us s.started_at));
+      ("dur", Json.Int (Int.max 0 (us s.ended_at - us s.started_at)));
+      ("pid", Json.Int 1); ("tid", Json.Int s.worker);
+      ( "args",
+        Json.Assoc
+          [ ("index", Json.Int s.index);
+            ( "queue_wait_us",
+              Json.Int (Int.max 0 (us s.started_at - us s.queued_at)) ) ] ) ]
+
+let ts_of = function
+  | Json.Assoc kvs -> (
+    match List.assoc_opt "ts" kvs with Some (Json.Int t) -> t | _ -> 0)
+  | _ -> 0
+
+let chrome_trace ?(spans = []) records =
+  let base =
+    List.fold_left (fun acc s -> Float.min acc s.queued_at) infinity spans
+  in
+  let events =
+    List.map chrome_of_record records @ List.map (chrome_of_span base) spans
+  in
+  let events = List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) events in
+  Json.Assoc [ ("traceEvents", Json.List events) ]

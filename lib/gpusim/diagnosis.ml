@@ -3,15 +3,25 @@ type region = { rname : string; base : int; len : int }
 type t = {
   pairs : (int * int, int) Hashtbl.t;  (* (overtaken, committed) -> count *)
   mutable regions : region list;
+  subscription : int;
 }
 
 let attach sim =
-  let t = { pairs = Hashtbl.create 64; regions = [] } in
-  Sim.set_reorder_hook sim (fun ~tid:_ ~overtaken ~committed ->
-      let key = (overtaken, committed) in
-      let n = match Hashtbl.find_opt t.pairs key with Some n -> n | None -> 0 in
-      Hashtbl.replace t.pairs key (n + 1));
-  t
+  let pairs = Hashtbl.create 64 in
+  let subscription =
+    Trace.subscribe (Sim.trace sim) (fun ~tick:_ ev ->
+        match ev with
+        | Trace.Reorder { overtaken; committed; _ } ->
+          let key = (overtaken, committed) in
+          let n =
+            match Hashtbl.find_opt pairs key with Some n -> n | None -> 0
+          in
+          Hashtbl.replace pairs key (n + 1)
+        | _ -> ())
+  in
+  { pairs; regions = []; subscription }
+
+let detach sim t = Trace.unsubscribe (Sim.trace sim) t.subscription
 
 let clear t = Hashtbl.reset t.pairs
 

@@ -14,7 +14,11 @@ type t
 type region = { rname : string; base : int; len : int }
 
 val attach : Sim.t -> t
-(** Start recording reorder events on the device. *)
+(** Start recording: subscribes to the device's trace sink and
+    aggregates every {!Trace.Reorder} event. *)
+
+val detach : Sim.t -> t -> unit
+(** Stop observing (recorded pairs remain readable). *)
 
 val clear : t -> unit
 

@@ -27,12 +27,6 @@ type t
 type pending
 (** A handle to a pending load. *)
 
-(** Events observable through {!set_tracer}: issue and commit of pending
-    operations, with their addresses. *)
-type event =
-  | Issue of { tid : int; addr : int; is_store : bool }
-  | Commit of { tid : int; addr : int; is_store : bool; value : int }
-
 val create : chip:Chip.t -> rng:Rng.t -> words:int -> nthreads:int -> t
 (** A fresh subsystem with [words] of zeroed global memory and state for
     thread ids [0 .. nthreads-1].  When the chip is strong
@@ -117,17 +111,18 @@ val contention : t -> part:int -> kind:[ `Load | `Store ] -> float
 
 (** {1 Bookkeeping} *)
 
-val set_tracer : t -> (int -> event -> unit) option -> unit
-(** Install (or clear) an event tracer; called with the current tick. *)
+val sink : t -> Trace.t
+(** The device's trace sink.  The subsystem emits {!Trace.Access} (every
+    application global access at issue), {!Trace.Issue} and
+    {!Trace.Commit} (pending-entry lifecycle), {!Trace.Reorder} (every
+    out-of-order commit, including atomics bypassing older pending
+    operations) and {!Trace.Atomic_rmw} through it; {!Sim} shares the
+    same sink for launch-level events.  Nothing is emitted (or
+    allocated) while the sink is inactive. *)
 
-val set_access_hook :
-  t -> (tid:int -> addr:int -> write:bool -> atomic:bool -> unit) option -> unit
-(** Observe every application (non-stress) global access at issue; used by
-    the race detector. *)
-
-val set_reorder_hook : t -> (tid:int -> overtaken:int -> committed:int -> unit) -> unit
-(** Called on every out-of-order commit with the two addresses involved;
-    used by tracing/diagnosis. *)
+val now : t -> int
+(** The contention clock: monotone over the device's lifetime (never
+    reset between launches), used as the trace timestamp. *)
 
 val reorders : t -> int
 (** Total out-of-order commits so far. *)

@@ -56,9 +56,13 @@ let energy ~(chip : Chip.t) m =
   in
   dynamic +. (float_of_int (runtime_cycles ~chip m) *. c.static_power)
 
+let to_assoc m =
+  [ ("ticks", m.ticks); ("alu", m.n_alu); ("ld", m.n_load); ("st", m.n_store);
+    ("atomic", m.n_atomic); ("fence", m.n_fence); ("drained", m.fence_drained);
+    ("stall", m.fence_stall_ticks); ("reorder", m.n_reorder);
+    ("app_cycles", m.app_cycles) ]
+
 let pp ppf m =
-  Fmt.pf ppf
-    "ticks=%d alu=%d ld=%d st=%d atomic=%d fence=%d drained=%d stall=%d \
-     reorder=%d app_cycles=%d"
-    m.ticks m.n_alu m.n_load m.n_store m.n_atomic m.n_fence m.fence_drained
-    m.fence_stall_ticks m.n_reorder m.app_cycles
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> pf ppf "%s=%d" k v))
+    (to_assoc m)

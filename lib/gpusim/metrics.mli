@@ -37,4 +37,13 @@ val energy : chip:Chip.t -> t -> float
 (** Modelled energy: per-operation energy plus static power drawn over the
     modelled runtime. *)
 
+val to_assoc : t -> (string * int) list
+(** Structured key/value export of every counter, in a stable order with
+    stable keys ([ticks], [alu], [ld], [st], [atomic], [fence],
+    [drained], [stall], [reorder], [app_cycles]).  This is the single
+    source for machine-readable output: {!Sim}'s [Launch_end] trace
+    events and both telemetry exporters (Chrome trace JSON and JSONL)
+    consume it, and {!pp} renders it. *)
+
 val pp : Format.formatter -> t -> unit
+(** [k=v] pairs of {!to_assoc}, space-separated. *)

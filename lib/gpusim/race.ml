@@ -5,7 +5,7 @@ type cell = {
   mutable atomic : int;
 }
 
-type t = { cells : (int, cell) Hashtbl.t }
+type t = { cells : (int, cell) Hashtbl.t; subscription : int }
 
 type finding = {
   addr : int;
@@ -34,12 +34,18 @@ let observe t ~tid ~addr ~write ~atomic =
     c.reader_set <- tid :: c.reader_set
 
 let attach sim =
-  let t = { cells = Hashtbl.create 256 } in
-  Memsys.set_access_hook (Sim.mem sim)
-    (Some (fun ~tid ~addr ~write ~atomic -> observe t ~tid ~addr ~write ~atomic));
-  t
+  let cells = Hashtbl.create 256 in
+  let observer = { cells; subscription = -1 } in
+  let subscription =
+    Trace.subscribe (Sim.trace sim) (fun ~tick:_ ev ->
+        match ev with
+        | Trace.Access { tid; addr; write; atomic } ->
+          observe observer ~tid ~addr ~write ~atomic
+        | _ -> ())
+  in
+  { observer with subscription }
 
-let detach sim = Memsys.set_access_hook (Sim.mem sim) None
+let detach sim t = Trace.unsubscribe (Sim.trace sim) t.subscription
 
 let clear t = Hashtbl.reset t.cells
 

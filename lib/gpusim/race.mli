@@ -22,9 +22,13 @@ type finding = {
 }
 
 val attach : Sim.t -> t
-(** Start observing; detaches any previous observer on the device. *)
+(** Start observing: subscribes to the device's trace sink and records
+    every {!Trace.Access} event (application global accesses at issue).
+    Multiple observers may coexist with each other and with a trace
+    ring buffer. *)
 
-val detach : Sim.t -> unit
+val detach : Sim.t -> t -> unit
+(** Stop observing (recorded findings remain readable). *)
 
 val clear : t -> unit
 

@@ -60,7 +60,7 @@ let write_array t ~base a =
 let reorders t = Memsys.reorders t.mem
 let elapsed_cycles t = t.cycles_total
 let consumed_energy t = t.energy_total
-let set_reorder_hook t f = Memsys.set_reorder_hook t.mem f
+let trace t = Memsys.sink t.mem
 
 (* ------------------------------------------------------------------ *)
 (* Launch machinery                                                     *)
@@ -155,11 +155,20 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
   in
   let n_app = grid * block in
   let total = n_app + n_stress_threads in
+  let sink = Memsys.sink t.mem in
+  let tick_now () = Memsys.now t.mem in
+  if Trace.active sink then
+    Trace.emit sink ~tick:(tick_now ())
+      (Trace.Launch_begin
+         { kernel = kernel.Kernel.name; grid; block;
+           stress_blocks = (match stress with Some s -> s.blocks | None -> 0);
+           stress_threads = n_stress_threads });
   Memsys.reset_threads t.mem ~nthreads:total;
   Memsys.set_stress_gain t.mem
     (match stress with Some s -> s.intensity | None -> 1.0);
   let block_of, tid_of = logical_ids t ~randomise:t.env.randomise ~grid ~block in
   let metrics = Metrics.create () in
+  let reorders_before = Memsys.reorders t.mem in
   let threads = Array.make total None in
   let blocks = ref [] in
   let next_gid = ref 0 in
@@ -258,10 +267,17 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
     b.waiting <- 0;
     (* CUDA leaves a barrier undefined unless every thread of the block
        executes it; a release with exited members is flagged. *)
-    if by_exit || b.live < Array.length b.members then divergence := true
+    if by_exit || b.live < Array.length b.members then divergence := true;
+    if Trace.active sink then
+      Trace.emit sink ~tick:(tick_now ())
+        (Trace.Barrier_release
+           { block = b.members.(0).block_id; by_exit })
   in
   let finish_thread th =
     th.status <- Done;
+    if Trace.active sink then
+      Trace.emit sink ~tick:(tick_now ())
+        (Trace.Thread_done { tid = th.ctx.Code.gid; daemon = th.daemon });
     remove_runnable th.ctx.Code.gid;
     let b = blocks.(th.block_id) in
     b.live <- b.live - 1;
@@ -385,13 +401,21 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
         | Kernel.Cta -> cost.cycles_fence_base / 2
       in
       charge th base;
-      if Memsys.pending_count t.mem ~tid:gid > 0 then th.status <- Draining
+      let pending = Memsys.pending_count t.mem ~tid:gid in
+      if Trace.active sink then
+        Trace.emit sink ~tick:(tick_now ())
+          (Trace.Fence
+             { tid = gid; pending; device_scope = (scope = Kernel.Device) });
+      if pending > 0 then th.status <- Draining
     | Code.Obarrier ->
       th.pc <- th.pc + 1;
       th.status <- At_barrier;
       remove_runnable gid;
       let b = blocks.(th.block_id) in
       b.waiting <- b.waiting + 1;
+      if Trace.active sink then
+        Trace.emit sink ~tick:(tick_now ())
+          (Trace.Barrier_wait { tid = gid; block = th.block_id });
       if b.waiting = b.live then release_barrier b ~by_exit:false
     | Code.Oreturn -> finish_thread th
   in
@@ -427,6 +451,19 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
        incr ticks;
        metrics.Metrics.ticks <- metrics.Metrics.ticks + 1;
        Memsys.tick t.mem;
+       (* Sample one partition's contention pools every 64 ticks, walking
+          the partitions round-robin.  Reads no randomness, so tracing
+          never perturbs an execution. *)
+       if Trace.active sink && !ticks land 63 = 0 then begin
+         let part =
+           !ticks lsr 6 mod t.chip.Chip.weakness.Chip.n_partitions
+         in
+         Trace.emit sink ~tick:(tick_now ())
+           (Trace.Contention
+              { part;
+                read = Memsys.contention t.mem ~part ~kind:`Load;
+                write = Memsys.contention t.mem ~part ~kind:`Store })
+       end;
        let pick_daemon =
          if !n_run_daemon = 0 then false
          else if !n_run_app = 0 then true
@@ -465,6 +502,17 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
   let order = Array.init total (fun i -> i) in
   Rng.shuffle t.rng order;
   Array.iter (fun gid -> ignore (Memsys.drain t.mem ~tid:gid)) order;
+  metrics.Metrics.n_reorder <- Memsys.reorders t.mem - reorders_before;
   t.cycles_total <- t.cycles_total + Metrics.runtime_cycles ~chip:t.chip metrics;
   t.energy_total <- t.energy_total +. Metrics.energy ~chip:t.chip metrics;
+  if Trace.active sink then
+    Trace.emit sink ~tick:(tick_now ())
+      (Trace.Launch_end
+         { outcome =
+             (match !outcome with
+             | Finished -> "finished"
+             | Timeout -> "timeout"
+             | Trapped msg -> "trapped: " ^ msg);
+           divergence = !divergence;
+           metrics = Metrics.to_assoc metrics });
   { outcome = !outcome; barrier_divergence = !divergence; metrics }

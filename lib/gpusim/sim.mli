@@ -110,5 +110,8 @@ val reorders : t -> int
 (** Cumulative out-of-order commits observed on this device (a diagnostic
     for how much weak behaviour executions exhibited). *)
 
-val set_reorder_hook :
-  t -> (tid:int -> overtaken:int -> committed:int -> unit) -> unit
+val trace : t -> Trace.t
+(** The device's trace sink (shared with its {!Memsys}).  Enable a ring
+    buffer on it before {!launch} to capture the execution's event
+    stream ({!Trace.enable}), or subscribe observers — {!Diagnosis} and
+    {!Race} attach this way.  Inactive (and free) by default. *)

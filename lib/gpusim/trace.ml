@@ -1,0 +1,174 @@
+type event =
+  | Launch_begin of {
+      kernel : string;
+      grid : int;
+      block : int;
+      stress_blocks : int;
+      stress_threads : int;
+    }
+  | Launch_end of {
+      outcome : string;
+      divergence : bool;
+      metrics : (string * int) list;
+    }
+  | Access of { tid : int; addr : int; write : bool; atomic : bool }
+  | Issue of { tid : int; addr : int; part : int; is_store : bool }
+  | Commit of {
+      tid : int;
+      addr : int;
+      is_store : bool;
+      value : int;
+      reordered : bool;
+    }
+  | Reorder of { tid : int; overtaken : int; committed : int }
+  | Atomic_rmw of { tid : int; addr : int; before : int; after : int }
+  | Fence of { tid : int; pending : int; device_scope : bool }
+  | Barrier_wait of { tid : int; block : int }
+  | Barrier_release of { block : int; by_exit : bool }
+  | Thread_done of { tid : int; daemon : bool }
+  | Contention of { part : int; read : float; write : float }
+
+type record = { tick : int; event : event }
+
+type t = {
+  mutable ring : record array;  (* [||] when no buffer is enabled *)
+  mutable head : int;  (* next write slot *)
+  mutable len : int;
+  mutable emitted : int;
+  mutable subscribers : (int * (tick:int -> event -> unit)) list;
+  mutable next_id : int;
+  mutable active : bool;  (* cached: ring or subscribers present *)
+}
+
+let default_capacity = 65536
+
+let create () =
+  { ring = [||]; head = 0; len = 0; emitted = 0; subscribers = [];
+    next_id = 0; active = false }
+
+let refresh t = t.active <- Array.length t.ring > 0 || t.subscribers <> []
+
+let active t = t.active
+let enabled t = Array.length t.ring > 0
+
+(* A shared placeholder for unwritten slots; never observable because
+   [records] only reads the first [len] logical entries. *)
+let dummy = { tick = 0; event = Barrier_release { block = 0; by_exit = false } }
+
+let enable ?(capacity = default_capacity) t =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  t.ring <- Array.make capacity dummy;
+  t.head <- 0;
+  t.len <- 0;
+  t.emitted <- 0;
+  refresh t
+
+let disable t =
+  t.ring <- [||];
+  t.head <- 0;
+  t.len <- 0;
+  refresh t
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.emitted <- 0
+
+let emit t ~tick event =
+  let cap = Array.length t.ring in
+  if cap > 0 then begin
+    t.ring.(t.head) <- { tick; event };
+    t.head <- (t.head + 1) mod cap;
+    if t.len < cap then t.len <- t.len + 1;
+    t.emitted <- t.emitted + 1
+  end;
+  match t.subscribers with
+  | [] -> ()
+  | subs -> List.iter (fun (_, f) -> f ~tick event) subs
+
+let records t =
+  let cap = Array.length t.ring in
+  if cap = 0 || t.len = 0 then []
+  else begin
+    let start = (t.head - t.len + cap) mod cap in
+    List.init t.len (fun i -> t.ring.((start + i) mod cap))
+  end
+
+let emitted t = t.emitted
+let dropped t = t.emitted - t.len
+
+let subscribe t f =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.subscribers <- t.subscribers @ [ (id, f) ];
+  refresh t;
+  id
+
+let unsubscribe t id =
+  t.subscribers <- List.filter (fun (i, _) -> i <> id) t.subscribers;
+  refresh t
+
+let event_name = function
+  | Launch_begin _ -> "launch_begin"
+  | Launch_end _ -> "launch_end"
+  | Access _ -> "access"
+  | Issue _ -> "issue"
+  | Commit _ -> "commit"
+  | Reorder _ -> "reorder"
+  | Atomic_rmw _ -> "atomic_rmw"
+  | Fence _ -> "fence"
+  | Barrier_wait _ -> "barrier_wait"
+  | Barrier_release _ -> "barrier_release"
+  | Thread_done _ -> "thread_done"
+  | Contention _ -> "contention"
+
+let tid_of_event = function
+  | Access { tid; _ }
+  | Issue { tid; _ }
+  | Commit { tid; _ }
+  | Reorder { tid; _ }
+  | Atomic_rmw { tid; _ }
+  | Fence { tid; _ }
+  | Barrier_wait { tid; _ }
+  | Thread_done { tid; _ } -> Some tid
+  | Launch_begin _ | Launch_end _ | Barrier_release _ | Contention _ -> None
+
+let pp_event ppf = function
+  | Launch_begin { kernel; grid; block; stress_blocks; stress_threads } ->
+    Fmt.pf ppf "launch_begin %s <<<%d,%d>>> +%d stress blocks (%d threads)"
+      kernel grid block stress_blocks stress_threads
+  | Launch_end { outcome; divergence; _ } ->
+    Fmt.pf ppf "launch_end %s%s" outcome
+      (if divergence then " [divergence]" else "")
+  | Access { tid; addr; write; atomic } ->
+    Fmt.pf ppf "access t%d %s%s @%d" tid
+      (if write then "write" else "read")
+      (if atomic then " (atomic)" else "")
+      addr
+  | Issue { tid; addr; part; is_store } ->
+    Fmt.pf ppf "issue t%d %s @%d (part %d)" tid
+      (if is_store then "st" else "ld")
+      addr part
+  | Commit { tid; addr; is_store; value; reordered } ->
+    Fmt.pf ppf "commit t%d %s @%d = %d%s" tid
+      (if is_store then "st" else "ld")
+      addr value
+      (if reordered then " [reordered]" else "")
+  | Reorder { tid; overtaken; committed } ->
+    Fmt.pf ppf "reorder t%d @%d overtaken by @%d" tid overtaken committed
+  | Atomic_rmw { tid; addr; before; after } ->
+    Fmt.pf ppf "atomic t%d @%d: %d -> %d" tid addr before after
+  | Fence { tid; pending; device_scope } ->
+    Fmt.pf ppf "fence t%d (%s) %d pending" tid
+      (if device_scope then "device" else "cta")
+      pending
+  | Barrier_wait { tid; block } -> Fmt.pf ppf "barrier_wait t%d b%d" tid block
+  | Barrier_release { block; by_exit } ->
+    Fmt.pf ppf "barrier_release b%d%s" block
+      (if by_exit then " [by exit]" else "")
+  | Thread_done { tid; daemon } ->
+    Fmt.pf ppf "done t%d%s" tid (if daemon then " (stress)" else "")
+  | Contention { part; read; write } ->
+    Fmt.pf ppf "contention part %d: rd %.2f wr %.2f" part read write
+
+let pp_record ppf { tick; event } = Fmt.pf ppf "[%7d] %a" tick pp_event event

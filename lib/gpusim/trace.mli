@@ -1,0 +1,123 @@
+(** Typed execution tracing for the simulator.
+
+    Every device owns one {e sink}.  Simulator components ({!Memsys},
+    {!Sim}) emit typed events through it; the sink fans them out to an
+    optional bounded ring buffer (for post-mortem export) and to any
+    number of subscribers (the {!Diagnosis} and {!Race} observers attach
+    this way).  When nothing listens — the default — {!active} is a
+    single mutable-field read and no event is ever allocated, which is
+    the layer's zero-overhead-when-disabled contract: emit sites are
+    written [if Trace.active sink then Trace.emit sink ...].
+
+    Events carry only deterministic data (ticks, thread ids, addresses,
+    modelled contention); never wall-clock times or worker identities.
+    Consequently the trace of an execution is a pure function of
+    [(chip, seed, program)], and merged traces collected through
+    [Core.Exec] are bit-identical across serial and parallel backends
+    (property-tested in [test/test_trace.ml]). *)
+
+(** One simulator event.  The taxonomy spans the whole launch lifecycle:
+    instruction-level memory traffic (issue/commit of pending
+    operations, atomic RMWs), weak-memory incidents (out-of-order
+    commits), synchronisation (fence drains, barrier waits and
+    releases), thread retirement, per-partition contention samples, and
+    launch begin/end markers carrying the launch's {!Metrics} as a
+    structured key/value list. *)
+type event =
+  | Launch_begin of {
+      kernel : string;
+      grid : int;
+      block : int;
+      stress_blocks : int;  (** stressing blocks appended by the environment *)
+      stress_threads : int;
+    }
+  | Launch_end of {
+      outcome : string;  (** ["finished"], ["timeout"] or ["trapped: ..."] *)
+      divergence : bool;
+      metrics : (string * int) list;  (** [Metrics.to_assoc] of the launch *)
+    }
+  | Access of { tid : int; addr : int; write : bool; atomic : bool }
+      (** an application global access at issue (the race detector's
+          feed; stressing threads are excluded) *)
+  | Issue of { tid : int; addr : int; part : int; is_store : bool }
+      (** a pending entry entered the thread's FIFO *)
+  | Commit of {
+      tid : int;
+      addr : int;
+      is_store : bool;
+      value : int;
+      reordered : bool;  (** an older pending entry was overtaken *)
+    }
+  | Reorder of { tid : int; overtaken : int; committed : int }
+      (** the visible weak-memory event: [committed] became globally
+          visible while the older operation on [overtaken] was pending *)
+  | Atomic_rmw of { tid : int; addr : int; before : int; after : int }
+  | Fence of { tid : int; pending : int; device_scope : bool }
+      (** fence executed with [pending] queued entries still to drain *)
+  | Barrier_wait of { tid : int; block : int }
+  | Barrier_release of { block : int; by_exit : bool }
+      (** [by_exit]: released because a member thread exited (undefined
+          behaviour in CUDA, reported as barrier divergence) *)
+  | Thread_done of { tid : int; daemon : bool }
+  | Contention of { part : int; read : float; write : float }
+      (** periodic sample of one partition's modelled contention pools *)
+
+type record = { tick : int; event : event }
+
+type t
+(** A sink: ring buffer + subscribers.  Created inactive. *)
+
+val create : unit -> t
+
+val active : t -> bool
+(** [true] iff a ring buffer is enabled or a subscriber is attached.
+    Emit sites must guard on this so that disabled tracing allocates
+    nothing. *)
+
+val enabled : t -> bool
+(** [true] iff a ring buffer is currently attached. *)
+
+val default_capacity : int
+(** 65536 records. *)
+
+val enable : ?capacity:int -> t -> unit
+(** Attach a bounded ring buffer (discarding any previous one).  Once
+    full, the oldest record is overwritten; {!dropped} counts the
+    overwrites.  [capacity] must be positive. *)
+
+val disable : t -> unit
+(** Detach the ring buffer (subscribers stay). *)
+
+val clear : t -> unit
+(** Forget buffered records and reset the emitted/dropped counters,
+    keeping the buffer enabled. *)
+
+val emit : t -> tick:int -> event -> unit
+(** Record an event: append to the ring buffer (if enabled) and call
+    every subscriber.  Call only under an {!active} guard. *)
+
+val records : t -> record list
+(** Retained records, oldest first.  At most [capacity] of them; ticks
+    are non-decreasing. *)
+
+val emitted : t -> int
+(** Events emitted towards the ring buffer since {!enable}/{!clear}. *)
+
+val dropped : t -> int
+(** Ring-buffer overwrites ([emitted - retained]). *)
+
+val subscribe : t -> (tick:int -> event -> unit) -> int
+(** Attach an observer; returns a handle for {!unsubscribe}.
+    Subscribers see every event, buffered or not. *)
+
+val unsubscribe : t -> int -> unit
+
+val event_name : event -> string
+(** Stable lower-snake-case tag, e.g. ["commit"]; exporters use it as
+    the Chrome trace event name. *)
+
+val tid_of_event : event -> int option
+(** The acting thread, for events that have one. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_record : Format.formatter -> record -> unit

@@ -68,6 +68,78 @@ let test_exception_propagates () =
             (Core.Exec.map ~backend ~f:boom (Core.Exec.plan ~seed:1 payloads))))
     [ Core.Exec.Serial; Core.Exec.Parallel 4 ]
 
+let test_exception_leaves_pool_clean () =
+  (* A crashed parallel run must join every helper domain before
+     re-raising, so the engine is immediately reusable. *)
+  let payloads = List.init 64 Fun.id in
+  (try
+     ignore
+       (Core.Exec.map
+          ~backend:(Core.Exec.Parallel 4)
+          ~f:(fun j -> if j.Core.Exec.payload = 5 then failwith "boom")
+          (Core.Exec.plan ~seed:2 payloads))
+   with Failure _ -> ());
+  let r =
+    Core.Exec.map
+      ~backend:(Core.Exec.Parallel 4)
+      ~f:(fun j -> j.Core.Exec.payload + 1)
+      (Core.Exec.plan ~seed:2 payloads)
+  in
+  Alcotest.(check (list int)) "a fresh parallel run still works"
+    (List.map (( + ) 1) payloads)
+    r
+
+let test_for_all_abort_skips_remaining () =
+  (* Once a failure is known, the shared abort flag must stop workers
+     from processing the rest of their chunks and from taking new ones. *)
+  let total = 3200 in
+  let processed = Atomic.make 0 in
+  let ok =
+    Core.Exec.for_all
+      ~backend:(Core.Exec.Parallel 4)
+      ~seed:8
+      ~f:(fun ~seed:_ p ->
+        Atomic.incr processed;
+        p <> 0)
+      (List.init total Fun.id)
+  in
+  Alcotest.(check bool) "the failure is reported" false ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "early abort: %d of %d jobs ran" (Atomic.get processed)
+       total)
+    true
+    (Atomic.get processed < 1000)
+
+let test_ticker_rate_limited () =
+  (* A sub-second campaign must produce exactly the final progress line,
+     not one message per job. *)
+  let messages = ref [] in
+  let mu = Mutex.create () in
+  Core.Exec.set_progress
+    (Some
+       (fun m ->
+         Mutex.lock mu;
+         messages := m :: !messages;
+         Mutex.unlock mu));
+  Fun.protect
+    ~finally:(fun () -> Core.Exec.set_progress None)
+    (fun () ->
+      List.iter
+        (fun backend ->
+          messages := [];
+          ignore
+            (Core.Exec.map ~backend ~label:"tick-test"
+               ~f:(fun _ -> ())
+               (Core.Exec.plan ~seed:1 (List.init 500 Fun.id)));
+          let n = List.length !messages in
+          Alcotest.(check bool)
+            (Printf.sprintf "%d message(s) for 500 fast jobs" n)
+            true
+            (n >= 1 && n <= 5);
+          Alcotest.(check bool) "the final line reports completion" true
+            (Test_util.contains (List.hd !messages) "500/500"))
+        [ Core.Exec.Serial; Core.Exec.Parallel 4 ])
+
 let test_for_all_agrees_across_backends () =
   let payloads = List.init 100 Fun.id in
   List.iter
@@ -140,6 +212,12 @@ let () =
             test_map_preserves_plan_order;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "pool reusable after exception" `Quick
+            test_exception_leaves_pool_clean;
+          Alcotest.test_case "for_all aborts early" `Quick
+            test_for_all_abort_skips_remaining;
+          Alcotest.test_case "ticker rate-limited" `Quick
+            test_ticker_rate_limited;
           Alcotest.test_case "for_all across backends" `Quick
             test_for_all_agrees_across_backends ] );
       ( "backend equality",

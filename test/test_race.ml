@@ -5,7 +5,7 @@ let run_with_detector kernel ~grid ~block ~args =
   let sim = Gpusim.Sim.create ~chip:Gpusim.Chip.sequential ~seed:1 () in
   let det = Gpusim.Race.attach sim in
   ignore (Gpusim.Sim.launch sim ~grid ~block kernel ~args);
-  Gpusim.Race.detach sim;
+  Gpusim.Race.detach sim det;
   det
 
 let test_private_data_not_reported () =
@@ -65,7 +65,7 @@ let test_stress_accesses_invisible () =
   Gpusim.Sim.set_environment sim (Test_util.sys_plus_env chip);
   let det = Gpusim.Race.attach sim in
   ignore (app.Apps.App.run sim Apps.App.Original);
-  Gpusim.Race.detach sim;
+  Gpusim.Race.detach sim det;
   (* The scratchpad lives above the app's allocations; no finding may
      point into it.  cbe-dot's own data ends well below 1024. *)
   List.iter
@@ -94,7 +94,7 @@ let test_targeted_beats_blind_stress () =
   let sim = Gpusim.Sim.create ~chip ~seed:4 () in
   let det = Gpusim.Race.attach sim in
   ignore (app.Apps.App.run sim Apps.App.Original);
-  Gpusim.Race.detach sim;
+  Gpusim.Race.detach sim det;
   let addresses = Gpusim.Race.data_locations det in
   Alcotest.(check bool) "found targets" true (addresses <> []);
   (* ... then stress exactly their partitions. *)
