@@ -361,6 +361,70 @@ let write_json path =
   close_out oc;
   Fmt.pr "wrote %s@." path
 
+(* Perf-trajectory snapshots: alongside --json FILE, a numbered
+   BENCH_<n>.json is dropped at the repository root, so successive
+   commits accumulate a machine-readable perf history (the snapshot
+   schema is documented in DESIGN.md). *)
+
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with _ -> None
+
+let next_bench_index root =
+  Sys.readdir root |> Array.to_list
+  |> List.filter_map (fun f ->
+         try Some (Scanf.sscanf f "BENCH_%d.json%!" Fun.id)
+         with _ -> None)
+  |> List.fold_left (fun acc n -> Int.max acc (n + 1)) 0
+
+let write_snapshot () =
+  match repo_root () with
+  | None ->
+    Fmt.epr "no dune-project above %s; skipping the BENCH snapshot@."
+      (Sys.getcwd ())
+  | Some root ->
+    let path =
+      Filename.concat root
+        (Printf.sprintf "BENCH_%d.json" (next_bench_index root))
+    in
+    let entries = List.rev !recorded in
+    let doc =
+      Core.Json.Assoc
+        [ ("schema", Core.Json.Int 1);
+          ( "commit",
+            match git_commit () with
+            | Some c -> Core.Json.String c
+            | None -> Core.Json.Null );
+          ("unix_time", Core.Json.Float (Unix.time ()));
+          ( "trace_overhead_ratio",
+            match List.assoc_opt "trace_overhead_ratio" entries with
+            | Some r -> Core.Json.Float r
+            | None -> Core.Json.Null );
+          ( "timings",
+            Core.Json.Assoc
+              (List.map (fun (name, v) -> (name, Core.Json.Float v)) entries)
+          ) ]
+    in
+    let oc = open_out path in
+    output_string oc (Core.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "wrote %s@." path
+
 let () =
   let t0 = Unix.gettimeofday () in
   timed "table1_s" print_table1;
@@ -376,4 +440,8 @@ let () =
   run_bechamel ();
   record "total_s" (Unix.gettimeofday () -. t0);
   Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0);
-  Option.iter write_json (json_out ())
+  Option.iter
+    (fun path ->
+      write_json path;
+      write_snapshot ())
+    (json_out ())

@@ -3,15 +3,27 @@
 
 open Cmdliner
 
-let progress msg = Logs.info (fun m -> m "%s" msg)
-
-let setup_log verbose =
+let setup_log ?(quiet = false) verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
-  (* The execution engine owns campaign progress/throughput reporting;
-     point it at the logger. *)
-  Core.Exec.set_progress (Some progress)
+  (* The execution engine owns campaign progress/throughput reporting.
+     Under -v every progress line goes through Logs; otherwise, when
+     stderr is an interactive terminal, a single in-place line is kept
+     up to date; --quiet (or a non-tty stderr) disables progress. *)
+  let reporter =
+    if quiet then None
+    else if verbose then
+      Some
+        { Core.Exec.line = (fun m -> Logs.info (fun f -> f "%s" m));
+          finished = (fun () -> ()) }
+    else if Unix.isatty Unix.stderr then
+      Some
+        { Core.Exec.line = (fun m -> Printf.eprintf "\r\027[K%s%!" m);
+          finished = (fun () -> Printf.eprintf "\n%!") }
+    else None
+  in
+  Core.Exec.set_progress reporter
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                     *)
@@ -125,6 +137,184 @@ let write_csv path contents =
   match path with None -> () | Some p -> write_file p contents
 
 (* ------------------------------------------------------------------ *)
+(* Run ledgers                                                          *)
+
+let quiet =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ] ~doc:"Suppress the live progress line.")
+
+let log_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Write a durable JSONL run ledger to $(docv) as jobs complete; a \
+           killed campaign can be resumed from it with $(b,--resume), and \
+           $(b,gpuwmm report --from) $(docv) re-renders its tables later.")
+
+let resume_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume an interrupted campaign from its ledger: jobs recorded \
+           in $(docv) are replayed without re-executing and only the \
+           remainder runs.  The invocation must describe the same campaign \
+           (kind, seed, parameter grid).  The ledger is rewritten in place \
+           unless $(b,--log) names a different file.")
+
+let strict_term =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail instead of warning when a chip has no shipped Table 2 \
+           tuning parameters, so a typo'd chip cannot silently campaign \
+           with the untuned fallback.")
+
+let tolerance_term =
+  Arg.(
+    value & opt float 0.02
+    & info [ "tolerance" ] ~docv:"T"
+        ~doc:
+          "Absolute error-exposure-rate drop a cell may show before it \
+           counts as a regression (default 0.02, i.e. two percentage \
+           points).")
+
+let json_strs xs = Core.Json.List (List.map (fun s -> Core.Json.String s) xs)
+let chip_names cs = List.map (fun c -> c.Gpusim.Chip.name) cs
+let app_names apps = List.map (fun a -> a.Apps.App.name) apps
+
+(* Composite result-record payloads assembled at the CLI layer; the
+   drivers own the per-result codecs. *)
+
+let chipped_to_json enc xs =
+  Core.Json.List
+    (List.map
+       (fun (chip, r) ->
+         Core.Json.Assoc [ ("chip", Core.Json.String chip); ("result", enc r) ])
+       xs)
+
+let chipped_of_json dec j =
+  let open Core.Runlog.Dec in
+  match j with
+  | Core.Json.List items ->
+    all
+      (fun item ->
+        let* chip = str "chip" item in
+        let* rj = field "result" item in
+        let* r = dec rj in
+        Ok (chip, r))
+      items
+  | _ -> Error "expected a list of {chip, result} objects"
+
+let tuning_to_json rs =
+  Core.Json.List
+    (List.map
+       (fun (r, minutes) ->
+         Core.Json.Assoc
+           [ ("minutes", Core.Json.Float minutes);
+             ("result", Core.Tuning.result_to_json r) ])
+       rs)
+
+let tuning_of_json j =
+  let open Core.Runlog.Dec in
+  match j with
+  | Core.Json.List items ->
+    all
+      (fun item ->
+        let* minutes = float "minutes" item in
+        let* rj = field "result" item in
+        let* r = Core.Tuning.result_of_json rj in
+        Ok (r, minutes))
+      items
+  | _ -> Error "expected a list of {minutes, result} objects"
+
+let seq_to_json (chip, r) =
+  Core.Json.Assoc
+    [ ("chip", Core.Json.String chip);
+      ("result", Core.Seq_finder.result_to_json r) ]
+
+let seq_of_json j =
+  let open Core.Runlog.Dec in
+  let* chip = str "chip" j in
+  let* rj = field "result" j in
+  let* r = Core.Seq_finder.result_of_json rj in
+  Ok (chip, r)
+
+(* Open a ledger around a campaign body.  Without --log/--resume the body
+   runs bare.  With --resume, the old ledger is loaded and validated
+   against this invocation (campaign kind, seed, grid — exit 2 on
+   mismatch), its header is kept verbatim and its completed jobs become
+   the resume cache; the file is then rewritten in place (or to --log)
+   with the cached records replayed in plan order, so a resumed ledger is
+   byte-identical to an uninterrupted one.  On success the reduced result
+   and footer are appended; an exception aborts the ledger footer-less,
+   leaving a resumable prefix. *)
+let with_ledger ~campaign ~seed ~jobs ~grid ~log ~resume ~kind ~encode f =
+  match (log, resume) with
+  | None, None -> ignore (f None)
+  | _ -> (
+    let path = match log with Some p -> p | None -> Option.get resume in
+    let loaded =
+      match resume with
+      | None -> None
+      | Some p -> (
+        match Core.Runlog.load p with
+        | Error e ->
+          Fmt.epr "cannot resume from %s: %s@." p e;
+          exit 2
+        | Ok l ->
+          let h = l.Core.Runlog.header in
+          let reject fmt =
+            Fmt.kstr
+              (fun m ->
+                Fmt.epr "%s does not match this invocation: %s@." p m;
+                exit 2)
+              fmt
+          in
+          if h.Core.Runlog.campaign <> campaign then
+            reject "it records a %S campaign, this is %S"
+              h.Core.Runlog.campaign campaign;
+          if h.Core.Runlog.seed <> seed then
+            reject "it was run with --seed %d, this is %d"
+              h.Core.Runlog.seed seed;
+          if h.Core.Runlog.grid <> grid then
+            reject "its parameter grid (chips/apps/envs/budget) differs";
+          if l.Core.Runlog.torn then
+            Fmt.epr
+              "note: %s ends mid-record (killed during a write); dropping \
+               the torn line@."
+              p;
+          Some l)
+    in
+    let header =
+      match loaded with
+      | Some l -> l.Core.Runlog.header
+      | None -> Core.Runlog.make_header ?jobs ~campaign ~seed ~grid ()
+    in
+    let cache = Option.map Core.Runlog.cache_of_ledger loaded in
+    Option.iter
+      (fun c ->
+        Logs.info (fun f ->
+            f "resuming from %s: %d completed job record(s)" path
+              (Core.Runlog.cache_size c)))
+      cache;
+    let sink = Core.Runlog.create ~path header in
+    let journal = Core.Runlog.journal ~sink ?cache "" in
+    match f (Some journal) with
+    | v ->
+      Core.Runlog.append_result sink ~kind (encode v);
+      Core.Runlog.close sink;
+      Logs.info (fun f -> f "ledger written to %s" path)
+    | exception e ->
+      Core.Runlog.abort sink;
+      raise e)
+
+(* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
 
 let chips_cmd =
@@ -193,16 +383,30 @@ let litmus_cmd =
       const run $ verbose $ seed $ chip $ idiom $ distance $ runs $ env_name)
 
 let tune_cmd =
-  let run verbose seed chip budget jobs =
-    setup_log verbose;
-    let r = Core.Tuning.run ~backend:(backend_of jobs) ~chip ~seed ~budget () in
-    Core.Report.table2 Fmt.stdout [ (r, r.Core.Tuning.elapsed_s /. 60.0) ];
-    Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences
+  let run verbose quiet seed chip budget jobs log resume =
+    setup_log ~quiet verbose;
+    let grid =
+      Core.Json.Assoc
+        [ ("chips", json_strs (chip_names [ chip ]));
+          ("budget", Core.Budget.to_json budget) ]
+    in
+    with_ledger ~campaign:"tune" ~seed ~jobs ~grid ~log ~resume
+      ~kind:"tuning" ~encode:tuning_to_json (fun journal ->
+        let r =
+          Core.Tuning.run ~backend:(backend_of jobs) ?journal ~chip ~seed
+            ~budget ()
+        in
+        let minutes = r.Core.Tuning.elapsed_s /. 60.0 in
+        Core.Report.table2 Fmt.stdout [ (r, minutes) ];
+        Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences;
+        [ (r, minutes) ])
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full Sec. 3 tuning pipeline for one chip.")
-    Term.(const run $ verbose $ seed $ chip $ budget_term $ jobs_term)
+    Term.(
+      const run $ verbose $ quiet $ seed $ chip $ budget_term $ jobs_term
+      $ log_term $ resume_term)
 
 let test_cmd =
   let app_term =
@@ -215,8 +419,9 @@ let test_cmd =
   let env_name =
     Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
   in
-  let run verbose seed chip app runs env_name jobs =
-    setup_log verbose;
+  let run verbose quiet seed chip app runs env_name jobs log resume strict =
+    setup_log ~quiet verbose;
+    Core.Tuning.set_strict strict;
     let envs = tuned_envs chip in
     match
       List.find_opt (fun e -> e.Core.Environment.label = env_name) envs
@@ -228,32 +433,43 @@ let test_cmd =
       let apps =
         match app with Some a -> [ a ] | None -> Apps.Registry.all
       in
-      let rows =
-        Core.Campaign.run ~backend:(backend_of jobs) ~chips:[ chip ]
-          ~environments_for:(fun _ -> [ env ])
-          ~apps ~runs ~seed ()
+      let grid =
+        Core.Json.Assoc
+          [ ("chips", json_strs (chip_names [ chip ]));
+            ("envs", json_strs [ env_name ]);
+            ("apps", json_strs (app_names apps));
+            ("runs", Core.Json.Int runs) ]
       in
-      List.iter
-        (fun row ->
+      with_ledger ~campaign:"test" ~seed ~jobs ~grid ~log ~resume
+        ~kind:"campaign" ~encode:Core.Campaign.rows_to_json (fun journal ->
+          let rows =
+            Core.Campaign.run ~backend:(backend_of jobs) ?journal
+              ~chips:[ chip ]
+              ~environments_for:(fun _ -> [ env ])
+              ~apps ~runs ~seed ()
+          in
           List.iter
-            (fun cell ->
-              Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
-                cell.Core.Campaign.app chip.Gpusim.Chip.name env_name
-                cell.Core.Campaign.errors cell.Core.Campaign.runs
-                (match Core.Campaign.dominant cell with
-                | None -> ""
-                | Some (msg, n) ->
-                  Printf.sprintf "  (dominant: %s x%d)" msg n))
-            row.Core.Campaign.cells)
-        rows
+            (fun row ->
+              List.iter
+                (fun cell ->
+                  Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
+                    cell.Core.Campaign.app chip.Gpusim.Chip.name env_name
+                    cell.Core.Campaign.errors cell.Core.Campaign.runs
+                    (match Core.Campaign.dominant cell with
+                    | None -> ""
+                    | Some (msg, n) ->
+                      Printf.sprintf "  (dominant: %s x%d)" msg n))
+                row.Core.Campaign.cells)
+            rows;
+          rows)
   in
   Cmd.v
     (Cmd.info "test"
        ~doc:"Repeatedly execute applications under a testing environment \
              and count erroneous runs (Sec. 4).")
     Term.(
-      const run $ verbose $ seed $ chip $ app_term $ runs $ env_name
-      $ jobs_term)
+      const run $ verbose $ quiet $ seed $ chip $ app_term $ runs $ env_name
+      $ jobs_term $ log_term $ resume_term $ strict_term)
 
 let harden_cmd =
   let app_term =
@@ -265,31 +481,42 @@ let harden_cmd =
   let stability =
     Arg.(value & opt int 200 & info [ "stability-runs" ] ~docv:"N")
   in
-  let run verbose seed chip app stability jobs =
-    setup_log verbose;
+  let run verbose quiet seed chip app stability jobs log resume =
+    setup_log ~quiet verbose;
     let config =
       { (Core.Harden.default_config ~chip) with stability_runs = stability }
     in
-    let r =
-      Core.Harden.insert ~chip ~config ~backend:(backend_of jobs) ~app ~seed ()
+    let grid =
+      Core.Json.Assoc
+        [ ("chips", json_strs (chip_names [ chip ]));
+          ("apps", json_strs (app_names [ app ]));
+          ("stability_runs", Core.Json.Int stability) ]
     in
-    Core.Report.table6 Fmt.stdout [ r ];
-    (* Show the hardened kernels. *)
-    List.iter
-      (fun k ->
-        let fenced =
-          Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences) k
+    with_ledger ~campaign:"harden" ~seed ~jobs ~grid ~log ~resume
+      ~kind:"harden" ~encode:Core.Harden.results_to_json (fun journal ->
+        let r =
+          Core.Harden.insert ~chip ~config ~backend:(backend_of jobs)
+            ?journal ~app ~seed ()
         in
-        if
-          Gpusim.Kernel.fence_sites fenced <> []
-        then Fmt.pr "@.%s@." (Gpusim.Kernel_pp.to_string ~sids:true fenced))
-      app.Apps.App.kernels
+        Core.Report.table6 Fmt.stdout [ r ];
+        (* Show the hardened kernels. *)
+        List.iter
+          (fun k ->
+            let fenced =
+              Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences) k
+            in
+            if
+              Gpusim.Kernel.fence_sites fenced <> []
+            then Fmt.pr "@.%s@." (Gpusim.Kernel_pp.to_string ~sids:true fenced))
+          app.Apps.App.kernels;
+        [ r ])
   in
   Cmd.v
     (Cmd.info "harden"
        ~doc:"Empirical fence insertion (Alg. 1) for one application.")
     Term.(
-      const run $ verbose $ seed $ chip $ app_term $ stability $ jobs_term)
+      const run $ verbose $ quiet $ seed $ chip $ app_term $ stability
+      $ jobs_term $ log_term $ resume_term)
 
 let inspect_cmd =
   let app_term =
@@ -544,46 +771,101 @@ let table_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-6).")
   in
   let runs = Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N") in
-  let run verbose seed chips all number budget runs jobs =
-    setup_log verbose;
+  let run verbose quiet seed chips all number budget runs jobs log resume
+      strict =
+    setup_log ~quiet verbose;
+    Core.Tuning.set_strict strict;
     let chips = resolve_chips chips all in
     let backend = backend_of jobs in
+    let grid =
+      Core.Json.Assoc
+        [ ("chips", json_strs (chip_names chips));
+          ("budget", Core.Budget.to_json budget);
+          ("runs", Core.Json.Int runs) ]
+    in
+    let ledgered :
+        type a.
+        kind:string ->
+        encode:(a -> Core.Json.t) ->
+        (Core.Runlog.journal option -> a) ->
+        unit =
+     fun ~kind ~encode f ->
+      with_ledger
+        ~campaign:(Printf.sprintf "table%d" number)
+        ~seed ~jobs ~grid ~log ~resume ~kind ~encode f
+    in
+    let static render =
+      if log <> None || resume <> None then
+        Fmt.epr "table %d is static; --log/--resume ignored@." number;
+      render Fmt.stdout
+    in
+    let per_chip journal chip =
+      Option.map
+        (fun j -> Core.Runlog.extend j (chip.Gpusim.Chip.name ^ "/"))
+        journal
+    in
     match number with
-    | 1 -> Core.Report.table1 Fmt.stdout
+    | 1 -> static Core.Report.table1
     | 2 ->
-      let results =
-        List.map
-          (fun chip ->
-            let r = Core.Tuning.run ~backend ~chip ~seed ~budget () in
-            (r, r.Core.Tuning.elapsed_s /. 60.0))
-          chips
-      in
-      Core.Report.table2 Fmt.stdout results
-    | 3 ->
-      let chip = List.hd chips in
-      let patch = Core.Patch_finder.run ~backend ~chip ~seed ~budget () in
-      let r =
-        Core.Seq_finder.run ~backend ~chip ~seed ~budget
-          ~patch:patch.Core.Patch_finder.chosen ()
-      in
-      Core.Report.table3 Fmt.stdout r
-    | 4 -> Core.Report.table4 Fmt.stdout
-    | 5 ->
-      let rows =
-        Core.Campaign.run ~backend ~chips ~environments_for:tuned_envs
-          ~apps:Apps.Registry.all ~runs ~seed ()
-      in
-      Core.Report.table5 Fmt.stdout rows
-    | 6 ->
-      let results =
-        List.concat_map
-          (fun app ->
+      ledgered ~kind:"tuning" ~encode:tuning_to_json (fun journal ->
+          let results =
             List.map
-              (fun chip -> Core.Harden.insert ~chip ~backend ~app ~seed ())
-              chips)
-          Apps.Registry.fence_free
-      in
-      Core.Report.table6 Fmt.stdout results
+              (fun chip ->
+                let r =
+                  Core.Tuning.run ~backend
+                    ?journal:(per_chip journal chip)
+                    ~chip ~seed ~budget ()
+                in
+                (r, r.Core.Tuning.elapsed_s /. 60.0))
+              chips
+          in
+          Core.Report.table2 Fmt.stdout results;
+          results)
+    | 3 ->
+      ledgered ~kind:"seq" ~encode:seq_to_json (fun journal ->
+          let chip = List.hd chips in
+          let patch =
+            Core.Patch_finder.run ~backend ?journal ~chip ~seed ~budget ()
+          in
+          let r =
+            Core.Seq_finder.run ~backend ?journal ~chip ~seed ~budget
+              ~patch:patch.Core.Patch_finder.chosen ()
+          in
+          Core.Report.table3 Fmt.stdout r;
+          (chip.Gpusim.Chip.name, r))
+    | 4 -> static Core.Report.table4
+    | 5 ->
+      ledgered ~kind:"campaign" ~encode:Core.Campaign.rows_to_json
+        (fun journal ->
+          let rows =
+            Core.Campaign.run ~backend ?journal ~chips
+              ~environments_for:tuned_envs ~apps:Apps.Registry.all ~runs
+              ~seed ()
+          in
+          Core.Report.table5 Fmt.stdout rows;
+          rows)
+    | 6 ->
+      ledgered ~kind:"harden" ~encode:Core.Harden.results_to_json
+        (fun journal ->
+          let results =
+            List.concat_map
+              (fun app ->
+                List.map
+                  (fun chip ->
+                    let journal =
+                      Option.map
+                        (fun j ->
+                          Core.Runlog.extend j
+                            (app.Apps.App.name ^ "/" ^ chip.Gpusim.Chip.name
+                           ^ "/"))
+                        journal
+                    in
+                    Core.Harden.insert ~chip ~backend ?journal ~app ~seed ())
+                  chips)
+              Apps.Registry.fence_free
+          in
+          Core.Report.table6 Fmt.stdout results;
+          results)
     | n ->
       Fmt.epr "no table %d (the paper has tables 1-6)@." n;
       exit 1
@@ -591,48 +873,95 @@ let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce a table of the paper.")
     Term.(
-      const run $ verbose $ seed $ chips $ all_chips $ number $ budget_term
-      $ runs $ jobs_term)
+      const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
+      $ budget_term $ runs $ jobs_term $ log_term $ resume_term
+      $ strict_term)
 
 let figure_cmd =
   let number =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (3-5).")
   in
   let runs = Arg.(value & opt int 30 & info [ "runs" ] ~docv:"N") in
-  let run verbose seed chips all number budget runs csv jobs =
-    setup_log verbose;
+  let run verbose quiet seed chips all number budget runs csv jobs log resume
+      strict =
+    setup_log ~quiet verbose;
+    Core.Tuning.set_strict strict;
     let chips = resolve_chips chips all in
     let backend = backend_of jobs in
+    let grid =
+      Core.Json.Assoc
+        [ ("chips", json_strs (chip_names chips));
+          ("budget", Core.Budget.to_json budget);
+          ("runs", Core.Json.Int runs) ]
+    in
+    let ledgered :
+        type a.
+        kind:string ->
+        encode:(a -> Core.Json.t) ->
+        (Core.Runlog.journal option -> a) ->
+        unit =
+     fun ~kind ~encode f ->
+      with_ledger
+        ~campaign:(Printf.sprintf "figure%d" number)
+        ~seed ~jobs ~grid ~log ~resume ~kind ~encode f
+    in
+    let per_chip journal chip =
+      Option.map
+        (fun j -> Core.Runlog.extend j (chip.Gpusim.Chip.name ^ "/"))
+        journal
+    in
     match number with
     | 3 ->
-      List.iter
-        (fun chip ->
-          let r = Core.Patch_finder.run ~backend ~chip ~seed ~budget () in
-          Core.Report.figure3 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
-          write_csv csv (Core.Report.patch_csv r))
-        chips
+      ledgered ~kind:"patch"
+        ~encode:(chipped_to_json Core.Patch_finder.result_to_json)
+        (fun journal ->
+          List.map
+            (fun chip ->
+              let r =
+                Core.Patch_finder.run ~backend
+                  ?journal:(per_chip journal chip)
+                  ~chip ~seed ~budget ()
+              in
+              Core.Report.figure3 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
+              write_csv csv (Core.Report.patch_csv r);
+              (chip.Gpusim.Chip.name, r))
+            chips)
     | 4 ->
-      List.iter
-        (fun chip ->
-          let patch = Core.Patch_finder.run ~backend ~chip ~seed ~budget () in
-          let sequence = (Core.Tuning.shipped ~chip).Core.Stress.sequence in
-          let r =
-            Core.Spread_finder.run ~backend ~chip ~seed ~budget
-              ~patch:patch.Core.Patch_finder.chosen ~sequence ()
-          in
-          Core.Report.figure4 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
-          write_csv csv (Core.Report.spread_csv r))
-        chips
+      ledgered ~kind:"spread"
+        ~encode:(chipped_to_json Core.Spread_finder.result_to_json)
+        (fun journal ->
+          List.map
+            (fun chip ->
+              let journal = per_chip journal chip in
+              let patch =
+                Core.Patch_finder.run ~backend ?journal ~chip ~seed ~budget ()
+              in
+              let sequence =
+                (Core.Tuning.shipped ~chip).Core.Stress.sequence
+              in
+              let r =
+                Core.Spread_finder.run ~backend ?journal ~chip ~seed ~budget
+                  ~patch:patch.Core.Patch_finder.chosen ~sequence ()
+              in
+              Core.Report.figure4 Fmt.stdout ~chip:chip.Gpusim.Chip.name r;
+              write_csv csv (Core.Report.spread_csv r);
+              (chip.Gpusim.Chip.name, r))
+            chips)
     | 5 ->
-      let apps = Apps.Registry.fence_free in
-      (* emp_for runs inside a Cost job; keep the nested hardening serial
-         so a parallel cost campaign does not oversubscribe domains. *)
-      let emp_for chip app =
-        (Core.Harden.insert ~chip ~app ~seed ()).Core.Harden.fences
-      in
-      let points = Core.Cost.run ~backend ~chips ~apps ~emp_for ~runs ~seed () in
-      Core.Report.figure5 Fmt.stdout points;
-      write_csv csv (Core.Report.cost_csv points)
+      ledgered ~kind:"cost" ~encode:Core.Cost.points_to_json (fun journal ->
+          let apps = Apps.Registry.fence_free in
+          (* emp_for runs inside a Cost job; keep the nested hardening serial
+             so a parallel cost campaign does not oversubscribe domains. *)
+          let emp_for chip app =
+            (Core.Harden.insert ~chip ~app ~seed ()).Core.Harden.fences
+          in
+          let points =
+            Core.Cost.run ~backend ?journal ~chips ~apps ~emp_for ~runs ~seed
+              ()
+          in
+          Core.Report.figure5 Fmt.stdout points;
+          write_csv csv (Core.Report.cost_csv points);
+          points)
     | n ->
       Fmt.epr "no figure %d here (the paper's figures 3-5 are reproducible)@." n;
       exit 1
@@ -640,8 +969,185 @@ let figure_cmd =
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce a figure of the paper.")
     Term.(
-      const run $ verbose $ seed $ chips $ all_chips $ number $ budget_term
-      $ runs $ csv_out $ jobs_term)
+      const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
+      $ budget_term $ runs $ csv_out $ jobs_term $ log_term $ resume_term
+      $ strict_term)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger-backed reporting and comparison                               *)
+
+let report_cmd =
+  let from_term =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "from" ] ~docv:"LEDGER" ~doc:"Run ledger to render.")
+  in
+  let format_term =
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("md", `Md); ("csv", `Csv) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,ascii), $(b,md) or $(b,csv).")
+  in
+  let run verbose from format =
+    setup_log verbose;
+    match Core.Runlog.load from with
+    | Error e ->
+      Fmt.epr "%s: %s@." from e;
+      exit 2
+    | Ok l -> (
+      match l.Core.Runlog.result with
+      | None ->
+        Fmt.epr
+          "%s has no result record: the campaign was interrupted; finish \
+           it first with --resume %s@."
+          from from;
+        exit 2
+      | Some (kind, data) ->
+        Core.Report.provenance Fmt.stdout ~path:from l.Core.Runlog.header;
+        let fail e =
+          Fmt.epr "%s: cannot decode %S result: %s@." from kind e;
+          exit 2
+        in
+        let ok = function Ok v -> v | Error e -> fail e in
+        (* Markdown fallback for kinds without a native md renderer: the
+           ASCII table inside a code fence. *)
+        let fenced render =
+          Fmt.pr "```@.";
+          render Fmt.stdout;
+          Fmt.pr "```@."
+        in
+        let render ascii md csv =
+          match format with
+          | `Ascii -> ascii Fmt.stdout
+          | `Md -> md ()
+          | `Csv -> print_string (csv ())
+        in
+        (match kind with
+        | "campaign" ->
+          let rows = ok (Core.Campaign.rows_of_json data) in
+          render
+            (fun ppf -> Core.Report.table5 ppf rows)
+            (fun () -> print_string (Core.Report.table5_md rows))
+            (fun () -> Core.Report.table5_csv rows)
+        | "tuning" ->
+          let results = ok (tuning_of_json data) in
+          let ascii ppf = Core.Report.table2 ppf results in
+          render ascii
+            (fun () -> fenced ascii)
+            (fun () -> Core.Report.table2_csv results)
+        | "seq" ->
+          let _chip, r = ok (seq_of_json data) in
+          let ascii ppf = Core.Report.table3 ppf r in
+          render ascii
+            (fun () -> fenced ascii)
+            (fun () -> Core.Report.table3_csv r)
+        | "harden" ->
+          let results = ok (Core.Harden.results_of_json data) in
+          let ascii ppf = Core.Report.table6 ppf results in
+          render ascii
+            (fun () -> fenced ascii)
+            (fun () -> Core.Report.table6_csv results)
+        | "patch" ->
+          let results =
+            ok (chipped_of_json Core.Patch_finder.result_of_json data)
+          in
+          let ascii ppf =
+            List.iter
+              (fun (chip, r) -> Core.Report.figure3 ppf ~chip r)
+              results
+          in
+          render ascii
+            (fun () -> fenced ascii)
+            (fun () -> Core.Report.patches_csv results)
+        | "spread" ->
+          let results =
+            ok (chipped_of_json Core.Spread_finder.result_of_json data)
+          in
+          let ascii ppf =
+            List.iter
+              (fun (chip, r) -> Core.Report.figure4 ppf ~chip r)
+              results
+          in
+          render ascii
+            (fun () -> fenced ascii)
+            (fun () -> Core.Report.spreads_csv results)
+        | "cost" ->
+          let points = ok (Core.Cost.points_of_json data) in
+          let ascii ppf = Core.Report.figure5 ppf points in
+          render ascii
+            (fun () -> fenced ascii)
+            (fun () -> Core.Report.cost_csv points)
+        | k ->
+          Fmt.epr "%s: unknown result kind %S@." from k;
+          exit 2))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Rebuild the paper's tables and figures purely from a run ledger \
+          (no re-execution), stamped with the ledger's provenance: path, \
+          schema, campaign kind, seed, command line, creation time and \
+          git version.")
+    Term.(const run $ verbose $ from_term $ format_term)
+
+let compare_cmd =
+  let base_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline campaign ledger.")
+  in
+  let cand_term =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CANDIDATE" ~doc:"Candidate campaign ledger.")
+  in
+  let run verbose tolerance base cand =
+    setup_log verbose;
+    let rows_of path =
+      match Core.Runlog.load path with
+      | Error e ->
+        Fmt.epr "%s: %s@." path e;
+        exit 2
+      | Ok l -> (
+        match l.Core.Runlog.result with
+        | Some ("campaign", data) -> (
+          match Core.Campaign.rows_of_json data with
+          | Ok rows -> (l.Core.Runlog.header, rows)
+          | Error e ->
+            Fmt.epr "%s: cannot decode campaign result: %s@." path e;
+            exit 2)
+        | Some (k, _) ->
+          Fmt.epr
+            "%s holds a %S result; compare needs campaign ledgers (from \
+             $(b,test) or $(b,table 5))@."
+            path k;
+          exit 2
+        | None ->
+          Fmt.epr "%s has no result record (interrupted campaign?)@." path;
+          exit 2)
+    in
+    let bh, baseline = rows_of base in
+    let ch, candidate = rows_of cand in
+    Fmt.pr "baseline:  %s (campaign %S, seed %d)@." base
+      bh.Core.Runlog.campaign bh.Core.Runlog.seed;
+    Fmt.pr "candidate: %s (campaign %S, seed %d)@." cand
+      ch.Core.Runlog.campaign ch.Core.Runlog.seed;
+    let c = Core.Report.compare_campaigns ~tolerance ~baseline ~candidate in
+    Core.Report.pp_comparison Fmt.stdout c;
+    if c.Core.Report.regressions <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two campaign ledgers cell by cell.  A cell whose \
+          error-exposure rate drops beyond the tolerance — or a missing \
+          row or cell — is a regression (the testing environment lost \
+          effectiveness); exits 1 when any regression is found, for CI.")
+    Term.(const run $ verbose $ tolerance_term $ base_term $ cand_term)
 
 let main =
   Cmd.group
@@ -650,6 +1156,7 @@ let main =
          "Exposing errors related to weak memory in (simulated) GPU \
           applications — reproduction of Sorensen & Donaldson, PLDI 2016.")
     [ chips_cmd; litmus_cmd; run_litmus_cmd; tune_cmd; test_cmd; harden_cmd;
-      target_cmd; trace_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd ]
+      target_cmd; trace_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd;
+      report_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -53,3 +53,19 @@ let scale_runs t f =
   { t with runs_patch = s t.runs_patch; runs_seq = s t.runs_seq;
     runs_spread = s t.runs_spread;
     noise_threshold = eps_for (s t.runs_patch) }
+
+let to_json t =
+  let ints ns = Json.List (List.map (fun n -> Json.Int n) ns) in
+  Json.Assoc
+    [ ("runs_patch", Json.Int t.runs_patch);
+      ("runs_seq", Json.Int t.runs_seq);
+      ("runs_spread", Json.Int t.runs_spread);
+      ("max_location", Json.Int t.max_location);
+      ("location_stride", Json.Int t.location_stride);
+      ("distances_patch", ints t.distances_patch);
+      ("distances_seq", ints t.distances_seq);
+      ("distances_spread", ints t.distances_spread);
+      ("seq_max_len", Json.Int t.seq_max_len);
+      ("max_spread", Json.Int t.max_spread);
+      ("spread_step", Json.Int t.spread_step);
+      ("noise_threshold", Json.Int t.noise_threshold) ]

@@ -30,3 +30,7 @@ val quick : t
 val scale_runs : t -> float -> t
 (** Multiply all per-point execution counts (and the noise threshold)
     by a factor, for CLI [--runs-scale]. *)
+
+val to_json : t -> Json.t
+(** Every field, for run-ledger headers: a resumed campaign refuses a
+    ledger whose recorded budget differs from the invocation's. *)

@@ -75,7 +75,77 @@ let summarise ~chip ~env cells =
   { chip = chip.Gpusim.Chip.name; environment = env.Environment.label; cells;
     capable; effective }
 
-let run ?backend ~chips ~environments_for ~apps ~runs ~seed () =
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs                                                        *)
+
+let histogram_to_json h =
+  Json.List
+    (List.map
+       (fun (msg, n) ->
+         Json.Assoc [ ("msg", Json.String msg); ("n", Json.Int n) ])
+       h)
+
+let histogram_of_json j =
+  let open Runlog.Dec in
+  match Json.to_list j with
+  | None -> Error "histogram: expected a list"
+  | Some entries ->
+    all
+      (fun e ->
+        let* msg = str "msg" e in
+        let* n = int "n" e in
+        Ok (msg, n))
+      entries
+
+let cell_to_json c =
+  Json.Assoc
+    [ ("app", Json.String c.app);
+      ("errors", Json.Int c.errors);
+      ("runs", Json.Int c.runs);
+      ("example", Json.String c.example);
+      ("histogram", histogram_to_json c.histogram) ]
+
+let cell_of_json j =
+  let open Runlog.Dec in
+  let* app = str "app" j in
+  let* errors = int "errors" j in
+  let* runs = int "runs" j in
+  let* example = str "example" j in
+  let* hj = field "histogram" j in
+  let* histogram = histogram_of_json hj in
+  Ok { app; errors; runs; example; histogram }
+
+let cell_codec =
+  { Runlog.encode = cell_to_json; decode = cell_of_json;
+    errors_of = (fun c -> c.errors) }
+
+let row_to_json r =
+  Json.Assoc
+    [ ("chip", Json.String r.chip);
+      ("environment", Json.String r.environment);
+      ("cells", Json.List (List.map cell_to_json r.cells));
+      ("capable", Json.Int r.capable);
+      ("effective", Json.Int r.effective) ]
+
+let row_of_json j =
+  let open Runlog.Dec in
+  let* chip = str "chip" j in
+  let* environment = str "environment" j in
+  let* cj = list "cells" j in
+  let* cells = all cell_of_json cj in
+  let* capable = int "capable" j in
+  let* effective = int "effective" j in
+  Ok { chip; environment; cells; capable; effective }
+
+let rows_to_json rows = Json.List (List.map row_to_json rows)
+
+let rows_of_json j =
+  let open Runlog.Dec in
+  match Json.to_list j with
+  | None -> Error "campaign rows: expected a list"
+  | Some rows -> all row_of_json rows
+
+let run ?backend ?journal ~chips ~environments_for ~apps ~runs ~seed () =
   (* Plan: one job per (chip, environment, application) cell, flattened in
      the historical nesting order so pre-derived job seeds match what the
      former sequential loop drew from its master generator. *)
@@ -91,7 +161,9 @@ let run ?backend ~chips ~environments_for ~apps ~runs ~seed () =
       plan_rows
   in
   let cells =
-    Exec.run ?backend ~label:"campaign" ~execs_per_job:runs ~seed
+    Exec.run ?backend ~label:"campaign" ~execs_per_job:runs
+      ?journal:(Option.map (fun j -> Runlog.extend j "campaign") journal)
+      ~codec:cell_codec ~seed
       ~f:(fun ~seed (chip, env, app) -> test_app ~chip ~env ~app ~runs ~seed)
       grid
   in

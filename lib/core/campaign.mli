@@ -51,6 +51,7 @@ val merge_histograms : (string * int) list list -> (string * int) list
 
 val run :
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   chips:Gpusim.Chip.t list ->
   environments_for:(Gpusim.Chip.t -> Environment.t list) ->
   apps:Apps.App.t list ->
@@ -62,7 +63,19 @@ val run :
     builds the environment list per chip, because the systematic strategy
     uses per-chip tuned parameters.  [backend] selects the executor
     (default {!Exec.Serial}); results are bit-identical across
-    backends. *)
+    backends.  [journal] journals every completed cell to a run ledger
+    (phase ["campaign"]) and replays cells cached by [--resume]. *)
+
+(** {1 Ledger codecs} *)
+
+val cell_to_json : cell -> Json.t
+val cell_of_json : Json.t -> (cell, string) result
+val cell_codec : cell Runlog.codec
+
+val rows_to_json : row list -> Json.t
+val rows_of_json : Json.t -> (row list, string) result
+(** The campaign's reduced result, as stored in a ledger's result
+    record and rendered by [gpuwmm report]/[compare]. *)
 
 val sys_tuned_for : Gpusim.Chip.t -> Stress.tuned
 (** The shipped Table 2 parameters for a chip (used when the caller does

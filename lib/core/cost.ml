@@ -33,7 +33,60 @@ type point = {
   emp_count : int;
 }
 
-let run ?backend ~chips ~apps ~emp_for ~runs ~seed () =
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs                                                        *)
+
+let measurement_to_json m =
+  Json.Assoc
+    [ ("runtime", Json.Float m.runtime);
+      ("energy", Json.Float m.energy);
+      ("discarded", Json.Int m.discarded) ]
+
+let measurement_of_json j =
+  let open Runlog.Dec in
+  let* runtime = float "runtime" j in
+  let* energy = float "energy" j in
+  let* discarded = int "discarded" j in
+  Ok { runtime; energy; discarded }
+
+let point_to_json p =
+  Json.Assoc
+    [ ("chip", Json.String p.chip);
+      ("app", Json.String p.app);
+      ("nvml", Json.Bool p.nvml);
+      ("no_fences", measurement_to_json p.no_fences);
+      ("emp", measurement_to_json p.emp);
+      ("cons", measurement_to_json p.cons);
+      ("emp_count", Json.Int p.emp_count) ]
+
+let point_of_json j =
+  let open Runlog.Dec in
+  let* chip = str "chip" j in
+  let* app = str "app" j in
+  let* nvml = bool "nvml" j in
+  let* nj = field "no_fences" j in
+  let* no_fences = measurement_of_json nj in
+  let* ej = field "emp" j in
+  let* emp = measurement_of_json ej in
+  let* cj = field "cons" j in
+  let* cons = measurement_of_json cj in
+  let* emp_count = int "emp_count" j in
+  Ok { chip; app; nvml; no_fences; emp; cons; emp_count }
+
+let point_codec =
+  { Runlog.encode = point_to_json; decode = point_of_json;
+    errors_of =
+      (fun p ->
+        p.no_fences.discarded + p.emp.discarded + p.cons.discarded) }
+
+let points_to_json ps = Json.List (List.map point_to_json ps)
+
+let points_of_json j =
+  match Json.to_list j with
+  | None -> Error "cost points: expected a list"
+  | Some ps -> Runlog.Dec.all point_of_json ps
+
+let run ?backend ?journal ~chips ~apps ~emp_for ~runs ~seed () =
   (* Plan: one job per (chip, app) benchmark point; the three fencing
      variants inside a job draw sub-seeds 0/1/2 from the job seed. *)
   let grid =
@@ -41,7 +94,9 @@ let run ?backend ~chips ~apps ~emp_for ~runs ~seed () =
       (fun chip -> List.map (fun app -> (chip, app)) apps)
       chips
   in
-  Exec.run ?backend ~label:"fence-cost" ~execs_per_job:(3 * runs) ~seed
+  Exec.run ?backend ~label:"fence-cost"
+    ?journal:(Option.map (fun j -> Runlog.extend j "cost") journal)
+    ~codec:point_codec ~execs_per_job:(3 * runs) ~seed
     ~f:(fun ~seed (chip, app) ->
       let emp_fences = emp_for chip app in
       let m i fencing =

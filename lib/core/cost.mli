@@ -34,6 +34,7 @@ type point = {
 
 val run :
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   chips:Gpusim.Chip.t list ->
   apps:Apps.App.t list ->
   emp_for:(Gpusim.Chip.t -> Apps.App.t -> (string * int) list) ->
@@ -43,7 +44,17 @@ val run :
   point list
 (** One {!Exec} job per (chip, app) point; results are bit-identical
     across executor backends at the same seed.  [emp_for] runs inside
-    the job, so keep it serial when [backend] is parallel. *)
+    the job, so keep it serial when [backend] is parallel.  [journal]
+    journals each point under phase ["cost"]; on resume, cached points
+    skip their (expensive, nested-hardening) [emp_for] entirely. *)
+
+(** {1 Ledger codecs} *)
+
+val point_to_json : point -> Json.t
+val point_of_json : Json.t -> (point, string) result
+val point_codec : point Runlog.codec
+val points_to_json : point list -> Json.t
+val points_of_json : Json.t -> (point list, string) result
 
 val overhead_pct : base:float -> float -> float
 (** [(v - base) / base * 100]. *)

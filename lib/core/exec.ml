@@ -27,37 +27,83 @@ let plan ~seed payloads =
 (* ------------------------------------------------------------------ *)
 (* Progress reporting                                                   *)
 
-let progress_hook : (string -> unit) option Atomic.t = Atomic.make None
+type reporter = {
+  line : string -> unit;
+  finished : unit -> unit;
+}
+
+let progress_hook : reporter option Atomic.t = Atomic.make None
 
 let set_progress h = Atomic.set progress_hook h
 
 let info msg =
-  match Atomic.get progress_hook with Some emit -> emit msg | None -> ()
+  match Atomic.get progress_hook with Some r -> r.line msg | None -> ()
+
+let format_eta seconds =
+  if not (Float.is_finite seconds) || seconds < 0.0 then "-"
+  else
+    let s = int_of_float (Float.round seconds) in
+    if s >= 3600 then Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
+    else Printf.sprintf "%02d:%02d" (s / 60) (s mod 60)
 
 (* A rate-limited per-campaign reporter, safe to call from any worker
    domain.  Throttling state lives behind a mutex; the job counter the
-   callers pass in is maintained with atomics by the executor. *)
-let make_ticker ~label ~execs_per_job ~total =
+   callers pass in is maintained with atomics by the executor.  The
+   line carries completed/total jobs, live throughput, the error rate
+   over all completed executions when the campaign's codec can count
+   errors, and an ETA from an exponentially weighted moving average of
+   the inter-tick completion rate.  [cached] jobs (replayed from a
+   resume ledger) are excluded from the throughput and ETA basis. *)
+let make_ticker ~label ~execs_per_job ~total ~cached =
   match (Atomic.get progress_hook, label) with
-  | None, _ | _, None -> fun _ -> ()
-  | Some emit, Some label ->
+  | None, _ | _, None -> fun _ _ -> ()
+  | Some rep, Some label ->
     let t0 = Unix.gettimeofday () in
     let mu = Mutex.create () in
     let last = ref t0 in
-    fun jobs_done ->
+    let last_done = ref cached in
+    let ewma = ref 0.0 in
+    fun jobs_done errors ->
       let now = Unix.gettimeofday () in
-      if jobs_done = total || now -. !last >= 1.0 then begin
+      let final = jobs_done = total in
+      if final || now -. !last >= 1.0 then begin
         Mutex.lock mu;
-        if jobs_done = total || now -. !last >= 1.0 then begin
+        if final || now -. !last >= 1.0 then begin
+          let dt = now -. !last in
+          if dt > 0.0 && jobs_done > !last_done then begin
+            let inst = float_of_int (jobs_done - !last_done) /. dt in
+            ewma := if !ewma = 0.0 then inst else (0.3 *. inst) +. (0.7 *. !ewma)
+          end;
           last := now;
+          last_done := jobs_done;
           let elapsed = now -. t0 in
-          let execs = jobs_done * execs_per_job in
+          let live_execs = (jobs_done - cached) * execs_per_job in
           let rate =
-            if elapsed > 0.0 then float_of_int execs /. elapsed else 0.0
+            if elapsed > 0.0 then float_of_int live_execs /. elapsed else 0.0
           in
-          emit
-            (Printf.sprintf "%s: %d/%d jobs (%.0f execs/s)" label jobs_done
-               total rate)
+          let err =
+            match errors with
+            | None -> ""
+            | Some e ->
+              let execs = jobs_done * execs_per_job in
+              if execs = 0 then ""
+              else
+                Printf.sprintf " | err %.2f%%"
+                  (100.0 *. float_of_int e /. float_of_int execs)
+          in
+          let tail =
+            if final then Printf.sprintf " | %.1fs" elapsed
+            else
+              Printf.sprintf " | ETA %s"
+                (format_eta
+                   (if !ewma > 0.0 then
+                      float_of_int (total - jobs_done) /. !ewma
+                    else infinity))
+          in
+          rep.line
+            (Printf.sprintf "%s: %d/%d jobs (%.0f execs/s)%s%s" label
+               jobs_done total rate err tail);
+          if final then rep.finished ()
         end;
         Mutex.unlock mu
       end
@@ -121,19 +167,19 @@ let instrumented ?label ~f ~queued_at =
       Telemetry.record_span
         { Telemetry.label; index = j.index; worker; queued_at; started_at;
           ended_at };
-    r
+    (r, ended_at -. started_at)
 
 let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
   let arr = Array.of_list jobs in
   let len = Array.length arr in
-  let tick = make_ticker ~label ~execs_per_job ~total:len in
+  let tick = make_ticker ~label ~execs_per_job ~total:len ~cached:0 in
   let domains = Int.min (jobs_of_backend backend) (Int.max 1 len) in
   let exec = instrumented ?label ~f ~queued_at:(Unix.gettimeofday ()) in
   if domains <= 1 then
     List.mapi
       (fun i j ->
-        let r = exec ~worker:0 j in
-        tick (i + 1);
+        let r, _ = exec ~worker:0 j in
+        tick (i + 1) None;
         r)
       jobs
   else begin
@@ -142,17 +188,87 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
     pool_iter ~domains
       ~stop:(fun () -> false)
       ~process:(fun ~worker i ->
-        results.(i) <- Some (exec ~worker arr.(i));
-        tick (1 + Atomic.fetch_and_add completed 1))
+        let r, _ = exec ~worker arr.(i) in
+        results.(i) <- Some r;
+        tick (1 + Atomic.fetch_and_add completed 1) None)
       len;
     Array.to_list
       (Array.map (function Some v -> v | None -> assert false) results)
   end
 
-let run ?backend ?label ?execs_per_job ~seed ~f payloads =
-  map ?backend ?label ?execs_per_job
-    ~f:(fun j -> f ~seed:j.seed j.payload)
-    (plan ~seed payloads)
+let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec ~seed
+    ~f payloads =
+  let jobs = plan ~seed payloads in
+  let arr = Array.of_list jobs in
+  let len = Array.length arr in
+  let results = Array.make len None in
+  let errors = Atomic.make 0 in
+  let count_errors = Option.is_some codec in
+  (* Resolve cached jobs from the resume ledger up front: their results
+     are replayed into the new ledger verbatim and their executions are
+     skipped entirely. *)
+  (match (journal, codec) with
+  | Some jn, Some c ->
+    Array.iter
+      (fun j ->
+        match Runlog.cached_value jn ~codec:c ~index:j.index ~seed:j.seed with
+        | Some (v, r) ->
+          results.(j.index) <- Some v;
+          ignore (Atomic.fetch_and_add errors r.Runlog.errors);
+          Runlog.replay jn r
+        | None -> ())
+      arr
+  | Some _, None -> invalid_arg "Exec.run: ~journal requires ~codec"
+  | None, _ -> ());
+  let cached =
+    Array.fold_left
+      (fun n r -> if Option.is_some r then n + 1 else n)
+      0 results
+  in
+  (match label with
+  | Some l when cached > 0 ->
+    info (Printf.sprintf "%s: resuming with %d/%d cached job(s)" l cached len)
+  | _ -> ());
+  let tick = make_ticker ~label ~execs_per_job ~total:len ~cached in
+  let completed = Atomic.make cached in
+  let fresh =
+    Array.of_list (List.filter (fun j -> Option.is_none results.(j.index)) jobs)
+  in
+  let exec =
+    instrumented ?label
+      ~f:(fun j -> f ~seed:j.seed j.payload)
+      ~queued_at:(Unix.gettimeofday ())
+  in
+  let process ~worker k =
+    let j = fresh.(k) in
+    let v, duration_s = exec ~worker j in
+    let errs =
+      match codec with Some c -> c.Runlog.errors_of v | None -> 0
+    in
+    (match journal with
+    | Some jn ->
+      let c = Option.get codec in
+      Runlog.record jn ~index:j.index ~seed:j.seed ~errors:errs ~duration_s
+        (c.Runlog.encode v)
+    | None -> ());
+    results.(j.index) <- Some v;
+    if count_errors then ignore (Atomic.fetch_and_add errors errs);
+    tick
+      (1 + Atomic.fetch_and_add completed 1)
+      (if count_errors then Some (Atomic.get errors) else None)
+  in
+  let flen = Array.length fresh in
+  let domains = Int.min (jobs_of_backend backend) (Int.max 1 flen) in
+  if domains <= 1 then
+    for k = 0 to flen - 1 do
+      process ~worker:0 k
+    done
+  else pool_iter ~domains ~stop:(fun () -> false) ~process flen;
+  if flen = 0 && len > 0 then
+    (* Fully cached resume: still emit the final progress tick. *)
+    tick len (if count_errors then Some (Atomic.get errors) else None);
+  Array.to_list
+    (Array.map (function Some v -> v | None -> assert false) results)
 
 let for_all ?(backend = Serial) ~seed ~f payloads =
   let jobs = plan ~seed payloads in

@@ -81,12 +81,26 @@ val run :
   ?backend:backend ->
   ?label:string ->
   ?execs_per_job:int ->
+  ?journal:Runlog.journal ->
+  ?codec:'b Runlog.codec ->
   seed:int ->
   f:(seed:int -> 'a -> 'b) ->
   'a list ->
   'b list
-(** [run ~seed ~f payloads] = [map ~f' (plan ~seed payloads)]: the
-    common plan-then-execute composition. *)
+(** [run ~seed ~f payloads]: the common plan-then-execute composition.
+
+    With [~journal] (which requires [~codec]), the run is {e journaled}:
+    every completed job appends a record to the journal's {!Runlog}
+    sink, in plan order regardless of completion order, and jobs found
+    in the journal's resume cache are replayed from their recorded
+    payloads instead of executing — [f] is never called for them.
+    Raises [Failure] if a cached record's seed disagrees with the plan
+    (resuming a ledger from a different campaign) rather than silently
+    mixing results.
+
+    With [~codec] the progress line additionally reports the error rate
+    so far ([codec.errors_of] summed over completed jobs, scaled by
+    [execs_per_job]). *)
 
 val for_all :
   ?backend:backend ->
@@ -100,9 +114,20 @@ val for_all :
     across backends because it does not depend on which jobs were
     skipped. *)
 
-val set_progress : (string -> unit) option -> unit
-(** Install (or clear) the global progress sink.  The CLI points this at
-    its [Logs]-based reporter; when unset, campaigns run silently. *)
+type reporter = {
+  line : string -> unit;
+      (** one rate-limited progress line: completed/total jobs,
+          throughput, error rate (when countable) and EWMA-based ETA *)
+  finished : unit -> unit;
+      (** called once after the final line of a campaign — lets a
+          tty reporter terminate its in-place [\r] line *)
+}
+
+val set_progress : reporter option -> unit
+(** Install (or clear) the global progress sink.  The CLI points this
+    at a [\r]-updating stderr line when stderr is a tty, at [Logs]
+    under [-v], and clears it under [--quiet]; when unset, campaigns
+    run silently. *)
 
 val info : string -> unit
 (** Forward one message to the progress sink, if installed.  For the few

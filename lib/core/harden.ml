@@ -51,18 +51,23 @@ let split fences =
 
 let diff f g = List.filter (fun x -> not (List.mem x g)) f
 
-let insert ~chip ?config ?backend ~app ~seed () =
+let insert ~chip ?config ?backend ?journal ~app ~seed () =
   let cfg = match config with Some c -> c | None -> default_config ~chip in
   let t0 = Unix.gettimeofday () in
   let checks = ref 0 in
+  let journal = Option.map (fun j -> Runlog.extend j "checks") journal in
   let check fences iterations =
     (* The n-th check gets the n-th subseed: the reduction path is
        adaptive, but each check's verdict is still a pure function of
-       (seed, check index, fence set). *)
+       (seed, check index, fence set) — which also makes the check the
+       natural resume unit: a cached verdict replays without running,
+       and the adaptive reduction then takes the same path. *)
     let n = !checks in
     incr checks;
-    check_application ?backend ~chip ~env:cfg.environment ~app ~fences
-      ~iterations ~seed:(Gpusim.Rng.subseed seed n) ()
+    Runlog.memo journal ~codec:Runlog.bool_codec ~index:n
+      ~seed:(Gpusim.Rng.subseed seed n) (fun () ->
+        check_application ?backend ~chip ~env:cfg.environment ~app ~fences
+          ~iterations ~seed:(Gpusim.Rng.subseed seed n) ())
   in
   let all = Apps.App.fence_sites app in
   let initial = List.length all in
@@ -96,6 +101,58 @@ let insert ~chip ?config ?backend ~app ~seed () =
     else rounds (2 * i) (n + 1)
   in
   let fences, converged, rounds = rounds cfg.initial_iterations 1 in
+  (* Zeroed in deterministic-ledger mode: elapsed time would be the only
+     nondeterministic field of the hardening result record. *)
+  let elapsed_s =
+    if Runlog.deterministic_mode () then 0.0
+    else Unix.gettimeofday () -. t0
+  in
   { app = app.Apps.App.name; chip = chip.Gpusim.Chip.name; initial; fences;
-    converged; rounds; checks = !checks;
-    elapsed_s = Unix.gettimeofday () -. t0 }
+    converged; rounds; checks = !checks; elapsed_s }
+
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs                                                        *)
+
+let result_to_json r =
+  Json.Assoc
+    [ ("app", Json.String r.app);
+      ("chip", Json.String r.chip);
+      ("initial", Json.Int r.initial);
+      ( "fences",
+        Json.List
+          (List.map
+             (fun (kernel, site) ->
+               Json.Assoc
+                 [ ("k", Json.String kernel); ("s", Json.Int site) ])
+             r.fences) );
+      ("converged", Json.Bool r.converged);
+      ("rounds", Json.Int r.rounds);
+      ("checks", Json.Int r.checks);
+      ("elapsed_s", Json.Float r.elapsed_s) ]
+
+let result_of_json j =
+  let open Runlog.Dec in
+  let* app = str "app" j in
+  let* chip = str "chip" j in
+  let* initial = int "initial" j in
+  let* fj = list "fences" j in
+  let* fences =
+    all
+      (fun e ->
+        let* kernel = str "k" e in
+        let* site = int "s" e in
+        Ok (kernel, site))
+      fj
+  in
+  let* converged = bool "converged" j in
+  let* rounds = int "rounds" j in
+  let* checks = int "checks" j in
+  let* elapsed_s = float "elapsed_s" j in
+  Ok { app; chip; initial; fences; converged; rounds; checks; elapsed_s }
+
+let results_to_json rs = Json.List (List.map result_to_json rs)
+
+let results_of_json j =
+  match Json.to_list j with
+  | None -> Error "harden results: expected a list"
+  | Some rs -> Runlog.Dec.all result_of_json rs

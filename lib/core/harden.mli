@@ -54,10 +54,26 @@ val insert :
   chip:Gpusim.Chip.t ->
   ?config:config ->
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   app:Apps.App.t ->
   seed:int ->
   unit ->
   result
 (** Run empirical fence insertion for one application on one chip.  The
     application should be fence-free (Sec. 5.2 uses the seven fence-free
-    case studies). *)
+    case studies).
+
+    The reduction is adaptive, so the journaled unit is the {e check}:
+    the n-th CheckApplication verdict is a pure function of
+    (seed, n, fence set) and is memoised under phase ["checks"] via
+    {!Runlog.memo}.  Resuming replays the recorded verdicts in order,
+    and the reduction deterministically retraces its path to the first
+    unrecorded check.  In {!Runlog.deterministic_mode} [elapsed_s]
+    is 0. *)
+
+(** {1 Ledger codecs} *)
+
+val result_to_json : result -> Json.t
+val result_of_json : Json.t -> (result, string) Stdlib.result
+val results_to_json : result list -> Json.t
+val results_of_json : Json.t -> (result list, string) Stdlib.result

@@ -46,7 +46,102 @@ let modal_patch_size sizes =
     tbl None
   |> Option.map fst
 
-let run ?backend ~chip ~seed ~budget () =
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs.  Idioms serialise by their display name; the helpers
+   live here because every finder stage shares them. *)
+
+let idiom_to_json i = Json.String (Litmus.Test.idiom_name i)
+
+let idiom_of_json j =
+  match Json.to_str j with
+  | None -> Error "idiom: expected a string"
+  | Some s -> (
+    match
+      List.find_opt
+        (fun i -> Litmus.Test.idiom_name i = s)
+        Litmus.Test.idioms
+    with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "unknown idiom %S" s))
+
+let scores_to_json scores =
+  Json.List
+    (List.map
+       (fun (idiom, n) ->
+         Json.Assoc [ ("idiom", idiom_to_json idiom); ("n", Json.Int n) ])
+       scores)
+
+let scores_of_json j =
+  let open Runlog.Dec in
+  match Json.to_list j with
+  | None -> Error "scores: expected a list"
+  | Some entries ->
+    all
+      (fun e ->
+        let* ij = field "idiom" e in
+        let* idiom = idiom_of_json ij in
+        let* n = int "n" e in
+        Ok (idiom, n))
+      entries
+
+let result_to_json r =
+  Json.Assoc
+    [ ("runs", Json.Int r.runs);
+      ("chosen", Json.Int r.chosen);
+      ( "critical",
+        match r.critical with Some p -> Json.Int p | None -> Json.Null );
+      ( "per_idiom",
+        Json.List
+          (List.map
+             (fun (idiom, size) ->
+               Json.Assoc
+                 [ ("idiom", idiom_to_json idiom);
+                   ( "size",
+                     match size with
+                     | Some s -> Json.Int s
+                     | None -> Json.Null ) ])
+             r.per_idiom) );
+      ( "cells",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Assoc
+                 [ ("idiom", idiom_to_json c.idiom);
+                   ("d", Json.Int c.distance);
+                   ("loc", Json.Int c.location);
+                   ("weak", Json.Int c.weak) ])
+             r.cells) ) ]
+
+let result_of_json j =
+  let open Runlog.Dec in
+  let* runs = int "runs" j in
+  let* chosen = int "chosen" j in
+  let* critical = opt_int "critical" j in
+  let* pj = list "per_idiom" j in
+  let* per_idiom =
+    all
+      (fun e ->
+        let* ij = field "idiom" e in
+        let* idiom = idiom_of_json ij in
+        let* size = opt_int "size" e in
+        Ok (idiom, size))
+      pj
+  in
+  let* cj = list "cells" j in
+  let* cells =
+    all
+      (fun e ->
+        let* ij = field "idiom" e in
+        let* idiom = idiom_of_json ij in
+        let* distance = int "d" e in
+        let* location = int "loc" e in
+        let* weak = int "weak" e in
+        Ok { idiom; distance; location; weak })
+      cj
+  in
+  Ok { cells; runs; per_idiom; critical; chosen }
+
+let run ?backend ?journal ~chip ~seed ~budget () =
   let b = budget in
   let locations =
     let rec go l acc =
@@ -69,7 +164,8 @@ let run ?backend ~chip ~seed ~budget () =
   let weaks =
     Exec.run ?backend
       ~label:(Printf.sprintf "patch-finding on %s" chip.Gpusim.Chip.name)
-      ~execs_per_job:b.Budget.runs_patch ~seed
+      ?journal:(Option.map (fun j -> Runlog.extend j "patch") journal)
+      ~codec:Runlog.int_codec ~execs_per_job:b.Budget.runs_patch ~seed
       ~f:(fun ~seed (idiom, distance, location) ->
         let strategy =
           Stress.Fixed

@@ -30,12 +30,28 @@ type result = {
 
 val run :
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   chip:Gpusim.Chip.t -> seed:int -> budget:Budget.t ->
   unit ->
   result
 (** The full (idiom, distance, location) grid is planned, executed and
     reduced through {!Exec}; results are bit-identical across executor
-    backends at the same seed. *)
+    backends at the same seed.  [journal] journals each grid point's
+    weak count under phase ["patch"]. *)
+
+(** {1 Ledger codecs} *)
+
+val idiom_to_json : Litmus.Test.idiom -> Json.t
+val idiom_of_json : Json.t -> (Litmus.Test.idiom, string) Stdlib.result
+(** Idioms serialise by display name ("MP"/"LB"/"SB"); shared by the
+    other finder stages' codecs. *)
+
+val scores_to_json : (Litmus.Test.idiom * int) list -> Json.t
+val scores_of_json :
+  Json.t -> ((Litmus.Test.idiom * int) list, string) Stdlib.result
+
+val result_to_json : result -> Json.t
+val result_of_json : Json.t -> (result, string) Stdlib.result
 
 val patch_sizes_of_row : eps:int -> stride:int -> (int * int) list -> int list
 (** [patch_sizes_of_row ~eps ~stride cells] extracts the sizes (in words)

@@ -59,10 +59,10 @@ let table4 ppf =
         Fmt.pf ppf "%-12s   (contains fence instructions)@." "")
     Apps.Registry.all
 
-let table5 ppf rows =
-  Fmt.pf ppf
-    "Table 5: effectiveness of the testing environments (a / b, where b = \
-     apps with errors,@.         a = apps with error rate over 5%%)@.";
+(* Shared Table 5 layout: paper column order for environments, Table 1
+   order for chips — used identically by the ASCII, markdown and CSV
+   renderers so the ledger path cannot drift from the live one. *)
+let table5_layout rows =
   let envs =
     List.sort_uniq compare (List.map (fun r -> r.Campaign.environment) rows)
   in
@@ -89,6 +89,18 @@ let table5 ppf rows =
             (List.mem c (List.map (fun c -> c.Gpusim.Chip.name) Gpusim.Chip.all)))
         chips
   in
+  (chips, envs)
+
+let table5_find rows chip env =
+  List.find_opt
+    (fun r -> r.Campaign.chip = chip && r.Campaign.environment = env)
+    rows
+
+let table5 ppf rows =
+  Fmt.pf ppf
+    "Table 5: effectiveness of the testing environments (a / b, where b = \
+     apps with errors,@.         a = apps with error rate over 5%%)@.";
+  let chips, envs = table5_layout rows in
   hr ppf (8 + (11 * List.length envs));
   Fmt.pf ppf "%-8s" "chip";
   List.iter (fun e -> Fmt.pf ppf "%-11s" e) envs;
@@ -99,11 +111,7 @@ let table5 ppf rows =
       Fmt.pf ppf "%-8s" chip;
       List.iter
         (fun env ->
-          match
-            List.find_opt
-              (fun r -> r.Campaign.chip = chip && r.Campaign.environment = env)
-              rows
-          with
+          match table5_find rows chip env with
           | Some r ->
             Fmt.pf ppf "%-11s"
               (Printf.sprintf "%d / %d" r.Campaign.effective r.Campaign.capable)
@@ -279,6 +287,271 @@ let spread_csv (r : Spread_finder.result) =
         p.Spread_finder.scores)
     r.Spread_finder.points;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Ledger-backed rendering                                              *)
+
+let provenance ppf ~path (h : Runlog.header) =
+  Fmt.pf ppf "# ledger: %s | schema %d | campaign %s | seed %d | jobs %d@."
+    path h.Runlog.schema h.Runlog.campaign h.Runlog.seed h.Runlog.jobs;
+  (match h.Runlog.argv with
+  | [] -> ()
+  | argv -> Fmt.pf ppf "# argv: %s@." (String.concat " " argv));
+  let created =
+    if h.Runlog.created = 0.0 then "-"
+    else
+      let tm = Unix.gmtime h.Runlog.created in
+      Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
+  in
+  Fmt.pf ppf "# created: %s | git: %s@." created
+    (Option.value h.Runlog.git ~default:"-")
+
+let table5_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "chip,environment,app,errors,runs,rate,dominant\n";
+  let chips, envs = table5_layout rows in
+  List.iter
+    (fun chip ->
+      List.iter
+        (fun env ->
+          match table5_find rows chip env with
+          | None -> ()
+          | Some r ->
+            List.iter
+              (fun (c : Campaign.cell) ->
+                let rate =
+                  if c.Campaign.runs = 0 then 0.0
+                  else
+                    float_of_int c.Campaign.errors
+                    /. float_of_int c.Campaign.runs
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s,%s,%s,%d,%d,%.4f,%s\n" chip env
+                     c.Campaign.app c.Campaign.errors c.Campaign.runs rate
+                     (match Campaign.dominant c with
+                     | Some (msg, _) -> String.map (function ',' -> ';' | ch -> ch) msg
+                     | None -> "")))
+              r.Campaign.cells)
+        envs)
+    chips;
+  Buffer.contents buf
+
+let table5_md rows =
+  let buf = Buffer.create 1024 in
+  let chips, envs = table5_layout rows in
+  Buffer.add_string buf
+    "Table 5: effectiveness of the testing environments (a / b; b = apps \
+     with errors, a = apps with error rate over 5%)\n\n";
+  Buffer.add_string buf
+    ("| chip | " ^ String.concat " | " envs ^ " |\n");
+  Buffer.add_string buf
+    ("|---|" ^ String.concat "" (List.map (fun _ -> "---|") envs) ^ "\n");
+  List.iter
+    (fun chip ->
+      Buffer.add_string buf ("| " ^ chip ^ " |");
+      List.iter
+        (fun env ->
+          match table5_find rows chip env with
+          | Some r ->
+            Buffer.add_string buf
+              (Printf.sprintf " %d / %d |" r.Campaign.effective
+                 r.Campaign.capable)
+          | None -> Buffer.add_string buf " - |")
+        envs;
+      Buffer.add_string buf "\n")
+    chips;
+  Buffer.contents buf
+
+let table2_csv results =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "chip,patch,sequence,spread,minutes\n";
+  List.iter
+    (fun ((r : Tuning.result), mins) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%d,%.2f\n" r.Tuning.chip
+           r.Tuning.patch.Patch_finder.chosen
+           (Access_seq.to_string r.Tuning.sequences.Seq_finder.winner)
+           r.Tuning.spreads.Spread_finder.winner mins))
+    results;
+  Buffer.contents buf
+
+let table3_csv (r : Seq_finder.result) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat ","
+       ("sequence" :: "total"
+       :: List.map Litmus.Test.idiom_name Litmus.Test.idioms)
+    ^ "\n");
+  List.iter
+    (fun (s : Seq_finder.scored) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s\n"
+           (Access_seq.to_string s.Seq_finder.sequence)
+           s.Seq_finder.total
+           (String.concat ","
+              (List.map
+                 (fun i ->
+                   match List.assoc_opt i s.Seq_finder.scores with
+                   | Some n -> string_of_int n
+                   | None -> "0")
+                 Litmus.Test.idioms))))
+    r.Seq_finder.table;
+  Buffer.contents buf
+
+let table6_csv (results : Harden.result list) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "app,chip,initial,fences,fence_sites,converged,rounds,checks\n";
+  List.iter
+    (fun (r : Harden.result) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%s,%b,%d,%d\n" r.Harden.app
+           r.Harden.chip r.Harden.initial
+           (List.length r.Harden.fences)
+           (String.concat ";"
+              (List.map
+                 (fun (k, s) -> Printf.sprintf "%s:s%d" k s)
+                 r.Harden.fences))
+           r.Harden.converged r.Harden.rounds r.Harden.checks))
+    results;
+  Buffer.contents buf
+
+let patches_csv results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "chip,idiom,distance,location,weak\n";
+  List.iter
+    (fun (chip, (r : Patch_finder.result)) ->
+      List.iter
+        (fun (c : Patch_finder.cell) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%d,%d,%d\n" chip
+               (Litmus.Test.idiom_name c.Patch_finder.idiom)
+               c.Patch_finder.distance c.Patch_finder.location
+               c.Patch_finder.weak))
+        r.Patch_finder.cells)
+    results;
+  Buffer.contents buf
+
+let spreads_csv results =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "chip,spread,idiom,score\n";
+  List.iter
+    (fun (chip, (r : Spread_finder.result)) ->
+      List.iter
+        (fun (p : Spread_finder.point) ->
+          List.iter
+            (fun (idiom, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%d,%s,%d\n" chip p.Spread_finder.spread
+                   (Litmus.Test.idiom_name idiom) v))
+            p.Spread_finder.scores)
+        r.Spread_finder.points)
+    results;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Campaign comparison                                                  *)
+
+type comparison = {
+  regressions : string list;
+  improvements : string list;
+  notes : string list;
+}
+
+let error_rate (c : Campaign.cell) =
+  if c.Campaign.runs = 0 then 0.0
+  else float_of_int c.Campaign.errors /. float_of_int c.Campaign.runs
+
+(* The tool under comparison is a *testing* environment: its job is to
+   expose errors.  A cell whose error-exposure rate drops by more than
+   the tolerance is therefore a regression (the candidate lost testing
+   power); a rise is an improvement.  Failure modes appearing or
+   vanishing from the per-cell histograms are surfaced as notes. *)
+let compare_campaigns ~tolerance ~baseline ~candidate =
+  let regressions = ref [] in
+  let improvements = ref [] in
+  let notes = ref [] in
+  let reg m = regressions := m :: !regressions in
+  let imp m = improvements := m :: !improvements in
+  let note m = notes := m :: !notes in
+  let find rows chip env =
+    List.find_opt
+      (fun r -> r.Campaign.chip = chip && r.Campaign.environment = env)
+      rows
+  in
+  List.iter
+    (fun (b : Campaign.row) ->
+      let where = Printf.sprintf "%s/%s" b.Campaign.chip b.Campaign.environment in
+      match find candidate b.Campaign.chip b.Campaign.environment with
+      | None -> reg (Printf.sprintf "%s: row missing from candidate" where)
+      | Some c ->
+        List.iter
+          (fun (bc : Campaign.cell) ->
+            let cell = Printf.sprintf "%s/%s" where bc.Campaign.app in
+            match
+              List.find_opt
+                (fun cc -> cc.Campaign.app = bc.Campaign.app)
+                c.Campaign.cells
+            with
+            | None -> reg (Printf.sprintf "%s: cell missing from candidate" cell)
+            | Some cc ->
+              let rb = error_rate bc and rc = error_rate cc in
+              let delta = rc -. rb in
+              if delta < -.tolerance then
+                reg
+                  (Printf.sprintf
+                     "%s: error-exposure rate fell %.2f%% -> %.2f%%" cell
+                     (100.0 *. rb) (100.0 *. rc))
+              else if delta > tolerance then
+                imp
+                  (Printf.sprintf
+                     "%s: error-exposure rate rose %.2f%% -> %.2f%%" cell
+                     (100.0 *. rb) (100.0 *. rc));
+              let msgs h = List.map fst h in
+              let bm = msgs bc.Campaign.histogram in
+              let cm = msgs cc.Campaign.histogram in
+              List.iter
+                (fun m ->
+                  if not (List.mem m cm) then
+                    note (Printf.sprintf "%s: failure mode vanished: %s" cell m))
+                bm;
+              List.iter
+                (fun m ->
+                  if not (List.mem m bm) then
+                    note (Printf.sprintf "%s: new failure mode: %s" cell m))
+                cm)
+          b.Campaign.cells)
+    baseline;
+  List.iter
+    (fun (c : Campaign.row) ->
+      if find baseline c.Campaign.chip c.Campaign.environment = None then
+        note
+          (Printf.sprintf "%s/%s: row only in candidate" c.Campaign.chip
+             c.Campaign.environment))
+    candidate;
+  { regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    notes = List.rev !notes }
+
+let pp_comparison ppf c =
+  let section title = function
+    | [] -> ()
+    | items ->
+      Fmt.pf ppf "%s:@." title;
+      List.iter (fun i -> Fmt.pf ppf "  %s@." i) items
+  in
+  section "regressions" c.regressions;
+  section "improvements" c.improvements;
+  section "notes" c.notes;
+  if c.regressions = [] && c.improvements = [] && c.notes = [] then
+    Fmt.pf ppf "no differences@."
+  else
+    Fmt.pf ppf "%d regression(s), %d improvement(s), %d note(s)@."
+      (List.length c.regressions)
+      (List.length c.improvements)
+      (List.length c.notes)
 
 let cost_csv points =
   let buf = Buffer.create 1024 in

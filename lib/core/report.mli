@@ -39,3 +39,60 @@ val figure5 : Format.formatter -> Cost.point list -> unit
 val patch_csv : Patch_finder.result -> string
 val spread_csv : Spread_finder.result -> string
 val cost_csv : Cost.point list -> string
+
+(** {1 Ledger-backed rendering}
+
+    [gpuwmm report --from LEDGER] rebuilds tables and figures purely
+    from a run ledger; every output is stamped with the ledger's header
+    provenance first. *)
+
+val provenance : Format.formatter -> path:string -> Runlog.header -> unit
+(** ['#']-prefixed provenance stamp (valid as CSV comment lines):
+    ledger path, schema, campaign kind, seed, jobs, argv, creation time
+    and git version. *)
+
+val table5_csv : Campaign.row list -> string
+(** One line per (chip, environment, app) cell: errors, runs, error
+    rate and dominant failure mode (commas in messages become [';']). *)
+
+val table5_md : Campaign.row list -> string
+(** Table 5 as a GitHub-flavoured markdown table. *)
+
+val table2_csv : (Tuning.result * float) list -> string
+
+val table3_csv : Seq_finder.result -> string
+(** One line per scored sequence: total and per-idiom weak counts. *)
+
+val table6_csv : Harden.result list -> string
+(** One line per (app, chip) hardening result; fence sites are
+    [';']-separated. *)
+
+val patches_csv : (string * Patch_finder.result) list -> string
+(** {!patch_csv} with a chip column, for multi-chip ledgers. *)
+
+val spreads_csv : (string * Spread_finder.result) list -> string
+(** {!spread_csv} with a chip column, for multi-chip ledgers. *)
+
+(** {1 Campaign comparison}
+
+    [gpuwmm compare A B] diffs two campaign ledgers cell by cell.  The
+    testing environment's job is to {e expose} errors, so a cell whose
+    error-exposure rate drops by more than the tolerance — or a missing
+    row/cell — is a regression; rises are improvements; failure modes
+    appearing in or vanishing from the per-cell histograms are notes. *)
+
+type comparison = {
+  regressions : string list;
+  improvements : string list;
+  notes : string list;
+}
+
+val compare_campaigns :
+  tolerance:float ->
+  baseline:Campaign.row list ->
+  candidate:Campaign.row list ->
+  comparison
+(** [tolerance] is an absolute error-rate delta (e.g. 0.02 allows a two
+    percentage-point drop before flagging a regression). *)
+
+val pp_comparison : Format.formatter -> comparison -> unit

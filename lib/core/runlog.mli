@@ -1,0 +1,222 @@
+(** Durable JSONL run ledger for long campaigns.
+
+    The paper's campaigns are hours long (an hour per Table 5 cell,
+    ~0.5 billion litmus executions for tuning), yet a killed driver used
+    to lose everything and a finished one left no machine-readable
+    record of what produced a table.  A {e ledger} fixes both: it is an
+    append-only JSONL file written incrementally as {!Exec} jobs
+    complete, containing
+
+    {ul
+    {- a {b header} record — schema version, campaign kind, command
+       line, master seed, [--jobs], the parameter grid as JSON, and
+       [git describe] when available;}
+    {- one {b job} record per completed job — phase name, plan index,
+       pre-derived sub-seed, error count, duration, and the reduced
+       result payload as {!Json};}
+    {- one {b result} record — the fully reduced driver result, written
+       after the campaign's reduce step (what [gpuwmm report --from]
+       renders);}
+    {- a {b footer} — job/error totals, wall time, and a
+       {!Telemetry} snapshot.}}
+
+    {b Plan-order durability.}  Workers complete jobs out of order, but
+    the writer holds a reorder buffer and only flushes a job record once
+    every lower-indexed record of the same phase is on disk.  A killed
+    run therefore leaves a ledger whose job records are a plan-order
+    prefix per phase — exactly the shape {!cache_of_ledger} needs for
+    resumption — and, in {{!deterministic_mode} deterministic mode}, a
+    ledger that is byte-identical for every [--jobs] value.
+
+    {b Resume.}  [--resume LEDGER] loads the old ledger, replays its
+    completed job records as cached results (skipping their execution
+    entirely), and re-runs only the remainder.  The property that a
+    fresh run and a killed-then-resumed run produce bit-identical
+    ledgers and reports, for any kill point and any [--jobs] in
+    {1,2,4}, is qcheck-tested in [test/test_runlog.ml]. *)
+
+val schema_version : int
+
+val deterministic_mode : unit -> bool
+(** True when the [GPUWMM_LEDGER_DETERMINISTIC] environment variable is
+    set to anything but [""], ["0"] or ["false"].  In this mode every
+    wall-clock-dependent ledger field is zeroed (header [created],
+    [argv], [git], [jobs]; job durations; footer wall time and telemetry
+    snapshot), so two runs of the same campaign at the same seed produce
+    byte-identical ledgers regardless of parallelism or timing.  Used by
+    the resume property tests and the CI kill/resume job. *)
+
+(** {1 Records} *)
+
+type header = {
+  schema : int;
+  campaign : string;  (** campaign kind, e.g. ["test"] or ["table5"] *)
+  argv : string list;
+  seed : int;
+  jobs : int;  (** the [--jobs] value the run was started with *)
+  grid : Json.t;  (** the parameter grid (chips, envs, apps, budget) *)
+  git : string option;  (** [git describe --always --dirty] if available *)
+  created : float;  (** unix time *)
+}
+
+val make_header :
+  ?argv:string list -> ?jobs:int -> campaign:string -> seed:int ->
+  grid:Json.t -> unit -> header
+(** Stamp a header for a fresh run.  [argv] defaults to [Sys.argv]; in
+    {!deterministic_mode} the [argv], [git], [created] and [jobs] fields
+    are zeroed as documented above. *)
+
+type job = {
+  phase : string;
+      (** namespaced stage, e.g. ["campaign"], ["K20/patch"],
+          ["checks"]; unique per [Exec.run] call within a ledger *)
+  index : int;  (** plan index within the phase *)
+  seed : int;  (** the job's pre-derived sub-seed *)
+  errors : int;  (** weak/error observations, for progress & compare *)
+  duration_s : float;
+  result : Json.t;  (** codec-encoded job result *)
+}
+
+type footer = {
+  total_jobs : int;
+  total_errors : int;
+  wall_s : float;
+  telemetry : Json.t;
+}
+
+type ledger = {
+  header : header;
+  jobs : job list;  (** in file order *)
+  result : (string * Json.t) option;  (** (kind, data) *)
+  footer : footer option;  (** absent for interrupted runs *)
+  torn : bool;  (** a trailing partial line was dropped (killed mid-write) *)
+}
+
+(** {1 Writing} *)
+
+type t
+(** An open ledger writer.  All operations are mutex-guarded and safe to
+    call from any worker domain. *)
+
+val create : ?deterministic:bool -> path:string -> header -> t
+(** Truncate/create [path] and write the header line.  [deterministic]
+    defaults to {!deterministic_mode}[ ()] and controls zeroing of job
+    durations and footer timing at write time. *)
+
+val path : t -> string
+
+val append_job : t -> job -> unit
+(** Buffer one completed job; flush it (and any unblocked successors) to
+    disk once all lower indexes of its phase have been written.  Phases
+    must be written contiguously: switching phase with out-of-order
+    records still pending raises [Invalid_argument]. *)
+
+val append_result : t -> kind:string -> Json.t -> unit
+(** Write the reduced campaign result record. *)
+
+val close : t -> unit
+(** Write the footer and close the file.  Raises [Invalid_argument] if
+    out-of-order job records are still pending (a gap in the plan). *)
+
+val abort : t -> unit
+(** Flush and close the file {e without} a footer, leaving a resumable
+    prefix.  For exception paths. *)
+
+(** {1 Loading and resumption} *)
+
+val parse : string -> (ledger, string) result
+(** Parse ledger text.  The first line must be a header.  A final line
+    that fails to parse is dropped and flagged [torn] (the process was
+    killed mid-write); a malformed line anywhere else is an error. *)
+
+val load : string -> (ledger, string) result
+(** {!parse} the file at a path. *)
+
+type cache
+(** Completed job records keyed by (phase, index). *)
+
+val cache_of_ledger : ledger -> cache
+val cache_size : cache -> int
+
+(** {1 Journals}
+
+    A journal is what drivers thread down to {!Exec}: an optional sink
+    (the open writer), an optional resume cache, and the phase name that
+    namespaces this [Exec.run] call's records.  Callers running the same
+    driver several times in one ledger (per chip, per app) prefix the
+    phase with {!extend}. *)
+
+type journal = {
+  sink : t option;
+  cache : cache option;
+  phase : string;
+}
+
+val journal : ?sink:t -> ?cache:cache -> string -> journal
+val extend : journal -> string -> journal
+(** [extend j s] appends [s] to the phase prefix. *)
+
+(** {1 Codecs} *)
+
+type 'a codec = {
+  encode : 'a -> Json.t;
+  decode : Json.t -> ('a, string) result;
+  errors_of : 'a -> int;
+      (** how many of the job's executions observed an error — drives
+          the progress line's error rate and [compare]'s histograms *)
+}
+
+val int_codec : int codec
+(** For count-valued jobs (the finders); [errors_of] is the count. *)
+
+val bool_codec : bool codec
+(** For check-valued jobs (hardening); [errors_of] is 1 on [false]. *)
+
+val cached_value : journal -> codec:'a codec -> index:int -> seed:int ->
+  ('a * job) option
+(** Look up a cached job record and decode it.  Raises [Failure] when
+    the record exists but its seed differs from the planned seed (the
+    ledger belongs to a different campaign) or its payload does not
+    decode — resuming must never silently corrupt results. *)
+
+val replay : journal -> job -> unit
+(** Re-append a cached record verbatim to the sink (no-op without one),
+    so a resumed ledger contains the full job history. *)
+
+val record :
+  journal -> index:int -> seed:int -> errors:int -> duration_s:float ->
+  Json.t -> unit
+(** Append a freshly computed job record under the journal's phase. *)
+
+val memo :
+  journal option -> codec:'a codec -> index:int -> seed:int ->
+  (unit -> 'a) -> 'a
+(** Journal one sequential computation: replay it from cache when
+    available, otherwise run it, record it, and return it.  Used by
+    drivers whose unit of work is not an [Exec.run] job (hardening's
+    adaptive check sequence). *)
+
+(** {1 Decoding helpers}
+
+    Small result-typed accessors the driver codecs share. *)
+
+module Dec : sig
+  val ( let* ) :
+    ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+
+  val field : string -> Json.t -> (Json.t, string) result
+  val int : string -> Json.t -> (int, string) result
+  val float : string -> Json.t -> (float, string) result
+  val bool : string -> Json.t -> (bool, string) result
+  val str : string -> Json.t -> (string, string) result
+  val list : string -> Json.t -> (Json.t list, string) result
+
+  val opt_int : string -> Json.t -> (int option, string) result
+  (** [Null] or absent is [None]. *)
+
+  val opt_str : string -> Json.t -> (string option, string) result
+
+  val all : ('a -> ('b, string) result) -> 'a list ->
+    ('b list, string) result
+  (** Decode every element or fail with the first error. *)
+end

@@ -14,7 +14,48 @@ let region_starts ~patch ~max_location =
   let rec go l acc = if l >= max_location then List.rev acc else go (l + patch) (l :: acc) in
   go 0 []
 
-let run ?backend ~chip ~seed ~budget ~patch () =
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs                                                        *)
+
+let sequence_of_json j =
+  match Option.bind (Json.to_str j) Access_seq.of_string with
+  | Some s -> Ok s
+  | None -> Error "expected an access sequence string"
+
+let result_to_json r =
+  Json.Assoc
+    [ ("patch", Json.Int r.patch);
+      ("winner", Json.String (Access_seq.to_string r.winner));
+      ( "table",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Assoc
+                 [ ("seq", Json.String (Access_seq.to_string s.sequence));
+                   ("total", Json.Int s.total);
+                   ("scores", Patch_finder.scores_to_json s.scores) ])
+             r.table) ) ]
+
+let result_of_json j =
+  let open Runlog.Dec in
+  let* patch = int "patch" j in
+  let* wj = field "winner" j in
+  let* winner = sequence_of_json wj in
+  let* tj = list "table" j in
+  let* table =
+    all
+      (fun e ->
+        let* sj = field "seq" e in
+        let* sequence = sequence_of_json sj in
+        let* total = int "total" e in
+        let* scj = field "scores" e in
+        let* scores = Patch_finder.scores_of_json scj in
+        Ok { sequence; scores; total })
+      tj
+  in
+  Ok { table; winner; patch }
+
+let run ?backend ?journal ~chip ~seed ~budget ~patch () =
   let b = budget in
   let locations = region_starts ~patch ~max_location:b.Budget.max_location in
   let sequences = Access_seq.all ~max_len:b.Budget.seq_max_len in
@@ -37,7 +78,8 @@ let run ?backend ~chip ~seed ~budget ~patch () =
   let weaks =
     Exec.run ?backend
       ~label:(Printf.sprintf "sequence finding on %s" chip.Gpusim.Chip.name)
-      ~execs_per_job:b.Budget.runs_seq ~seed
+      ?journal:(Option.map (fun j -> Runlog.extend j "seq") journal)
+      ~codec:Runlog.int_codec ~execs_per_job:b.Budget.runs_seq ~seed
       ~f:(fun ~seed (sequence, idiom, distance, location) ->
         let strategy =
           Stress.Fixed

@@ -20,6 +20,7 @@ type result = {
 
 val run :
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   chip:Gpusim.Chip.t ->
   seed:int ->
   budget:Budget.t ->
@@ -28,7 +29,14 @@ val run :
   result
 (** The (sequence, idiom, distance, location) grid runs through {!Exec};
     results are bit-identical across executor backends at the same
-    seed. *)
+    seed.  [journal] journals each grid point's weak count under phase
+    ["seq"]. *)
+
+(** {1 Ledger codecs} *)
+
+val sequence_of_json : Json.t -> (Access_seq.t, string) Stdlib.result
+val result_to_json : result -> Json.t
+val result_of_json : Json.t -> (result, string) Stdlib.result
 
 val rank_for :
   result -> Litmus.Test.idiom -> (int * Access_seq.t * int) list

@@ -10,7 +10,42 @@ type result = {
   patch : int;
 }
 
-let run ?backend ~chip ~seed ~budget ~patch ~sequence () =
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs                                                        *)
+
+let result_to_json r =
+  Json.Assoc
+    [ ("patch", Json.Int r.patch);
+      ("sequence", Json.String (Access_seq.to_string r.sequence));
+      ("winner", Json.Int r.winner);
+      ( "points",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Assoc
+                 [ ("spread", Json.Int p.spread);
+                   ("scores", Patch_finder.scores_to_json p.scores) ])
+             r.points) ) ]
+
+let result_of_json j =
+  let open Runlog.Dec in
+  let* patch = int "patch" j in
+  let* sj = field "sequence" j in
+  let* sequence = Seq_finder.sequence_of_json sj in
+  let* winner = int "winner" j in
+  let* pj = list "points" j in
+  let* points =
+    all
+      (fun e ->
+        let* spread = int "spread" e in
+        let* scj = field "scores" e in
+        let* scores = Patch_finder.scores_of_json scj in
+        Ok { spread; scores })
+      pj
+  in
+  Ok { points; winner; sequence; patch }
+
+let run ?backend ?journal ~chip ~seed ~budget ~patch ~sequence () =
   let b = budget in
   let spreads =
     let rec go m acc =
@@ -35,7 +70,8 @@ let run ?backend ~chip ~seed ~budget ~patch ~sequence () =
   let weaks =
     Exec.run ?backend
       ~label:(Printf.sprintf "spread finding on %s" chip.Gpusim.Chip.name)
-      ~execs_per_job:b.Budget.runs_spread ~seed
+      ?journal:(Option.map (fun j -> Runlog.extend j "spread") journal)
+      ~codec:Runlog.int_codec ~execs_per_job:b.Budget.runs_spread ~seed
       ~f:(fun ~seed (spread, idiom, distance) ->
         let strategy =
           Stress.Sys { sequence; spread; regions = b.Budget.max_spread }

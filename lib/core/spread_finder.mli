@@ -20,6 +20,7 @@ type result = {
 
 val run :
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   chip:Gpusim.Chip.t ->
   seed:int ->
   budget:Budget.t ->
@@ -28,4 +29,10 @@ val run :
   unit ->
   result
 (** The (spread, idiom, distance) grid runs through {!Exec}; results are
-    bit-identical across executor backends at the same seed. *)
+    bit-identical across executor backends at the same seed.  [journal]
+    journals each grid point's weak count under phase ["spread"]. *)
+
+(** {1 Ledger codecs} *)
+
+val result_to_json : result -> Json.t
+val result_of_json : Json.t -> (result, string) Stdlib.result

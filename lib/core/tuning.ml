@@ -7,21 +7,22 @@ type result = {
   elapsed_s : float;
 }
 
-let run ?backend ~chip ~seed ~budget () =
+let run ?backend ?journal ~chip ~seed ~budget () =
   let t0 = Unix.gettimeofday () in
   (* The three stages are data-dependent and run in sequence; each stage
      parallelises its own grid through Exec.  Stage seeds are split from
      the master seed up front. *)
   let patch =
-    Patch_finder.run ?backend ~chip ~seed:(Gpusim.Rng.subseed seed 0) ~budget
-      ()
+    Patch_finder.run ?backend ?journal ~chip ~seed:(Gpusim.Rng.subseed seed 0)
+      ~budget ()
   in
   let sequences =
-    Seq_finder.run ?backend ~chip ~seed:(Gpusim.Rng.subseed seed 1) ~budget
-      ~patch:patch.Patch_finder.chosen ()
+    Seq_finder.run ?backend ?journal ~chip ~seed:(Gpusim.Rng.subseed seed 1)
+      ~budget ~patch:patch.Patch_finder.chosen ()
   in
   let spreads =
-    Spread_finder.run ?backend ~chip ~seed:(Gpusim.Rng.subseed seed 2) ~budget
+    Spread_finder.run ?backend ?journal ~chip
+      ~seed:(Gpusim.Rng.subseed seed 2) ~budget
       ~patch:patch.Patch_finder.chosen
       ~sequence:sequences.Seq_finder.winner ()
   in
@@ -30,8 +31,15 @@ let run ?backend ~chip ~seed ~budget () =
       spread = spreads.Spread_finder.winner;
       regions = budget.Budget.max_spread }
   in
+  (* In deterministic-ledger mode the elapsed time would be the only
+     nondeterministic field of the tuning result record; zero it so
+     fresh and resumed ledgers stay byte-identical. *)
+  let elapsed_s =
+    if Runlog.deterministic_mode () then 0.0
+    else Unix.gettimeofday () -. t0
+  in
   { chip = chip.Gpusim.Chip.name; patch; sequences; spreads; tuned;
-    elapsed_s = Unix.gettimeofday () -. t0 }
+    elapsed_s }
 
 let parse s =
   match Access_seq.of_string s with
@@ -48,11 +56,23 @@ let table2 =
     ("C2075", "ld st");
     ("C2050", "ld st") ]
 
+let strict_mode = Atomic.make false
+let set_strict b = Atomic.set strict_mode b
+let strict () = Atomic.get strict_mode
+
 let shipped ~chip =
+  let strict = Atomic.get strict_mode in
   let name = chip.Gpusim.Chip.name in
   let sequence =
     match List.assoc_opt name table2 with
     | Some s -> parse s
+    | None when strict ->
+      (* Fail closed: a typo'd chip must not silently run a campaign
+         with untuned parameters. *)
+      invalid_arg
+        (Printf.sprintf
+           "Tuning.shipped: chip %S has no Table 2 parameters (--strict)"
+           name)
     | None ->
       (* A typo'd chip must not silently masquerade as a tuned one. *)
       Logs.warn (fun m ->
@@ -63,3 +83,43 @@ let shipped ~chip =
       parse "ld st"
   in
   { Stress.sequence; spread = 2; regions = Budget.default.Budget.max_spread }
+
+(* ------------------------------------------------------------------ *)
+(* Ledger codecs                                                        *)
+
+let tuned_to_json (t : Stress.tuned) =
+  Json.Assoc
+    [ ("sequence", Json.String (Access_seq.to_string t.Stress.sequence));
+      ("spread", Json.Int t.Stress.spread);
+      ("regions", Json.Int t.Stress.regions) ]
+
+let tuned_of_json j =
+  let open Runlog.Dec in
+  let* sj = field "sequence" j in
+  let* sequence = Seq_finder.sequence_of_json sj in
+  let* spread = int "spread" j in
+  let* regions = int "regions" j in
+  Ok { Stress.sequence; spread; regions }
+
+let result_to_json r =
+  Json.Assoc
+    [ ("chip", Json.String r.chip);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("patch", Patch_finder.result_to_json r.patch);
+      ("sequences", Seq_finder.result_to_json r.sequences);
+      ("spreads", Spread_finder.result_to_json r.spreads);
+      ("tuned", tuned_to_json r.tuned) ]
+
+let result_of_json j =
+  let open Runlog.Dec in
+  let* chip = str "chip" j in
+  let* elapsed_s = float "elapsed_s" j in
+  let* pj = field "patch" j in
+  let* patch = Patch_finder.result_of_json pj in
+  let* sj = field "sequences" j in
+  let* sequences = Seq_finder.result_of_json sj in
+  let* spj = field "spreads" j in
+  let* spreads = Spread_finder.result_of_json spj in
+  let* tj = field "tuned" j in
+  let* tuned = tuned_of_json tj in
+  Ok { chip; patch; sequences; spreads; tuned; elapsed_s }

@@ -14,6 +14,7 @@ type result = {
 
 val run :
   ?backend:Exec.backend ->
+  ?journal:Runlog.journal ->
   chip:Gpusim.Chip.t ->
   seed:int ->
   budget:Budget.t ->
@@ -21,12 +22,30 @@ val run :
   result
 (** The three stages run in sequence (they are data-dependent); each
     stage's grid executes through {!Exec} with the given [backend].
-    Results are bit-identical across backends at the same seed. *)
+    Results are bit-identical across backends at the same seed.
+    [journal] journals the stages under phases ["patch"], ["seq"] and
+    ["spread"] (callers tuning several chips in one ledger prefix the
+    journal with {!Runlog.extend}).  In {!Runlog.deterministic_mode}
+    [elapsed_s] is 0 so ledger records stay reproducible. *)
+
+val set_strict : bool -> unit
+(** Process-wide strict mode (the CLI's [--strict] flag). *)
+
+val strict : unit -> bool
 
 val shipped : chip:Gpusim.Chip.t -> Stress.tuned
 (** The tuned parameters published in Table 2 of the paper, shipped as
     defaults so that users can apply sys-str without re-running the
     multi-hour tuning campaign.  (Patch size per architecture, the
-    paper's winning sequence per chip, spread 2.)  A chip without Table 2
-    parameters falls back to the untuned ["ld st"] sequence and logs a
-    [Logs] warning. *)
+    paper's winning sequence per chip, spread 2.)  A chip without
+    Table 2 parameters falls back to the untuned ["ld st"] sequence and
+    logs a [Logs] warning — unless {!set_strict} mode is on, in which
+    case it fails closed with [Invalid_argument] so a typo'd chip
+    cannot silently run a campaign with untuned parameters. *)
+
+(** {1 Ledger codecs} *)
+
+val tuned_to_json : Stress.tuned -> Json.t
+val tuned_of_json : Json.t -> (Stress.tuned, string) Stdlib.result
+val result_to_json : result -> Json.t
+val result_of_json : Json.t -> (result, string) Stdlib.result

@@ -79,13 +79,43 @@ let test_threshold () =
   Alcotest.(check (float 1e-9)) "paper threshold" 0.05
     Core.Campaign.effectiveness_threshold
 
+let test_merge_histograms () =
+  (* Summed counts; descending count; ties broken by message so merges
+     are order-independent regardless of worker completion order. *)
+  Alcotest.(check (list (pair string int)))
+    "summed, sorted, ties by message"
+    [ ("a", 2); ("b", 2); ("c", 1) ]
+    (Core.Campaign.merge_histograms
+       [ [ ("b", 2); ("a", 1) ]; [ ("c", 1); ("a", 1) ] ]);
+  Alcotest.(check (list (pair string int)))
+    "argument order does not matter"
+    (Core.Campaign.merge_histograms
+       [ [ ("b", 2); ("a", 1) ]; [ ("c", 1); ("a", 1) ] ])
+    (Core.Campaign.merge_histograms
+       [ [ ("c", 1); ("a", 1) ]; [ ("a", 1); ("b", 2) ] ]);
+  Alcotest.(check (list (pair string int))) "no histograms" []
+    (Core.Campaign.merge_histograms []);
+  Alcotest.(check (list (pair string int))) "empty histograms" []
+    (Core.Campaign.merge_histograms [ []; [] ])
+
+let test_dominant_empty_cell () =
+  let cell =
+    { Core.Campaign.app = "clean"; errors = 0; runs = 10; example = "";
+      histogram = [] }
+  in
+  Alcotest.(check bool) "clean cell has no dominant mode" true
+    (Core.Campaign.dominant cell = None)
+
 let () =
   Alcotest.run "campaign"
     [ ( "unit",
         [ Alcotest.test_case "cell counting" `Quick test_cell_counting;
           Alcotest.test_case "native clean" `Quick
             test_no_stress_environment_clean;
-          Alcotest.test_case "threshold" `Quick test_threshold ] );
+          Alcotest.test_case "threshold" `Quick test_threshold;
+          Alcotest.test_case "merge_histograms" `Quick test_merge_histograms;
+          Alcotest.test_case "dominant on empty cell" `Quick
+            test_dominant_empty_cell ] );
       ( "grid",
         [ Alcotest.test_case "grid and summary" `Slow test_grid_and_summary ] )
     ]

@@ -114,19 +114,27 @@ let test_ticker_rate_limited () =
   (* A sub-second campaign must produce exactly the final progress line,
      not one message per job. *)
   let messages = ref [] in
+  let finishes = ref 0 in
   let mu = Mutex.create () in
   Core.Exec.set_progress
     (Some
-       (fun m ->
-         Mutex.lock mu;
-         messages := m :: !messages;
-         Mutex.unlock mu));
+       { Core.Exec.line =
+           (fun m ->
+             Mutex.lock mu;
+             messages := m :: !messages;
+             Mutex.unlock mu);
+         finished =
+           (fun () ->
+             Mutex.lock mu;
+             incr finishes;
+             Mutex.unlock mu) });
   Fun.protect
     ~finally:(fun () -> Core.Exec.set_progress None)
     (fun () ->
       List.iter
         (fun backend ->
           messages := [];
+          finishes := 0;
           ignore
             (Core.Exec.map ~backend ~label:"tick-test"
                ~f:(fun _ -> ())
@@ -137,7 +145,8 @@ let test_ticker_rate_limited () =
             true
             (n >= 1 && n <= 5);
           Alcotest.(check bool) "the final line reports completion" true
-            (Test_util.contains (List.hd !messages) "500/500"))
+            (Test_util.contains (List.hd !messages) "500/500");
+          Alcotest.(check int) "finished fires exactly once" 1 !finishes)
         [ Core.Exec.Serial; Core.Exec.Parallel 4 ])
 
 let test_for_all_agrees_across_backends () =

@@ -1,0 +1,308 @@
+(* The durable JSONL run ledger: parse/load round-trips, torn tails,
+   fail-closed seed validation, and the headline guarantee that a
+   killed-then-resumed campaign produces a byte-identical ledger and
+   identical results for any kill point and any --jobs in {1, 2, 4}. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_all path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let temp () = Filename.temp_file "runlog" ".jsonl"
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let header ~campaign ~seed =
+  { Core.Runlog.schema = Core.Runlog.schema_version;
+    campaign; argv = []; seed; jobs = 0; grid = Core.Json.Null;
+    git = None; created = 0.0 }
+
+let cache_of path =
+  match Core.Runlog.load path with
+  | Ok l -> Core.Runlog.cache_of_ledger l
+  | Error e -> failwith e
+
+(* Drivers zero their wall-clock result fields (Tuning/Harden elapsed_s)
+   only under the deterministic-ledger env var, so the multi-phase resume
+   tests flip it for their duration. *)
+let with_deterministic_env f =
+  Unix.putenv "GPUWMM_LEDGER_DETERMINISTIC" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "GPUWMM_LEDGER_DETERMINISTIC" "0")
+    f
+
+(* ------------------------------------------------------------------ *)
+(* A small fixed campaign: 2 environments x 2 apps on one chip.        *)
+
+let chip = Gpusim.Chip.k20
+let apps = List.filter_map Apps.Registry.by_name [ "cbe-dot"; "sdk-red" ]
+
+let envs _chip =
+  let tuned = Core.Tuning.shipped ~chip in
+  [ Core.Environment.make Core.Stress.No_stress ~randomise:false;
+    Core.Environment.sys_plus ~tuned ]
+
+let runs = 12
+let cseed = 11
+
+let run_campaign ?cache ~path ~jobs () =
+  let sink =
+    Core.Runlog.create ~deterministic:true ~path
+      (header ~campaign:"test" ~seed:cseed)
+  in
+  let journal = Core.Runlog.journal ~sink ?cache "" in
+  match
+    Core.Campaign.run
+      ~backend:(Core.Exec.backend_of_jobs jobs)
+      ~journal ~chips:[ chip ] ~environments_for:envs ~apps ~runs ~seed:cseed
+      ()
+  with
+  | rows ->
+    Core.Runlog.append_result sink ~kind:"campaign"
+      (Core.Campaign.rows_to_json rows);
+    Core.Runlog.close sink;
+    rows
+  | exception e ->
+    Core.Runlog.abort sink;
+    raise e
+
+(* The uninterrupted reference ledger, computed once. *)
+let full =
+  lazy
+    (let path = temp () in
+     let rows = run_campaign ~path ~jobs:1 () in
+     let text = read_all path in
+     Sys.remove path;
+     (text, rows))
+
+(* Ledger lines: header, one per job, result, footer, trailing "". *)
+let job_count text = List.length (String.split_on_char '\n' text) - 4
+
+(* ------------------------------------------------------------------ *)
+(* Load round-trip                                                     *)
+
+let test_load_roundtrip () =
+  let full_text, full_rows = Lazy.force full in
+  match Core.Runlog.parse full_text with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    let h = l.Core.Runlog.header in
+    Alcotest.(check int) "schema" Core.Runlog.schema_version
+      h.Core.Runlog.schema;
+    Alcotest.(check string) "campaign" "test" h.Core.Runlog.campaign;
+    Alcotest.(check int) "seed" cseed h.Core.Runlog.seed;
+    Alcotest.(check int) "one record per job" 4
+      (List.length l.Core.Runlog.jobs);
+    Alcotest.(check bool) "not torn" false l.Core.Runlog.torn;
+    (match l.Core.Runlog.footer with
+    | None -> Alcotest.fail "footer missing"
+    | Some f ->
+      Alcotest.(check int) "footer job total" 4 f.Core.Runlog.total_jobs;
+      Alcotest.(check int) "footer error total"
+        (List.fold_left
+           (fun acc (j : Core.Runlog.job) -> acc + j.Core.Runlog.errors)
+           0 l.Core.Runlog.jobs)
+        f.Core.Runlog.total_errors);
+    (match l.Core.Runlog.result with
+    | Some ("campaign", data) -> (
+      match Core.Campaign.rows_of_json data with
+      | Error e -> Alcotest.fail e
+      | Ok rows ->
+        Alcotest.(check bool) "result record round-trips the rows" true
+          (rows = full_rows);
+        (* report --from must reproduce the live driver's Table 5
+           character for character. *)
+        Alcotest.(check string) "table5 from ledger = table5 live"
+          (Fmt.str "%a" Core.Report.table5 full_rows)
+          (Fmt.str "%a" Core.Report.table5 rows))
+    | Some (k, _) -> Alcotest.failf "unexpected result kind %S" k
+    | None -> Alcotest.fail "result record missing")
+
+let test_torn_tail_tolerated () =
+  let full_text, _ = Lazy.force full in
+  let ls = String.split_on_char '\n' full_text in
+  let text =
+    String.concat "\n" (take 3 ls) ^ "\n{\"rec\":\"job\",\"phase\""
+  in
+  match Core.Runlog.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    Alcotest.(check bool) "flagged torn" true l.Core.Runlog.torn;
+    Alcotest.(check int) "intact records kept" 2
+      (List.length l.Core.Runlog.jobs)
+
+let test_malformed_middle_rejected () =
+  let full_text, _ = Lazy.force full in
+  let ls = String.split_on_char '\n' full_text in
+  let text =
+    String.concat "\n"
+      (List.mapi (fun i l -> if i = 1 then "not json" else l) ls)
+  in
+  match Core.Runlog.parse text with
+  | Error e ->
+    Alcotest.(check bool) "error names the line" true
+      (Test_util.contains e "line")
+  | Ok _ -> Alcotest.fail "corrupt middle line must not parse"
+
+let test_seed_mismatch_fails_closed () =
+  let full_text, _ = Lazy.force full in
+  let path = temp () in
+  write_all path full_text;
+  let cache = cache_of path in
+  Sys.remove path;
+  let out = temp () in
+  let raised =
+    let sink =
+      Core.Runlog.create ~deterministic:true ~path:out
+        (header ~campaign:"test" ~seed:(cseed + 1))
+    in
+    let journal = Core.Runlog.journal ~sink ~cache "" in
+    match
+      Core.Campaign.run ~journal ~chips:[ chip ] ~environments_for:envs
+        ~apps ~runs ~seed:(cseed + 1) ()
+    with
+    | _ ->
+      Core.Runlog.close sink;
+      false
+    | exception Failure _ ->
+      Core.Runlog.abort sink;
+      true
+  in
+  Sys.remove out;
+  Alcotest.(check bool) "resume at a different seed raises" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Kill/resume byte-identity                                           *)
+
+let resume_prop =
+  QCheck.Test.make
+    ~name:"campaign kill/resume is byte-identical (any kill point, jobs)"
+    ~count:12
+    QCheck.(pair small_nat (int_range 0 2))
+    (fun (kraw, jidx) ->
+      let full_text, full_rows = Lazy.force full in
+      let ls = String.split_on_char '\n' full_text in
+      let njobs = job_count full_text in
+      let k = kraw mod (njobs + 1) in
+      let jobs = [| 1; 2; 4 |].(jidx) in
+      let path = temp () in
+      (* the ledger a kill at job k leaves behind: header + k records *)
+      write_all path (String.concat "\n" (take (1 + k) ls) ^ "\n");
+      let cache = cache_of path in
+      let rows = run_campaign ~cache ~path ~jobs () in
+      let text = read_all path in
+      Sys.remove path;
+      Core.Runlog.cache_size cache = k
+      && rows = full_rows && text = full_text)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-phase resume: tuning (patch -> seq -> spread) and hardening's
+   sequential memoised check stream.                                   *)
+
+let test_tuning_resume () =
+  with_deterministic_env @@ fun () ->
+  let tseed = 5 in
+  let budget = Core.Budget.quick in
+  let run_tuning ?cache ~path ~jobs () =
+    let sink =
+      Core.Runlog.create ~path (header ~campaign:"tune" ~seed:tseed)
+    in
+    let journal = Core.Runlog.journal ~sink ?cache "" in
+    match
+      Core.Tuning.run
+        ~backend:(Core.Exec.backend_of_jobs jobs)
+        ~journal ~chip ~seed:tseed ~budget ()
+    with
+    | r ->
+      Core.Runlog.append_result sink ~kind:"tuning"
+        (Core.Tuning.result_to_json r);
+      Core.Runlog.close sink;
+      r
+    | exception e ->
+      Core.Runlog.abort sink;
+      raise e
+  in
+  let path = temp () in
+  let r_full = run_tuning ~path ~jobs:2 () in
+  let full_text = read_all path in
+  let ls = String.split_on_char '\n' full_text in
+  let total = job_count full_text in
+  List.iter
+    (fun quarter ->
+      let k = total * quarter / 4 in
+      write_all path (String.concat "\n" (take (1 + k) ls) ^ "\n");
+      let cache = cache_of path in
+      let r = run_tuning ~cache ~path ~jobs:1 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "resume at %d/%d job(s): same result" k total)
+        true (r = r_full);
+      Alcotest.(check bool)
+        (Printf.sprintf "resume at %d/%d job(s): same bytes" k total)
+        true
+        (read_all path = full_text))
+    [ 1; 2; 3 ];
+  Sys.remove path
+
+let test_harden_memo_resume () =
+  with_deterministic_env @@ fun () ->
+  let hseed = 3 in
+  let app = List.hd Apps.Registry.fence_free in
+  let config =
+    { (Core.Harden.default_config ~chip) with
+      initial_iterations = 4;
+      stability_runs = 8 }
+  in
+  let run_h ?cache ~path () =
+    let sink =
+      Core.Runlog.create ~path (header ~campaign:"harden" ~seed:hseed)
+    in
+    let journal = Core.Runlog.journal ~sink ?cache "" in
+    match Core.Harden.insert ~chip ~config ~journal ~app ~seed:hseed () with
+    | r ->
+      Core.Runlog.append_result sink ~kind:"harden"
+        (Core.Harden.results_to_json [ r ]);
+      Core.Runlog.close sink;
+      r
+    | exception e ->
+      Core.Runlog.abort sink;
+      raise e
+  in
+  let path = temp () in
+  let r_full = run_h ~path () in
+  let full_text = read_all path in
+  let ls = String.split_on_char '\n' full_text in
+  let total = job_count full_text in
+  Alcotest.(check bool) "hardening journals its checks" true (total > 0);
+  let k = total / 2 in
+  write_all path (String.concat "\n" (take (1 + k) ls) ^ "\n");
+  let cache = cache_of path in
+  let r = run_h ~cache ~path () in
+  Alcotest.(check bool) "resumed hardening: same result" true (r = r_full);
+  Alcotest.(check bool) "resumed hardening: same bytes" true
+    (read_all path = full_text);
+  Sys.remove path
+
+let () =
+  Alcotest.run "runlog"
+    [ ( "ledger",
+        [ Alcotest.test_case "load round-trip, report identity" `Slow
+            test_load_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Slow
+            test_torn_tail_tolerated;
+          Alcotest.test_case "malformed middle rejected" `Slow
+            test_malformed_middle_rejected;
+          Alcotest.test_case "seed mismatch fails closed" `Slow
+            test_seed_mismatch_fails_closed ] );
+      ( "resume",
+        [ QCheck_alcotest.to_alcotest resume_prop;
+          Alcotest.test_case "tuning resumes across phases" `Slow
+            test_tuning_resume;
+          Alcotest.test_case "hardening resumes its memoised checks" `Slow
+            test_harden_memo_resume ] ) ]
