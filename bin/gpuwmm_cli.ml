@@ -51,7 +51,9 @@ let jobs_term =
 
 let backend_of jobs =
   match jobs with
-  | Some n -> Core.Exec.backend_of_jobs n
+  | Some n ->
+    (* clamp_jobs warns when the requested value is outside 1..512. *)
+    Core.Exec.backend_of_jobs (Core.Exec.clamp_jobs n)
   | None -> Core.Exec.default_backend ()
 
 let chip_conv =
@@ -184,6 +186,88 @@ let tolerance_term =
            counts as a regression (default 0.02, i.e. two percentage \
            points).")
 
+(* ------------------------------------------------------------------ *)
+(* Supervised execution                                                 *)
+
+let exit_degraded = 3
+let exit_failed = 4
+
+let timeout_term =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-job wall-clock budget.  An attempt running longer is \
+           cancelled by the watchdog at the simulator's next poll point \
+           and counts as failed (retried under $(b,--retries)).")
+
+let retries_term =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for a failed or timed-out job, re-run with the \
+           $(i,same) seed after a deterministic seed-derived backoff, so \
+           a successful retry is bit-identical to a fault-free run.")
+
+let keep_going_term =
+  Arg.(
+    value & flag
+    & info [ "keep-going" ]
+        ~doc:
+          "Quarantine jobs that exhaust their attempts instead of \
+           aborting: the campaign completes with degraded cells, the \
+           ledger records each failure, and the exit code is 3.")
+
+let setup_supervision ?faults ~timeout ~retries ~keep_going () =
+  (match timeout with
+  | Some t when t <= 0.0 ->
+    Fmt.epr "--timeout must be positive@.";
+    exit 2
+  | _ -> ());
+  if retries < 0 then begin
+    Fmt.epr "--retries must be non-negative@.";
+    exit 2
+  end;
+  if timeout <> None || retries > 0 || keep_going || faults <> None then
+    Core.Exec.set_supervision
+      (Some
+         (Core.Exec.supervision ?timeout_s:timeout ~retries ~keep_going
+            ?faults ()))
+
+let pp_failure ppf (fl : Core.Exec.failure) =
+  Fmt.pf ppf "%s job %d (seed %d, %d attempt(s)): %s" fl.Core.Exec.f_label
+    fl.Core.Exec.f_index fl.Core.Exec.f_seed fl.Core.Exec.f_attempts
+    fl.Core.Exec.f_reason
+
+(* Print the degradation summary accumulated during a supervised
+   campaign; a campaign that quarantined any job exits 3 so CI can tell
+   a degraded success from a clean one. *)
+let conclude_supervised () =
+  let s = Core.Exec.drain_summary () in
+  if s.Core.Exec.retried > 0 then
+    Logs.info (fun f ->
+        f "supervision: %d retry attempt(s) performed" s.Core.Exec.retried);
+  match s.Core.Exec.quarantined with
+  | [] -> ()
+  | qs ->
+    Fmt.epr "degraded: %d job(s) quarantined after exhausting attempts:@."
+      (List.length qs);
+    List.iter (fun fl -> Fmt.epr "  %a@." pp_failure fl) qs;
+    exit exit_degraded
+
+(* A poison job without --keep-going aborts the campaign (the ledger is
+   left footer-less and resumable) with a distinct exit code. *)
+let guarded f =
+  try f ()
+  with Core.Exec.Job_failed fl ->
+    Fmt.epr "failed: %a@." pp_failure fl;
+    Fmt.epr
+      "rerun with --retries N to retry transient faults, or --keep-going \
+       to quarantine poison jobs and continue@.";
+    exit exit_failed
+
 let json_strs xs = Core.Json.List (List.map (fun s -> Core.Json.String s) xs)
 let chip_names cs = List.map (fun c -> c.Gpusim.Chip.name) cs
 let app_names apps = List.map (fun a -> a.Apps.App.name) apps
@@ -245,6 +329,91 @@ let seq_of_json j =
   let* r = Core.Seq_finder.result_of_json rj in
   Ok (chip, r)
 
+(* Render a ledger's reduced result record — the body of `gpuwmm report
+   --from`, also used by --resume's complete-ledger fast path. *)
+let render_ledger_result ?(format = `Ascii) ~path (l : Core.Runlog.ledger) =
+  match l.Core.Runlog.result with
+  | None ->
+    Fmt.epr
+      "%s has no result record: the campaign was interrupted; finish it \
+       first with --resume %s@."
+      path path;
+    exit 2
+  | Some (kind, data) ->
+    Core.Report.provenance Fmt.stdout ~path l.Core.Runlog.header;
+    let fail e =
+      Fmt.epr "%s: cannot decode %S result: %s@." path kind e;
+      exit 2
+    in
+    let ok = function Ok v -> v | Error e -> fail e in
+    (* Markdown fallback for kinds without a native md renderer: the
+       ASCII table inside a code fence. *)
+    let fenced render =
+      Fmt.pr "```@.";
+      render Fmt.stdout;
+      Fmt.pr "```@."
+    in
+    let render ascii md csv =
+      match format with
+      | `Ascii -> ascii Fmt.stdout
+      | `Md -> md ()
+      | `Csv -> print_string (csv ())
+    in
+    (match kind with
+    | "campaign" ->
+      let rows = ok (Core.Campaign.rows_of_json data) in
+      render
+        (fun ppf -> Core.Report.table5 ppf rows)
+        (fun () -> print_string (Core.Report.table5_md rows))
+        (fun () -> Core.Report.table5_csv rows)
+    | "tuning" ->
+      let results = ok (tuning_of_json data) in
+      let ascii ppf = Core.Report.table2 ppf results in
+      render ascii
+        (fun () -> fenced ascii)
+        (fun () -> Core.Report.table2_csv results)
+    | "seq" ->
+      let _chip, r = ok (seq_of_json data) in
+      let ascii ppf = Core.Report.table3 ppf r in
+      render ascii
+        (fun () -> fenced ascii)
+        (fun () -> Core.Report.table3_csv r)
+    | "harden" ->
+      let results = ok (Core.Harden.results_of_json data) in
+      let ascii ppf = Core.Report.table6 ppf results in
+      render ascii
+        (fun () -> fenced ascii)
+        (fun () -> Core.Report.table6_csv results)
+    | "patch" ->
+      let results =
+        ok (chipped_of_json Core.Patch_finder.result_of_json data)
+      in
+      let ascii ppf =
+        List.iter (fun (chip, r) -> Core.Report.figure3 ppf ~chip r) results
+      in
+      render ascii
+        (fun () -> fenced ascii)
+        (fun () -> Core.Report.patches_csv results)
+    | "spread" ->
+      let results =
+        ok (chipped_of_json Core.Spread_finder.result_of_json data)
+      in
+      let ascii ppf =
+        List.iter (fun (chip, r) -> Core.Report.figure4 ppf ~chip r) results
+      in
+      render ascii
+        (fun () -> fenced ascii)
+        (fun () -> Core.Report.spreads_csv results)
+    | "cost" ->
+      let points = ok (Core.Cost.points_of_json data) in
+      let ascii ppf = Core.Report.figure5 ppf points in
+      render ascii
+        (fun () -> fenced ascii)
+        (fun () -> Core.Report.cost_csv points)
+    | k ->
+      Fmt.epr "%s: unknown result kind %S@." path k;
+      exit 2)
+
 (* Open a ledger around a campaign body.  Without --log/--resume the body
    runs bare.  With --resume, the old ledger is loaded and validated
    against this invocation (campaign kind, seed, grid — exit 2 on
@@ -253,7 +422,14 @@ let seq_of_json j =
    with the cached records replayed in plan order, so a resumed ledger is
    byte-identical to an uninterrupted one.  On success the reduced result
    and footer are appended; an exception aborts the ledger footer-less,
-   leaving a resumable prefix. *)
+   leaving a resumable prefix.
+
+   Resuming a ledger that is already complete (footer present, no
+   quarantined jobs, result recorded) short-circuits: the recorded result
+   is rendered and the file is left byte-untouched — no pool is started
+   and no job function runs.  A complete-but-degraded ledger (footer
+   records quarantined jobs) takes the normal path instead, so its
+   quarantined jobs re-run and can recover. *)
 let with_ledger ~campaign ~seed ~jobs ~grid ~log ~resume ~kind ~encode f =
   match (log, resume) with
   | None, None -> ignore (f None)
@@ -268,22 +444,13 @@ let with_ledger ~campaign ~seed ~jobs ~grid ~log ~resume ~kind ~encode f =
           Fmt.epr "cannot resume from %s: %s@." p e;
           exit 2
         | Ok l ->
-          let h = l.Core.Runlog.header in
-          let reject fmt =
-            Fmt.kstr
-              (fun m ->
-                Fmt.epr "%s does not match this invocation: %s@." p m;
-                exit 2)
-              fmt
-          in
-          if h.Core.Runlog.campaign <> campaign then
-            reject "it records a %S campaign, this is %S"
-              h.Core.Runlog.campaign campaign;
-          if h.Core.Runlog.seed <> seed then
-            reject "it was run with --seed %d, this is %d"
-              h.Core.Runlog.seed seed;
-          if h.Core.Runlog.grid <> grid then
-            reject "its parameter grid (chips/apps/envs/budget) differs";
+          (match
+             Core.Runlog.validate_resume l ~path:p ~campaign ~seed ~grid
+           with
+          | Ok () -> ()
+          | Error m ->
+            Fmt.epr "%s@." m;
+            exit 2);
           if l.Core.Runlog.torn then
             Fmt.epr
               "note: %s ends mid-record (killed during a write); dropping \
@@ -291,28 +458,45 @@ let with_ledger ~campaign ~seed ~jobs ~grid ~log ~resume ~kind ~encode f =
               p;
           Some l)
     in
-    let header =
+    let complete =
       match loaded with
-      | Some l -> l.Core.Runlog.header
-      | None -> Core.Runlog.make_header ?jobs ~campaign ~seed ~grid ()
+      | Some l ->
+        l.Core.Runlog.result <> None
+        && (match l.Core.Runlog.footer with
+           | Some ft -> ft.Core.Runlog.quarantined = 0
+           | None -> false)
+        && (log = None || log = resume)
+      | None -> false
     in
-    let cache = Option.map Core.Runlog.cache_of_ledger loaded in
-    Option.iter
-      (fun c ->
-        Logs.info (fun f ->
-            f "resuming from %s: %d completed job record(s)" path
-              (Core.Runlog.cache_size c)))
-      cache;
-    let sink = Core.Runlog.create ~path header in
-    let journal = Core.Runlog.journal ~sink ?cache "" in
-    match f (Some journal) with
-    | v ->
-      Core.Runlog.append_result sink ~kind (encode v);
-      Core.Runlog.close sink;
-      Logs.info (fun f -> f "ledger written to %s" path)
-    | exception e ->
-      Core.Runlog.abort sink;
-      raise e)
+    if complete then begin
+      let l = Option.get loaded in
+      Fmt.epr "%s is already complete; nothing to re-run@." path;
+      render_ledger_result ~path l
+    end
+    else begin
+      let header =
+        match loaded with
+        | Some l -> l.Core.Runlog.header
+        | None -> Core.Runlog.make_header ?jobs ~campaign ~seed ~grid ()
+      in
+      let cache = Option.map Core.Runlog.cache_of_ledger loaded in
+      Option.iter
+        (fun c ->
+          Logs.info (fun f ->
+              f "resuming from %s: %d completed job record(s)" path
+                (Core.Runlog.cache_size c)))
+        cache;
+      let sink = Core.Runlog.create ~path header in
+      let journal = Core.Runlog.journal ~sink ?cache ~origin:path "" in
+      match f (Some journal) with
+      | v ->
+        Core.Runlog.append_result sink ~kind (encode v);
+        Core.Runlog.close sink;
+        Logs.info (fun f -> f "ledger written to %s" path)
+      | exception e ->
+        Core.Runlog.abort sink;
+        raise e
+    end)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
@@ -383,30 +567,35 @@ let litmus_cmd =
       const run $ verbose $ seed $ chip $ idiom $ distance $ runs $ env_name)
 
 let tune_cmd =
-  let run verbose quiet seed chip budget jobs log resume =
+  let run verbose quiet seed chip budget jobs log resume timeout retries
+      keep_going =
     setup_log ~quiet verbose;
+    setup_supervision ~timeout ~retries ~keep_going ();
     let grid =
       Core.Json.Assoc
         [ ("chips", json_strs (chip_names [ chip ]));
           ("budget", Core.Budget.to_json budget) ]
     in
-    with_ledger ~campaign:"tune" ~seed ~jobs ~grid ~log ~resume
-      ~kind:"tuning" ~encode:tuning_to_json (fun journal ->
-        let r =
-          Core.Tuning.run ~backend:(backend_of jobs) ?journal ~chip ~seed
-            ~budget ()
-        in
-        let minutes = r.Core.Tuning.elapsed_s /. 60.0 in
-        Core.Report.table2 Fmt.stdout [ (r, minutes) ];
-        Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences;
-        [ (r, minutes) ])
+    guarded (fun () ->
+        with_ledger ~campaign:"tune" ~seed ~jobs ~grid ~log ~resume
+          ~kind:"tuning" ~encode:tuning_to_json (fun journal ->
+            let r =
+              Core.Tuning.run ~backend:(backend_of jobs) ?journal ~chip ~seed
+                ~budget ()
+            in
+            let minutes = r.Core.Tuning.elapsed_s /. 60.0 in
+            Core.Report.table2 Fmt.stdout [ (r, minutes) ];
+            Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences;
+            [ (r, minutes) ]));
+    conclude_supervised ()
   in
   Cmd.v
     (Cmd.info "tune"
        ~doc:"Run the full Sec. 3 tuning pipeline for one chip.")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ budget_term $ jobs_term
-      $ log_term $ resume_term)
+      $ log_term $ resume_term $ timeout_term $ retries_term
+      $ keep_going_term)
 
 let test_cmd =
   let app_term =
@@ -419,8 +608,10 @@ let test_cmd =
   let env_name =
     Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
   in
-  let run verbose quiet seed chip app runs env_name jobs log resume strict =
+  let run verbose quiet seed chip app runs env_name jobs log resume strict
+      timeout retries keep_going =
     setup_log ~quiet verbose;
+    setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
     let envs = tuned_envs chip in
     match
@@ -440,28 +631,38 @@ let test_cmd =
             ("apps", json_strs (app_names apps));
             ("runs", Core.Json.Int runs) ]
       in
-      with_ledger ~campaign:"test" ~seed ~jobs ~grid ~log ~resume
-        ~kind:"campaign" ~encode:Core.Campaign.rows_to_json (fun journal ->
-          let rows =
-            Core.Campaign.run ~backend:(backend_of jobs) ?journal
-              ~chips:[ chip ]
-              ~environments_for:(fun _ -> [ env ])
-              ~apps ~runs ~seed ()
-          in
-          List.iter
-            (fun row ->
+      guarded (fun () ->
+          with_ledger ~campaign:"test" ~seed ~jobs ~grid ~log ~resume
+            ~kind:"campaign" ~encode:Core.Campaign.rows_to_json
+            (fun journal ->
+              let rows =
+                Core.Campaign.run ~backend:(backend_of jobs) ?journal
+                  ~chips:[ chip ]
+                  ~environments_for:(fun _ -> [ env ])
+                  ~apps ~runs ~seed ()
+              in
               List.iter
-                (fun cell ->
-                  Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
-                    cell.Core.Campaign.app chip.Gpusim.Chip.name env_name
-                    cell.Core.Campaign.errors cell.Core.Campaign.runs
-                    (match Core.Campaign.dominant cell with
-                    | None -> ""
-                    | Some (msg, n) ->
-                      Printf.sprintf "  (dominant: %s x%d)" msg n))
-                row.Core.Campaign.cells)
-            rows;
-          rows)
+                (fun row ->
+                  List.iter
+                    (fun cell ->
+                      match cell.Core.Campaign.quarantined with
+                      | Some reason ->
+                        Fmt.pr "%-12s %s %s: QUARANTINED (%s)@."
+                          cell.Core.Campaign.app chip.Gpusim.Chip.name
+                          env_name reason
+                      | None ->
+                        Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
+                          cell.Core.Campaign.app chip.Gpusim.Chip.name
+                          env_name cell.Core.Campaign.errors
+                          cell.Core.Campaign.runs
+                          (match Core.Campaign.dominant cell with
+                          | None -> ""
+                          | Some (msg, n) ->
+                            Printf.sprintf "  (dominant: %s x%d)" msg n))
+                    row.Core.Campaign.cells)
+                rows;
+              rows));
+      conclude_supervised ()
   in
   Cmd.v
     (Cmd.info "test"
@@ -469,7 +670,8 @@ let test_cmd =
              and count erroneous runs (Sec. 4).")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ app_term $ runs $ env_name
-      $ jobs_term $ log_term $ resume_term $ strict_term)
+      $ jobs_term $ log_term $ resume_term $ strict_term $ timeout_term
+      $ retries_term $ keep_going_term)
 
 let harden_cmd =
   let app_term =
@@ -481,8 +683,10 @@ let harden_cmd =
   let stability =
     Arg.(value & opt int 200 & info [ "stability-runs" ] ~docv:"N")
   in
-  let run verbose quiet seed chip app stability jobs log resume =
+  let run verbose quiet seed chip app stability jobs log resume timeout
+      retries keep_going =
     setup_log ~quiet verbose;
+    setup_supervision ~timeout ~retries ~keep_going ();
     let config =
       { (Core.Harden.default_config ~chip) with stability_runs = stability }
     in
@@ -492,31 +696,35 @@ let harden_cmd =
           ("apps", json_strs (app_names [ app ]));
           ("stability_runs", Core.Json.Int stability) ]
     in
-    with_ledger ~campaign:"harden" ~seed ~jobs ~grid ~log ~resume
-      ~kind:"harden" ~encode:Core.Harden.results_to_json (fun journal ->
-        let r =
-          Core.Harden.insert ~chip ~config ~backend:(backend_of jobs)
-            ?journal ~app ~seed ()
-        in
-        Core.Report.table6 Fmt.stdout [ r ];
-        (* Show the hardened kernels. *)
-        List.iter
-          (fun k ->
-            let fenced =
-              Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences) k
+    guarded (fun () ->
+        with_ledger ~campaign:"harden" ~seed ~jobs ~grid ~log ~resume
+          ~kind:"harden" ~encode:Core.Harden.results_to_json (fun journal ->
+            let r =
+              Core.Harden.insert ~chip ~config ~backend:(backend_of jobs)
+                ?journal ~app ~seed ()
             in
-            if
-              Gpusim.Kernel.fence_sites fenced <> []
-            then Fmt.pr "@.%s@." (Gpusim.Kernel_pp.to_string ~sids:true fenced))
-          app.Apps.App.kernels;
-        [ r ])
+            Core.Report.table6 Fmt.stdout [ r ];
+            (* Show the hardened kernels. *)
+            List.iter
+              (fun k ->
+                let fenced =
+                  Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences)
+                    k
+                in
+                if Gpusim.Kernel.fence_sites fenced <> [] then
+                  Fmt.pr "@.%s@."
+                    (Gpusim.Kernel_pp.to_string ~sids:true fenced))
+              app.Apps.App.kernels;
+            [ r ]));
+    conclude_supervised ()
   in
   Cmd.v
     (Cmd.info "harden"
        ~doc:"Empirical fence insertion (Alg. 1) for one application.")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ app_term $ stability
-      $ jobs_term $ log_term $ resume_term)
+      $ jobs_term $ log_term $ resume_term $ timeout_term $ retries_term
+      $ keep_going_term)
 
 let inspect_cmd =
   let app_term =
@@ -772,8 +980,9 @@ let table_cmd =
   in
   let runs = Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N") in
   let run verbose quiet seed chips all number budget runs jobs log resume
-      strict =
+      strict timeout retries keep_going =
     setup_log ~quiet verbose;
+    setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
     let chips = resolve_chips chips all in
     let backend = backend_of jobs in
@@ -790,9 +999,11 @@ let table_cmd =
         (Core.Runlog.journal option -> a) ->
         unit =
      fun ~kind ~encode f ->
-      with_ledger
-        ~campaign:(Printf.sprintf "table%d" number)
-        ~seed ~jobs ~grid ~log ~resume ~kind ~encode f
+      guarded (fun () ->
+          with_ledger
+            ~campaign:(Printf.sprintf "table%d" number)
+            ~seed ~jobs ~grid ~log ~resume ~kind ~encode f);
+      conclude_supervised ()
     in
     let static render =
       if log <> None || resume <> None then
@@ -875,7 +1086,7 @@ let table_cmd =
     Term.(
       const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
       $ budget_term $ runs $ jobs_term $ log_term $ resume_term
-      $ strict_term)
+      $ strict_term $ timeout_term $ retries_term $ keep_going_term)
 
 let figure_cmd =
   let number =
@@ -883,8 +1094,9 @@ let figure_cmd =
   in
   let runs = Arg.(value & opt int 30 & info [ "runs" ] ~docv:"N") in
   let run verbose quiet seed chips all number budget runs csv jobs log resume
-      strict =
+      strict timeout retries keep_going =
     setup_log ~quiet verbose;
+    setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
     let chips = resolve_chips chips all in
     let backend = backend_of jobs in
@@ -901,9 +1113,11 @@ let figure_cmd =
         (Core.Runlog.journal option -> a) ->
         unit =
      fun ~kind ~encode f ->
-      with_ledger
-        ~campaign:(Printf.sprintf "figure%d" number)
-        ~seed ~jobs ~grid ~log ~resume ~kind ~encode f
+      guarded (fun () ->
+          with_ledger
+            ~campaign:(Printf.sprintf "figure%d" number)
+            ~seed ~jobs ~grid ~log ~resume ~kind ~encode f);
+      conclude_supervised ()
     in
     let per_chip journal chip =
       Option.map
@@ -971,7 +1185,344 @@ let figure_cmd =
     Term.(
       const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
       $ budget_term $ runs $ csv_out $ jobs_term $ log_term $ resume_term
-      $ strict_term)
+      $ strict_term $ timeout_term $ retries_term $ keep_going_term)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos testing: deterministic fault injection                         *)
+
+let chaos_cmd =
+  let app_term =
+    Arg.(
+      value
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"Single application (default: all ten).")
+  in
+  let runs = Arg.(value & opt int 12 & info [ "runs" ] ~docv:"N") in
+  let env_name =
+    Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
+  in
+  let log_term =
+    Arg.(
+      value & opt string "chaos.jsonl"
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Ledger of the faulted campaign.  Its header describes a \
+             $(b,test) campaign, so $(b,gpuwmm test --resume) $(docv) with \
+             the same parameters re-runs the quarantined jobs fault-free.")
+  in
+  let faults_term =
+    Arg.(
+      value & opt string "raise,ledger"
+      & info [ "faults" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated executor fault kinds to inject: $(b,raise) \
+             (job crash), $(b,hang) (wedge until the watchdog cancels), \
+             $(b,corrupt) (silent wrong result), $(b,ledger) (ledger \
+             write failure).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.25
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Per-attempt fault probability in [0,1].")
+  in
+  let fault_seed_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the fault plan; faults are a pure function of \
+             (fault seed, job index, attempt).  Default: derived from \
+             $(b,--seed).")
+  in
+  let fault_attempts =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-attempts" ] ~docv:"K"
+          ~doc:
+            "Only the first $(docv) attempts of a job may fault; retries \
+             beyond them run clean (so --retries $(docv) always heals \
+             raise/hang/ledger faults).")
+  in
+  let soft_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "soft-rate" ] ~docv:"P"
+          ~doc:
+            "Per-store probability of an injected single-bit soft error \
+             in simulated global memory (armed for the reference run too, \
+             so the executor-fault invariants still hold).")
+  in
+  let run verbose quiet seed chip app runs env_name jobs log faults
+      fault_rate fault_seed fault_attempts soft_rate timeout retries
+      keep_going =
+    setup_log ~quiet verbose;
+    let kinds =
+      match Core.Fault.parse_kinds faults with
+      | Ok k -> k
+      | Error e ->
+        Fmt.epr "--faults: %s@." e;
+        exit 2
+    in
+    let fault_seed =
+      match fault_seed with Some s -> s | None -> seed lxor 0xfa17
+    in
+    let plan =
+      try
+        Core.Fault.plan ~rate:fault_rate ~kinds
+          ~faulty_attempts:fault_attempts ~soft_error_rate:soft_rate
+          ~seed:fault_seed ()
+      with Invalid_argument m ->
+        Fmt.epr "%s@." m;
+        exit 2
+    in
+    (* A hang can only be survived when the watchdog is armed. *)
+    let timeout =
+      match timeout with
+      | Some _ -> timeout
+      | None -> if List.mem Core.Fault.Hang kinds then Some 5.0 else None
+    in
+    if retries < 0 then begin
+      Fmt.epr "--retries must be non-negative@.";
+      exit 2
+    end;
+    match
+      List.find_opt
+        (fun e -> e.Core.Environment.label = env_name)
+        (tuned_envs chip)
+    with
+    | None ->
+      Fmt.epr "unknown environment %s@." env_name;
+      exit 1
+    | Some env -> (
+      let apps = match app with Some a -> [ a ] | None -> Apps.Registry.all in
+      let backend = backend_of jobs in
+      (* Soft errors are simulator-level and deterministic per device seed,
+         so they are armed for the reference run too: the invariants below
+         measure executor faults only. *)
+      if soft_rate > 0.0 then
+        Gpusim.Sim.set_soft_error_default (Some (soft_rate, fault_seed));
+      Fmt.pr "chaos: fault plan: %a@." Core.Fault.pp plan;
+      let campaign_rows journal =
+        Core.Campaign.run ~backend ?journal ~chips:[ chip ]
+          ~environments_for:(fun _ -> [ env ])
+          ~apps ~runs ~seed ()
+      in
+      let cells_of rows =
+        List.concat_map (fun r -> r.Core.Campaign.cells) rows
+      in
+      (* 1. Fault-free reference at the same seeds. *)
+      Core.Exec.set_supervision None;
+      let ref_cells = cells_of (campaign_rows None) in
+      let n_jobs = List.length ref_cells in
+      (* 2. Pure predictions from the fault plan — computed before the
+         faulted run, never from its observations. *)
+      let predictions =
+        List.init n_jobs (fun i -> Core.Fault.predict plan ~retries ~index:i)
+      in
+      let predicted o =
+        List.concat
+          (List.mapi
+             (fun i (p : Core.Fault.prediction) ->
+               if p.Core.Fault.outcome = o then [ i ] else [])
+             predictions)
+      in
+      let pred_quarantined = predicted `Quarantined in
+      let pred_corrupted = predicted `Corrupted in
+      let pred_retried =
+        List.fold_left
+          (fun acc (p : Core.Fault.prediction) ->
+            acc + p.Core.Fault.attempts - 1)
+          0 predictions
+      in
+      Fmt.pr
+        "chaos: %d job(s); predicting %d quarantine(s), %d corrupted \
+         result(s), %d retry attempt(s)@."
+        n_jobs
+        (List.length pred_quarantined)
+        (List.length pred_corrupted)
+        pred_retried;
+      (* 3. The same campaign under the fault plan, supervised and
+         ledgered. *)
+      Core.Exec.set_supervision
+        (Some
+           (Core.Exec.supervision ?timeout_s:timeout ~retries ~keep_going
+              ~faults:plan ()));
+      let grid =
+        Core.Json.Assoc
+          [ ("chips", json_strs (chip_names [ chip ]));
+            ("envs", json_strs [ env_name ]);
+            ("apps", json_strs (app_names apps));
+            ("runs", Core.Json.Int runs) ]
+      in
+      let header =
+        Core.Runlog.make_header ?jobs ~campaign:"test" ~seed ~grid ()
+      in
+      let sink = Core.Runlog.create ~path:log header in
+      let journal = Core.Runlog.journal ~sink "" in
+      let outcome =
+        match campaign_rows (Some journal) with
+        | rows ->
+          Core.Runlog.append_result sink ~kind:"campaign"
+            (Core.Campaign.rows_to_json rows);
+          Core.Runlog.close sink;
+          Ok rows
+        | exception Core.Exec.Job_failed fl ->
+          Core.Runlog.abort sink;
+          Error fl
+      in
+      (* set_supervision resets the summary, so drain first. *)
+      let summary = Core.Exec.drain_summary () in
+      Core.Exec.set_supervision None;
+      match outcome with
+      | Error fl ->
+        Fmt.epr "failed: %a@." pp_failure fl;
+        Fmt.epr
+          "chaos: campaign aborted on a poison job (no --keep-going); %s \
+           is footer-less and resumable@."
+          log;
+        exit exit_failed
+      | Ok rows ->
+        let chaos_cells = cells_of rows in
+        let violations = ref 0 in
+        let check name ok detail =
+          if ok then Fmt.pr "  ok: %s@." name
+          else begin
+            incr violations;
+            Fmt.pr "  VIOLATED: %s (%s)@." name (detail ())
+          end
+        in
+        let ints l = String.concat "," (List.map string_of_int l) in
+        Fmt.pr "chaos: checking invariants@.";
+        let actual_q =
+          List.sort compare
+            (List.map
+               (fun fl -> fl.Core.Exec.f_index)
+               summary.Core.Exec.quarantined)
+        in
+        check "quarantine set matches the pure fault-plan prediction"
+          (actual_q = pred_quarantined)
+          (fun () ->
+            Printf.sprintf "predicted [%s], observed [%s]"
+              (ints pred_quarantined) (ints actual_q));
+        check "retry count matches prediction"
+          (summary.Core.Exec.retried = pred_retried)
+          (fun () ->
+            Printf.sprintf "predicted %d, observed %d" pred_retried
+              summary.Core.Exec.retried);
+        let identical = ref true in
+        let first_diff = ref (-1) in
+        List.iteri
+          (fun i (p : Core.Fault.prediction) ->
+            if
+              p.Core.Fault.outcome = `Clean
+              && List.nth chaos_cells i <> List.nth ref_cells i
+            then begin
+              identical := false;
+              if !first_diff < 0 then first_diff := i
+            end)
+          predictions;
+        check
+          "surviving jobs are bit-identical to the fault-free reference \
+           (retries reuse the planned seed)"
+          !identical
+          (fun () -> Printf.sprintf "cell %d differs" !first_diff);
+        check "quarantined cells carry no measurements"
+          (List.for_all
+             (fun i ->
+               let c = List.nth chaos_cells i in
+               c.Core.Campaign.quarantined <> None && c.Core.Campaign.runs = 0)
+             pred_quarantined)
+          (fun () -> "a quarantined cell has data");
+        (match Core.Runlog.load log with
+        | Error e -> check "ledger reloads" false (fun () -> e)
+        | Ok l ->
+          let failed_idx =
+            List.sort compare
+              (List.filter_map
+                 (fun (j : Core.Runlog.job) ->
+                   if j.Core.Runlog.failed <> None then
+                     Some j.Core.Runlog.index
+                   else None)
+                 l.Core.Runlog.jobs)
+          in
+          check "ledger records every quarantined job"
+            (failed_idx = pred_quarantined)
+            (fun () ->
+              Printf.sprintf "ledger has failed records [%s]"
+                (ints failed_idx));
+          check "ledger footer counts the quarantined jobs"
+            (match l.Core.Runlog.footer with
+            | Some ft ->
+              ft.Core.Runlog.quarantined = List.length pred_quarantined
+            | None -> false)
+            (fun () -> "footer missing or wrong count");
+          (* 5. Resume the chaos ledger with faults cleared: quarantined
+             jobs re-run clean and recover the reference result;
+             corrupted records persist (they were recorded as
+             successes — silent corruption survives resume). *)
+          let resumed_path = log ^ ".resumed" in
+          let cache = Core.Runlog.cache_of_ledger l in
+          let sink2 =
+            Core.Runlog.create ~path:resumed_path l.Core.Runlog.header
+          in
+          let journal2 =
+            Core.Runlog.journal ~sink:sink2 ~cache ~origin:log ""
+          in
+          let rows2 = campaign_rows (Some journal2) in
+          Core.Runlog.append_result sink2 ~kind:"campaign"
+            (Core.Campaign.rows_to_json rows2);
+          Core.Runlog.close sink2;
+          let cells2 = cells_of rows2 in
+          let recovered = ref true in
+          let first_bad = ref (-1) in
+          List.iteri
+            (fun i (p : Core.Fault.prediction) ->
+              let expect =
+                if p.Core.Fault.outcome = `Corrupted then
+                  List.nth chaos_cells i
+                else List.nth ref_cells i
+              in
+              if List.nth cells2 i <> expect then begin
+                recovered := false;
+                if !first_bad < 0 then first_bad := i
+              end)
+            predictions;
+          check "fault-free resume recovers every quarantined cell"
+            !recovered
+            (fun () -> Printf.sprintf "cell %d" !first_bad);
+          Fmt.pr "chaos: resumed ledger written to %s@." resumed_path);
+        Core.Report.table5 Fmt.stdout rows;
+        if !violations > 0 then begin
+          Fmt.epr "chaos: %d invariant violation(s)@." !violations;
+          exit exit_failed
+        end;
+        if pred_quarantined <> [] then begin
+          Fmt.epr
+            "degraded: %d cell(s) quarantined (as planned); recover with: \
+             gpuwmm test --resume %s [same parameters]@."
+            (List.length pred_quarantined)
+            log;
+          exit exit_degraded
+        end)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a test campaign under a deterministic fault-injection plan \
+          (job crashes, hangs, corrupted results, ledger write failures, \
+          soft-error bit flips) and check the supervision invariants: \
+          healed jobs are bit-identical to a fault-free run, quarantined \
+          jobs are recorded in the ledger and recovered by a fault-free \
+          resume.  Exits 0 when nothing was quarantined, 3 when the \
+          campaign degraded as planned, 4 on an invariant violation or \
+          abort.")
+    Term.(
+      const run $ verbose $ quiet $ seed $ chip $ app_term $ runs $ env_name
+      $ jobs_term $ log_term $ faults_term $ fault_rate $ fault_seed_term
+      $ fault_attempts $ soft_rate $ timeout_term $ retries_term
+      $ keep_going_term)
 
 (* ------------------------------------------------------------------ *)
 (* Ledger-backed reporting and comparison                               *)
@@ -996,92 +1547,7 @@ let report_cmd =
     | Error e ->
       Fmt.epr "%s: %s@." from e;
       exit 2
-    | Ok l -> (
-      match l.Core.Runlog.result with
-      | None ->
-        Fmt.epr
-          "%s has no result record: the campaign was interrupted; finish \
-           it first with --resume %s@."
-          from from;
-        exit 2
-      | Some (kind, data) ->
-        Core.Report.provenance Fmt.stdout ~path:from l.Core.Runlog.header;
-        let fail e =
-          Fmt.epr "%s: cannot decode %S result: %s@." from kind e;
-          exit 2
-        in
-        let ok = function Ok v -> v | Error e -> fail e in
-        (* Markdown fallback for kinds without a native md renderer: the
-           ASCII table inside a code fence. *)
-        let fenced render =
-          Fmt.pr "```@.";
-          render Fmt.stdout;
-          Fmt.pr "```@."
-        in
-        let render ascii md csv =
-          match format with
-          | `Ascii -> ascii Fmt.stdout
-          | `Md -> md ()
-          | `Csv -> print_string (csv ())
-        in
-        (match kind with
-        | "campaign" ->
-          let rows = ok (Core.Campaign.rows_of_json data) in
-          render
-            (fun ppf -> Core.Report.table5 ppf rows)
-            (fun () -> print_string (Core.Report.table5_md rows))
-            (fun () -> Core.Report.table5_csv rows)
-        | "tuning" ->
-          let results = ok (tuning_of_json data) in
-          let ascii ppf = Core.Report.table2 ppf results in
-          render ascii
-            (fun () -> fenced ascii)
-            (fun () -> Core.Report.table2_csv results)
-        | "seq" ->
-          let _chip, r = ok (seq_of_json data) in
-          let ascii ppf = Core.Report.table3 ppf r in
-          render ascii
-            (fun () -> fenced ascii)
-            (fun () -> Core.Report.table3_csv r)
-        | "harden" ->
-          let results = ok (Core.Harden.results_of_json data) in
-          let ascii ppf = Core.Report.table6 ppf results in
-          render ascii
-            (fun () -> fenced ascii)
-            (fun () -> Core.Report.table6_csv results)
-        | "patch" ->
-          let results =
-            ok (chipped_of_json Core.Patch_finder.result_of_json data)
-          in
-          let ascii ppf =
-            List.iter
-              (fun (chip, r) -> Core.Report.figure3 ppf ~chip r)
-              results
-          in
-          render ascii
-            (fun () -> fenced ascii)
-            (fun () -> Core.Report.patches_csv results)
-        | "spread" ->
-          let results =
-            ok (chipped_of_json Core.Spread_finder.result_of_json data)
-          in
-          let ascii ppf =
-            List.iter
-              (fun (chip, r) -> Core.Report.figure4 ppf ~chip r)
-              results
-          in
-          render ascii
-            (fun () -> fenced ascii)
-            (fun () -> Core.Report.spreads_csv results)
-        | "cost" ->
-          let points = ok (Core.Cost.points_of_json data) in
-          let ascii ppf = Core.Report.figure5 ppf points in
-          render ascii
-            (fun () -> fenced ascii)
-            (fun () -> Core.Report.cost_csv points)
-        | k ->
-          Fmt.epr "%s: unknown result kind %S@." from k;
-          exit 2))
+    | Ok l -> render_ledger_result ~format ~path:from l
   in
   Cmd.v
     (Cmd.info "report"
@@ -1157,6 +1623,6 @@ let main =
           applications — reproduction of Sorensen & Donaldson, PLDI 2016.")
     [ chips_cmd; litmus_cmd; run_litmus_cmd; tune_cmd; test_cmd; harden_cmd;
       target_cmd; trace_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd;
-      report_cmd; compare_cmd ]
+      chaos_cmd; report_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main)

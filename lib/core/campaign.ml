@@ -4,6 +4,7 @@ type cell = {
   runs : int;
   example : string;
   histogram : (string * int) list;
+  quarantined : string option;
 }
 
 type row = {
@@ -32,6 +33,15 @@ let test_app ~chip ~env ~app ~runs ~seed =
     match app.Apps.App.run sim Apps.App.Original with
     | Ok () -> ()
     | Error msg ->
+      (* An erroneous run that saw injected bit-flips is tagged so the
+         histogram separates soft errors from weak-memory failures:
+         [soft-error] when no reordering happened (the flip is the only
+         possible cause), [soft-error?] when both occurred. *)
+      let msg =
+        if Gpusim.Sim.bitflips sim = 0 then msg
+        else if Gpusim.Sim.reorders sim = 0 then msg ^ " [soft-error]"
+        else msg ^ " [soft-error?]"
+      in
       incr errors;
       Telemetry.incr errors_counter;
       if !example = "" then example := msg;
@@ -46,7 +56,7 @@ let test_app ~chip ~env ~app ~runs ~seed =
            | c -> c)
   in
   { app = app.Apps.App.name; errors = !errors; runs; example = !example;
-    histogram }
+    histogram; quarantined = None }
 
 let dominant cell =
   match cell.histogram with [] -> None | top :: _ -> Some top
@@ -99,11 +109,17 @@ let histogram_of_json j =
 
 let cell_to_json c =
   Json.Assoc
-    [ ("app", Json.String c.app);
-      ("errors", Json.Int c.errors);
-      ("runs", Json.Int c.runs);
-      ("example", Json.String c.example);
-      ("histogram", histogram_to_json c.histogram) ]
+    ([ ("app", Json.String c.app);
+       ("errors", Json.Int c.errors);
+       ("runs", Json.Int c.runs);
+       ("example", Json.String c.example);
+       ("histogram", histogram_to_json c.histogram) ]
+    (* Conditional so fault-free ledgers stay byte-identical with older
+       ones (the golden CI ledger cmp-checks this). *)
+    @
+    match c.quarantined with
+    | None -> []
+    | Some reason -> [ ("quarantined", Json.String reason) ])
 
 let cell_of_json j =
   let open Runlog.Dec in
@@ -113,7 +129,8 @@ let cell_of_json j =
   let* example = str "example" j in
   let* hj = field "histogram" j in
   let* histogram = histogram_of_json hj in
-  Ok { app; errors; runs; example; histogram }
+  let* quarantined = opt_str "quarantined" j in
+  Ok { app; errors; runs; example; histogram; quarantined }
 
 let cell_codec =
   { Runlog.encode = cell_to_json; decode = cell_of_json;
@@ -164,6 +181,9 @@ let run ?backend ?journal ~chips ~environments_for ~apps ~runs ~seed () =
     Exec.run ?backend ~label:"campaign" ~execs_per_job:runs
       ?journal:(Option.map (fun j -> Runlog.extend j "campaign") journal)
       ~codec:cell_codec ~seed
+      ~quarantine:(fun (_, _, app) (fl : Exec.failure) ->
+        { app = app.Apps.App.name; errors = 0; runs = 0; example = "";
+          histogram = []; quarantined = Some fl.Exec.f_reason })
       ~f:(fun ~seed (chip, env, app) -> test_app ~chip ~env ~app ~runs ~seed)
       grid
   in

@@ -17,7 +17,14 @@ type cell = {
   example : string;  (** first error message observed, if any *)
   histogram : (string * int) list;
       (** error message -> occurrence count, sorted by descending count
-          (ties by message); reveals a cell's dominant failure modes *)
+          (ties by message); reveals a cell's dominant failure modes.
+          Error messages gain a [" \[soft-error\]"] suffix when injected
+          bit-flips (and no reorderings) occurred in the erroneous run,
+          or [" \[soft-error?\]"] when both did *)
+  quarantined : string option;
+      (** [Some reason] when the cell's job exhausted its supervised
+          attempts under [--keep-going]: the cell carries no
+          measurements ([runs = 0]) and reports render it degraded *)
 }
 
 type row = {

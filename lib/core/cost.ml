@@ -96,6 +96,11 @@ let run ?backend ?journal ~chips ~apps ~emp_for ~runs ~seed () =
   in
   Exec.run ?backend ~label:"fence-cost"
     ?journal:(Option.map (fun j -> Runlog.extend j "cost") journal)
+    ~quarantine:(fun (chip, app) _ ->
+      let zero = { runtime = 0.0; energy = 0.0; discarded = 0 } in
+      { chip = chip.Gpusim.Chip.name; app = app.Apps.App.name;
+        nvml = chip.Gpusim.Chip.cost.nvml_supported; no_fences = zero;
+        emp = zero; cons = zero; emp_count = 0 })
     ~codec:point_codec ~execs_per_job:(3 * runs) ~seed
     ~f:(fun ~seed (chip, app) ->
       let emp_fences = emp_for chip app in

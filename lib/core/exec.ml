@@ -2,7 +2,17 @@ type backend = Serial | Parallel of int
 
 let serial = Serial
 
-let backend_of_jobs n = if n <= 1 then Serial else Parallel n
+let max_jobs = 512
+
+let clamp_jobs ?(warn = true) n =
+  let clamped = Int.max 1 (Int.min max_jobs n) in
+  if clamped <> n && warn then
+    Logs.warn (fun m ->
+        m "jobs value %d clamped to %d (valid range 1..%d)" n clamped max_jobs);
+  clamped
+
+let backend_of_jobs n =
+  if n <= 1 then Serial else Parallel (clamp_jobs ~warn:false n)
 
 let jobs_of_backend = function Serial -> 1 | Parallel n -> Int.max 1 n
 
@@ -10,8 +20,8 @@ let default_jobs () =
   match Sys.getenv_opt "GPUWMM_JOBS" with
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> Domain.recommended_domain_count ())
+    | Some n -> clamp_jobs n
+    | None -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
 let default_backend () = backend_of_jobs (default_jobs ())
@@ -23,6 +33,215 @@ let plan ~seed payloads =
     (fun index payload ->
       { index; seed = Gpusim.Rng.subseed seed index; payload })
     payloads
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: timeouts, retries, quarantine                           *)
+
+type supervision = {
+  timeout_s : float option;
+  retries : int;
+  backoff_s : float;
+  keep_going : bool;
+  faults : Fault.plan option;
+}
+
+let supervision ?timeout_s ?(retries = 0) ?(backoff_s = 0.0)
+    ?(keep_going = false) ?faults () =
+  (match timeout_s with
+  | Some t when t <= 0.0 -> invalid_arg "Exec.supervision: timeout must be > 0"
+  | Some _ | None -> ());
+  if retries < 0 then invalid_arg "Exec.supervision: negative retries";
+  if backoff_s < 0.0 then invalid_arg "Exec.supervision: negative backoff";
+  { timeout_s; retries; backoff_s; keep_going; faults }
+
+type failure = {
+  f_label : string;
+  f_index : int;
+  f_seed : int;
+  f_attempts : int;
+  f_reason : string;
+  f_timed_out : bool;
+}
+
+exception Job_failed of failure
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed f ->
+      Some
+        (Printf.sprintf "job %d of %s failed after %d attempt(s): %s"
+           f.f_index f.f_label f.f_attempts f.f_reason)
+    | _ -> None)
+
+exception Timed_out
+
+(* Cooperative cancellation: domains cannot be killed, so a watchdog
+   domain marks overdue worker slots and the workers abort themselves at
+   the next poll point.  Each slot carries an attempt epoch; the watchdog
+   records which epoch it cancelled, and [poll] raises only when the
+   cancelled epoch is the one still running — a cancellation that arrives
+   after the attempt already finished is inert. *)
+type slot = {
+  epoch : int Atomic.t;  (* bumped at every attempt start; 0 = idle *)
+  deadline : float Atomic.t;  (* absolute; 0.0 = no deadline armed *)
+  cancel : int Atomic.t;  (* epoch the watchdog cancelled; 0 = none *)
+}
+
+let make_slot () =
+  { epoch = Atomic.make 0; deadline = Atomic.make 0.0; cancel = Atomic.make 0 }
+
+let slot_key : slot option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let poll () =
+  match Domain.DLS.get slot_key with
+  | None -> ()
+  | Some s ->
+    let e = Atomic.get s.epoch in
+    if e > 0 && Atomic.get s.cancel = e then raise Timed_out
+
+let supervision_hook : supervision option Atomic.t = Atomic.make None
+
+let sup_mu = Mutex.create ()
+let quarantine_log : failure list ref = ref []
+let retried_count = Atomic.make 0
+
+let note_quarantine fl =
+  Mutex.lock sup_mu;
+  quarantine_log := fl :: !quarantine_log;
+  Mutex.unlock sup_mu
+
+type summary = { retried : int; quarantined : failure list }
+
+let drain_summary () =
+  Mutex.lock sup_mu;
+  let q = !quarantine_log in
+  quarantine_log := [];
+  Mutex.unlock sup_mu;
+  let retried = Atomic.exchange retried_count 0 in
+  { retried;
+    quarantined =
+      List.sort
+        (fun a b ->
+          match compare a.f_label b.f_label with
+          | 0 -> compare a.f_index b.f_index
+          | c -> c)
+        q }
+
+let set_supervision s =
+  Atomic.set supervision_hook s;
+  (* The simulator polls for cancellation only while a timeout is armed;
+     otherwise the hot loop stays hook-free. *)
+  Gpusim.Sim.set_poll_hook
+    (match s with Some { timeout_s = Some _; _ } -> Some poll | _ -> None);
+  ignore (drain_summary ())
+
+let supervised () = Atomic.get supervision_hook
+
+let with_watchdog ~sup slots body =
+  match sup with
+  | Some { timeout_s = Some _; _ } when Array.length slots > 0 ->
+    let stop = Atomic.make false in
+    let dog =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            Unix.sleepf 0.01;
+            let now = Unix.gettimeofday () in
+            Array.iter
+              (fun s ->
+                (* Read the epoch before the deadline: if the attempt
+                   finishes between the two reads we cancel a stale epoch,
+                   which [poll] ignores. *)
+                let e = Atomic.get s.epoch in
+                let dl = Atomic.get s.deadline in
+                if dl > 0.0 && now > dl then Atomic.set s.cancel e)
+              slots
+          done)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join dog)
+      body
+  | _ -> body ()
+
+let begin_attempt slot timeout_s =
+  Atomic.incr slot.epoch;
+  match timeout_s with
+  | Some t -> Atomic.set slot.deadline (Unix.gettimeofday () +. t)
+  | None -> ()
+
+let end_attempt slot = Atomic.set slot.deadline 0.0
+
+(* An injected hang burns scheduler time at poll points until the
+   watchdog cancels the attempt; it is only ever entered with a timeout
+   armed (without one it degrades to a raise so chaos runs can never
+   wedge the process). *)
+let rec injected_hang () =
+  poll ();
+  Domain.cpu_relax ();
+  injected_hang ()
+
+let attempt_once ~sup ~slot ~index ~seed ~attempt ~compute =
+  let fault =
+    match sup.faults with
+    | Some p -> Fault.at p ~index ~attempt
+    | None -> None
+  in
+  begin_attempt slot sup.timeout_s;
+  match
+    (match fault with
+    | Some Fault.Raise -> raise (Fault.Injected "job crash")
+    | Some Fault.Hang ->
+      if sup.timeout_s = None then
+        raise (Fault.Injected "hang (no timeout armed to cancel it)")
+      else injected_hang ()
+    | Some (Fault.Corrupt | Fault.Ledger_fail) | None -> ());
+    let eff_seed =
+      match fault with Some Fault.Corrupt -> seed lxor 1 | _ -> seed
+    in
+    let v = compute ~seed:eff_seed in
+    (match fault with
+    | Some Fault.Ledger_fail -> raise (Fault.Injected "ledger write failure")
+    | _ -> ());
+    v
+  with
+  | v ->
+    end_attempt slot;
+    Ok v
+  | exception Timed_out ->
+    end_attempt slot;
+    Error
+      ( Printf.sprintf "timed out after %gs"
+          (Option.value ~default:0.0 sup.timeout_s),
+        true )
+  | exception e ->
+    end_attempt slot;
+    Error (Printexc.to_string e, false)
+
+(* The bounded retry loop.  Retries reuse the job's own planned seed, so
+   a successful retry reproduces the fault-free result bit for bit.  The
+   backoff duration is derived from the job seed (deterministic schedule)
+   but only consumes wall clock, never affects results. *)
+let supervise ~sup ~slot ~index ~seed ~compute =
+  let rec go attempt =
+    match attempt_once ~sup ~slot ~index ~seed ~attempt ~compute with
+    | Ok v -> Ok (v, attempt + 1)
+    | Error (reason, timed_out) ->
+      if attempt < sup.retries then begin
+        Atomic.incr retried_count;
+        if sup.backoff_s > 0.0 then begin
+          let rng =
+            Gpusim.Rng.create (Gpusim.Rng.subseed seed (0x5eed + attempt))
+          in
+          let jitter = 0.5 +. Gpusim.Rng.float rng in
+          Unix.sleepf
+            (sup.backoff_s *. float_of_int (1 lsl Int.min attempt 16) *. jitter)
+        end;
+        go (attempt + 1)
+      end
+      else Error (reason, timed_out, attempt + 1)
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Progress reporting                                                   *)
@@ -196,8 +415,8 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
       (Array.map (function Some v -> v | None -> assert false) results)
   end
 
-let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec ~seed
-    ~f payloads =
+let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
+    ?quarantine ~seed ~f payloads =
   let jobs = plan ~seed payloads in
   let arr = Array.of_list jobs in
   let len = Array.length arr in
@@ -239,52 +458,160 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec ~seed
       ~f:(fun j -> f ~seed:j.seed j.payload)
       ~queued_at:(Unix.gettimeofday ())
   in
-  let process ~worker k =
-    let j = fresh.(k) in
-    let v, duration_s = exec ~worker j in
-    let errs =
-      match codec with Some c -> c.Runlog.errors_of v | None -> 0
-    in
-    (match journal with
-    | Some jn ->
-      let c = Option.get codec in
-      Runlog.record jn ~index:j.index ~seed:j.seed ~errors:errs ~duration_s
-        (c.Runlog.encode v)
-    | None -> ());
-    results.(j.index) <- Some v;
-    if count_errors then ignore (Atomic.fetch_and_add errors errs);
-    tick
-      (1 + Atomic.fetch_and_add completed 1)
-      (if count_errors then Some (Atomic.get errors) else None)
+  let reduce () =
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
   in
   let flen = Array.length fresh in
-  let domains = Int.min (jobs_of_backend backend) (Int.max 1 flen) in
-  if domains <= 1 then
-    for k = 0 to flen - 1 do
-      process ~worker:0 k
-    done
-  else pool_iter ~domains ~stop:(fun () -> false) ~process flen;
-  if flen = 0 && len > 0 then
-    (* Fully cached resume: still emit the final progress tick. *)
-    tick len (if count_errors then Some (Atomic.get errors) else None);
-  Array.to_list
-    (Array.map (function Some v -> v | None -> assert false) results)
+  if flen = 0 then begin
+    (* Fully cached resume: a no-op fast path.  No pool, no watchdog, no
+       supervision — [f] is never called; only the final progress tick is
+       emitted. *)
+    if len > 0 then
+      tick len (if count_errors then Some (Atomic.get errors) else None);
+    reduce ()
+  end
+  else begin
+    let finish_job j v duration_s ~attempts =
+      let errs =
+        match codec with Some c -> c.Runlog.errors_of v | None -> 0
+      in
+      (match journal with
+      | Some jn ->
+        let c = Option.get codec in
+        Runlog.record jn ~index:j.index ~seed:j.seed ~errors:errs ~duration_s
+          ~attempts
+          (c.Runlog.encode v)
+      | None -> ());
+      results.(j.index) <- Some v;
+      if count_errors then ignore (Atomic.fetch_and_add errors errs);
+      tick
+        (1 + Atomic.fetch_and_add completed 1)
+        (if count_errors then Some (Atomic.get errors) else None)
+    in
+    let sup = Atomic.get supervision_hook in
+    let domains = Int.min (jobs_of_backend backend) flen in
+    let slots =
+      match sup with
+      | Some _ -> Array.init (Int.max 1 domains) (fun _ -> make_slot ())
+      | None -> [||]
+    in
+    let label_str = match label with Some l -> l | None -> "run" in
+    let process ~worker k =
+      let j = fresh.(k) in
+      match sup with
+      | None ->
+        let v, duration_s = exec ~worker j in
+        finish_job j v duration_s ~attempts:1
+      | Some s -> (
+        let slot = slots.(worker) in
+        Domain.DLS.set slot_key (Some slot);
+        let t0 = Unix.gettimeofday () in
+        match
+          supervise ~sup:s ~slot ~index:j.index ~seed:j.seed
+            ~compute:(fun ~seed -> exec ~worker { j with seed })
+        with
+        | Ok ((v, duration_s), attempts) -> finish_job j v duration_s ~attempts
+        | Error (reason, timed_out, attempts) -> (
+          let fl =
+            { f_label = label_str; f_index = j.index; f_seed = j.seed;
+              f_attempts = attempts; f_reason = reason; f_timed_out = timed_out }
+          in
+          match quarantine with
+          | Some q when s.keep_going ->
+            (* Quarantine the poison job: a failed ledger record keeps the
+               plan-order stream whole (and is re-run on resume), the
+               caller's fallback value keeps the reduction total. *)
+            note_quarantine fl;
+            (match journal with
+            | Some jn ->
+              Runlog.record_failure jn ~index:j.index ~seed:j.seed ~attempts
+                ~duration_s:(Unix.gettimeofday () -. t0)
+                reason
+            | None -> ());
+            let v = q j.payload fl in
+            results.(j.index) <- Some v;
+            if count_errors then
+              ignore
+                (Atomic.fetch_and_add errors
+                   (match codec with
+                   | Some c -> c.Runlog.errors_of v
+                   | None -> 0));
+            tick
+              (1 + Atomic.fetch_and_add completed 1)
+              (if count_errors then Some (Atomic.get errors) else None)
+          | Some _ | None -> raise (Job_failed fl)))
+    in
+    with_watchdog ~sup slots (fun () ->
+        if domains <= 1 then
+          for k = 0 to flen - 1 do
+            process ~worker:0 k
+          done
+        else pool_iter ~domains ~stop:(fun () -> false) ~process flen);
+    (* The caller domain keeps its DLS across runs; clear the slot so a
+       later unsupervised poll can never see a stale cancellation. *)
+    if sup <> None then Domain.DLS.set slot_key None;
+    reduce ()
+  end
 
 let for_all ?(backend = Serial) ~seed ~f payloads =
   let jobs = plan ~seed payloads in
-  let domains =
-    Int.min (jobs_of_backend backend) (Int.max 1 (List.length jobs))
-  in
-  if domains <= 1 then
-    List.for_all (fun j -> f ~seed:j.seed j.payload) jobs
+  let njobs = List.length jobs in
+  if njobs = 0 then true
   else begin
-    let arr = Array.of_list jobs in
+    let sup = Atomic.get supervision_hook in
+    let domains = Int.min (jobs_of_backend backend) njobs in
+    let slots =
+      match sup with
+      | Some _ -> Array.init (Int.max 1 domains) (fun _ -> make_slot ())
+      | None -> [||]
+    in
+    let eval ~worker j =
+      match sup with
+      | None -> f ~seed:j.seed j.payload
+      | Some s -> (
+        let slot = slots.(worker) in
+        Domain.DLS.set slot_key (Some slot);
+        match
+          supervise ~sup:s ~slot ~index:j.index ~seed:j.seed
+            ~compute:(fun ~seed -> f ~seed j.payload)
+        with
+        | Ok (b, _) -> b
+        | Error (reason, timed_out, attempts) ->
+          let fl =
+            { f_label = "for_all"; f_index = j.index; f_seed = j.seed;
+              f_attempts = attempts; f_reason = reason; f_timed_out = timed_out }
+          in
+          if s.keep_going then begin
+            (* Quarantined check: conservatively counted as a failure of
+               the universal property. *)
+            note_quarantine fl;
+            false
+          end
+          else raise (Job_failed fl))
+    in
     let failed = Atomic.make false in
-    pool_iter ~domains
-      ~stop:(fun () -> Atomic.get failed)
-      ~process:(fun ~worker:_ i ->
-        let j = arr.(i) in
-        if not (f ~seed:j.seed j.payload) then Atomic.set failed true)
-      (Array.length arr);
+    let body () =
+      if domains <= 1 then (
+        try
+          List.iter
+            (fun j ->
+              if not (eval ~worker:0 j) then begin
+                Atomic.set failed true;
+                raise Exit
+              end)
+            jobs
+        with Exit -> ())
+      else begin
+        let arr = Array.of_list jobs in
+        pool_iter ~domains
+          ~stop:(fun () -> Atomic.get failed)
+          ~process:(fun ~worker i ->
+            if not (eval ~worker arr.(i)) then Atomic.set failed true)
+          njobs
+      end
+    in
+    with_watchdog ~sup slots body;
+    if sup <> None then Domain.DLS.set slot_key None;
     not (Atomic.get failed)
   end

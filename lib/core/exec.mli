@@ -33,14 +33,23 @@ type backend =
 
 val serial : backend
 
+val max_jobs : int
+(** 512 — the upper bound of the sane [--jobs] range. *)
+
+val clamp_jobs : ?warn:bool -> int -> int
+(** Clamp a jobs value into [1 .. max_jobs].  Logs a warning when the
+    value actually changes (suppressed with [~warn:false]). *)
+
 val backend_of_jobs : int -> backend
-(** [backend_of_jobs n] is [Serial] when [n <= 1], else [Parallel n]. *)
+(** [backend_of_jobs n] is [Serial] when [n <= 1], else [Parallel n] with
+    [n] silently clamped to {!max_jobs}. *)
 
 val jobs_of_backend : backend -> int
 
 val default_jobs : unit -> int
-(** The [GPUWMM_JOBS] environment variable if set to a positive integer,
-    else [Domain.recommended_domain_count ()]. *)
+(** The [GPUWMM_JOBS] environment variable if set to an integer (clamped
+    into [1 .. max_jobs], with a warning when out of range), else
+    [Domain.recommended_domain_count ()]. *)
 
 val default_backend : unit -> backend
 (** [backend_of_jobs (default_jobs ())]. *)
@@ -77,12 +86,24 @@ val map :
     records a span with its worker slot and schedule.  Instrumentation
     never affects results. *)
 
+type failure = {
+  f_label : string;  (** campaign label (or ["for_all"], ["run"]) *)
+  f_index : int;  (** plan index of the poison job *)
+  f_seed : int;
+  f_attempts : int;  (** attempts consumed, including the first *)
+  f_reason : string;  (** printed exception or timeout description *)
+  f_timed_out : bool;
+}
+(** A job that exhausted its supervised attempts (see {1:supervision}
+    Supervision below). *)
+
 val run :
   ?backend:backend ->
   ?label:string ->
   ?execs_per_job:int ->
   ?journal:Runlog.journal ->
   ?codec:'b Runlog.codec ->
+  ?quarantine:('a -> failure -> 'b) ->
   seed:int ->
   f:(seed:int -> 'a -> 'b) ->
   'a list ->
@@ -93,14 +114,25 @@ val run :
     every completed job appends a record to the journal's {!Runlog}
     sink, in plan order regardless of completion order, and jobs found
     in the journal's resume cache are replayed from their recorded
-    payloads instead of executing — [f] is never called for them.
-    Raises [Failure] if a cached record's seed disagrees with the plan
-    (resuming a ledger from a different campaign) rather than silently
-    mixing results.
+    payloads instead of executing — [f] is never called for them.  When
+    {e every} job is cached the pool (and watchdog) is never started at
+    all.  Raises [Failure] if a cached record's seed disagrees with the
+    plan (resuming a ledger from a different campaign) rather than
+    silently mixing results.
 
     With [~codec] the progress line additionally reports the error rate
     so far ([codec.errors_of] summed over completed jobs, scaled by
-    [execs_per_job]). *)
+    [execs_per_job]).
+
+    Under an installed {!set_supervision} policy, each job runs as a
+    bounded sequence of attempts (timeout-cancelled, retried with the
+    {e same} seed so a successful retry is bit-identical to a fault-free
+    run).  A job whose attempts are exhausted is {e quarantined} when the
+    policy says [keep_going] and [~quarantine] provides a fallback value:
+    a [failed] record is written to the journal, the failure is added to
+    the degradation summary ({!drain_summary}) and the campaign
+    continues.  Without [keep_going] (or without a fallback) the engine
+    raises {!Job_failed}. *)
 
 val for_all :
   ?backend:backend ->
@@ -112,7 +144,71 @@ val for_all :
     short-circuit once a failure is known (serially by early exit, in
     parallel via a shared abort flag); the boolean is bit-identical
     across backends because it does not depend on which jobs were
-    skipped. *)
+    skipped.  Under supervision, a quarantined job counts as [false]
+    when the policy says [keep_going], else {!Job_failed} is raised. *)
+
+(** {1 Supervision}
+
+    A process-wide execution policy: per-attempt wall-clock timeout
+    enforced by a watchdog domain through cooperative cancellation
+    (domains cannot be killed; the simulator polls {!poll} every 1024
+    scheduler ticks), bounded retry with deterministic seed-derived
+    backoff, and quarantine of poison jobs under [keep_going].  An
+    optional {!Fault.plan} injects executor-level faults for chaos
+    testing.  Installed ambiently (like {!set_progress}) so every
+    campaign driver inherits it without signature changes. *)
+
+type supervision = {
+  timeout_s : float option;  (** per-attempt wall-clock budget *)
+  retries : int;  (** extra attempts after the first *)
+  backoff_s : float;
+      (** base backoff before a retry; the actual sleep is
+          [backoff_s * 2^attempt] scaled by a seed-derived jitter in
+          [\[0.5, 1.5)] — deterministic schedule, wall-clock only *)
+  keep_going : bool;  (** quarantine poison jobs instead of aborting *)
+  faults : Fault.plan option;  (** executor-level fault injection *)
+}
+
+val supervision :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?keep_going:bool ->
+  ?faults:Fault.plan ->
+  unit ->
+  supervision
+(** Defaults: no timeout, no retries, no backoff, abort on failure, no
+    faults — equivalent to unsupervised execution. *)
+
+val set_supervision : supervision option -> unit
+(** Install (or clear) the process-wide policy.  Also clears the pending
+    degradation summary and installs/removes the simulator poll hook. *)
+
+val supervised : unit -> supervision option
+
+exception Job_failed of failure
+(** Raised (after the pool drains) when a job exhausts its attempts and
+    the policy does not allow degradation. *)
+
+exception Timed_out
+(** Raised at a poll point inside a cancelled attempt.  Escapes to the
+    supervision layer only; user code never sees it. *)
+
+val poll : unit -> unit
+(** Cooperative cancellation point: raises {!Timed_out} iff the calling
+    worker's current attempt has been cancelled by the watchdog.  Cheap
+    (two atomic reads); long-running job functions outside the simulator
+    may call it directly. *)
+
+type summary = {
+  retried : int;  (** retry attempts performed since the last drain *)
+  quarantined : failure list;  (** sorted by (label, index) *)
+}
+
+val drain_summary : unit -> summary
+(** Return and reset the accumulated degradation summary.  The CLI calls
+    this once per campaign to print the summary and pick the exit
+    code. *)
 
 type reporter = {
   line : string -> unit;

@@ -165,6 +165,7 @@ let run ?backend ?journal ~chip ~seed ~budget () =
     Exec.run ?backend
       ~label:(Printf.sprintf "patch-finding on %s" chip.Gpusim.Chip.name)
       ?journal:(Option.map (fun j -> Runlog.extend j "patch") journal)
+      ~quarantine:(fun _ _ -> 0)
       ~codec:Runlog.int_codec ~execs_per_job:b.Budget.runs_patch ~seed
       ~f:(fun ~seed (idiom, distance, location) ->
         let strategy =

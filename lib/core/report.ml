@@ -96,6 +96,35 @@ let table5_find rows chip env =
     (fun r -> r.Campaign.chip = chip && r.Campaign.environment = env)
     rows
 
+(* Degraded campaigns: cells whose job was quarantined under
+   [--keep-going] carry no measurements.  Shared by the ASCII, markdown
+   and CSV renderers: the a/b entry gains a [!n] marker (n quarantined
+   cells) and the listing below names each cell and its failure. *)
+let quarantined_in (r : Campaign.row) =
+  List.filter (fun c -> c.Campaign.quarantined <> None) r.Campaign.cells
+
+let table5_entry (r : Campaign.row) =
+  let base =
+    Printf.sprintf "%d / %d" r.Campaign.effective r.Campaign.capable
+  in
+  match List.length (quarantined_in r) with
+  | 0 -> base
+  | n -> Printf.sprintf "%s !%d" base n
+
+let quarantined_cells rows =
+  List.concat_map
+    (fun (r : Campaign.row) ->
+      List.filter_map
+        (fun (c : Campaign.cell) ->
+          Option.map
+            (fun reason ->
+              ( Printf.sprintf "%s/%s/%s" r.Campaign.chip
+                  r.Campaign.environment c.Campaign.app,
+                reason ))
+            c.Campaign.quarantined)
+        r.Campaign.cells)
+    rows
+
 let table5 ppf rows =
   Fmt.pf ppf
     "Table 5: effectiveness of the testing environments (a / b, where b = \
@@ -112,9 +141,7 @@ let table5 ppf rows =
       List.iter
         (fun env ->
           match table5_find rows chip env with
-          | Some r ->
-            Fmt.pf ppf "%-11s"
-              (Printf.sprintf "%d / %d" r.Campaign.effective r.Campaign.capable)
+          | Some r -> Fmt.pf ppf "%-11s" (table5_entry r)
           | None -> Fmt.pf ppf "%-11s" "-")
         envs;
       Fmt.pf ppf "@.")
@@ -139,7 +166,15 @@ let table5 ppf rows =
         | [] -> ()
         | (msg, n) :: _ -> Fmt.pf ppf "  %-8s %s (x%d)@." chip msg n)
       chips
-  end
+  end;
+  match quarantined_cells rows with
+  | [] -> ()
+  | qs ->
+    Fmt.pf ppf
+      "degraded: %d cell(s) quarantined after exhausting supervised \
+       attempts (marked !n above):@."
+      (List.length qs);
+    List.iter (fun (where, reason) -> Fmt.pf ppf "  %s: %s@." where reason) qs
 
 let table6 ppf (results : Harden.result list) =
   Fmt.pf ppf "Table 6: empirical fence insertion results@.";
@@ -330,9 +365,17 @@ let table5_csv rows =
                 Buffer.add_string buf
                   (Printf.sprintf "%s,%s,%s,%d,%d,%.4f,%s\n" chip env
                      c.Campaign.app c.Campaign.errors c.Campaign.runs rate
-                     (match Campaign.dominant c with
-                     | Some (msg, _) -> String.map (function ',' -> ';' | ch -> ch) msg
-                     | None -> "")))
+                     (match c.Campaign.quarantined with
+                     | Some reason ->
+                       "QUARANTINED: "
+                       ^ String.map
+                           (function ',' -> ';' | ch -> ch)
+                           reason
+                     | None -> (
+                       match Campaign.dominant c with
+                       | Some (msg, _) ->
+                         String.map (function ',' -> ';' | ch -> ch) msg
+                       | None -> ""))))
               r.Campaign.cells)
         envs)
     chips;
@@ -355,9 +398,7 @@ let table5_md rows =
         (fun env ->
           match table5_find rows chip env with
           | Some r ->
-            Buffer.add_string buf
-              (Printf.sprintf " %d / %d |" r.Campaign.effective
-                 r.Campaign.capable)
+            Buffer.add_string buf (Printf.sprintf " %s |" (table5_entry r))
           | None -> Buffer.add_string buf " - |")
         envs;
       Buffer.add_string buf "\n")
@@ -496,6 +537,17 @@ let compare_campaigns ~tolerance ~baseline ~candidate =
                 c.Campaign.cells
             with
             | None -> reg (Printf.sprintf "%s: cell missing from candidate" cell)
+            | Some cc when cc.Campaign.quarantined <> None ->
+              (* A quarantined candidate cell measured nothing: that is a
+                 loss of testing power regardless of rates. *)
+              reg
+                (Printf.sprintf "%s: cell quarantined in candidate (%s)" cell
+                   (Option.value ~default:"" cc.Campaign.quarantined))
+            | Some _ when bc.Campaign.quarantined <> None ->
+              note
+                (Printf.sprintf
+                   "%s: recovered (baseline was quarantined: %s)" cell
+                   (Option.value ~default:"" bc.Campaign.quarantined))
             | Some cc ->
               let rb = error_rate bc and rc = error_rate cc in
               let delta = rc -. rb in

@@ -132,17 +132,26 @@ type job = {
   errors : int;
   duration_s : float;
   result : Json.t;
+  attempts : int;
+  failed : string option;
 }
 
+(* [attempts] and [failed] are emitted only away from their defaults so
+   that supervision leaves fault-free ledgers byte-identical (the CI
+   golden ledger is compared with cmp). *)
 let job_to_json j =
   Json.Assoc
-    [ ("rec", Json.String "job");
-      ("phase", Json.String j.phase);
-      ("i", Json.Int j.index);
-      ("seed", Json.Int j.seed);
-      ("errors", Json.Int j.errors);
-      ("dur_s", Json.Float j.duration_s);
-      ("result", j.result) ]
+    ([ ("rec", Json.String "job");
+       ("phase", Json.String j.phase);
+       ("i", Json.Int j.index);
+       ("seed", Json.Int j.seed);
+       ("errors", Json.Int j.errors);
+       ("dur_s", Json.Float j.duration_s) ]
+    @ (if j.attempts > 1 then [ ("attempts", Json.Int j.attempts) ] else [])
+    @ (match j.failed with
+      | Some reason -> [ ("failed", Json.String reason) ]
+      | None -> [])
+    @ [ ("result", j.result) ])
 
 let job_of_json j =
   let* phase = str "phase" j in
@@ -150,30 +159,39 @@ let job_of_json j =
   let* seed = int "seed" j in
   let* errors = int "errors" j in
   let* duration_s = float "dur_s" j in
+  let* attempts = opt_int "attempts" j in
+  let* failed = opt_str "failed" j in
   let* result = field "result" j in
-  Ok { phase; index; seed; errors; duration_s; result }
+  Ok
+    { phase; index; seed; errors; duration_s; result;
+      attempts = Option.value ~default:1 attempts; failed }
 
 type footer = {
   total_jobs : int;
   total_errors : int;
+  quarantined : int;
   wall_s : float;
   telemetry : Json.t;
 }
 
 let footer_to_json f =
   Json.Assoc
-    [ ("rec", Json.String "footer");
-      ("jobs", Json.Int f.total_jobs);
-      ("errors", Json.Int f.total_errors);
-      ("wall_s", Json.Float f.wall_s);
-      ("telemetry", f.telemetry) ]
+    ([ ("rec", Json.String "footer");
+       ("jobs", Json.Int f.total_jobs);
+       ("errors", Json.Int f.total_errors) ]
+    @ (if f.quarantined > 0 then [ ("quarantined", Json.Int f.quarantined) ]
+       else [])
+    @ [ ("wall_s", Json.Float f.wall_s); ("telemetry", f.telemetry) ])
 
 let footer_of_json j =
   let* total_jobs = int "jobs" j in
   let* total_errors = int "errors" j in
+  let* quarantined = opt_int "quarantined" j in
   let* wall_s = float "wall_s" j in
   let* telemetry = field "telemetry" j in
-  Ok { total_jobs; total_errors; wall_s; telemetry }
+  Ok
+    { total_jobs; total_errors;
+      quarantined = Option.value ~default:0 quarantined; wall_s; telemetry }
 
 type ledger = {
   header : header;
@@ -196,6 +214,7 @@ type t = {
   pending : (int, job) Hashtbl.t;  (* completed but blocked by a gap *)
   mutable jobs_written : int;
   mutable errors_sum : int;
+  mutable failed_sum : int;
   t0 : float;
   mutable closed : bool;
 }
@@ -212,7 +231,8 @@ let create ?deterministic ~path header =
   let t =
     { oc; file = path; mu = Mutex.create (); deterministic; phase = "";
       next = 0; pending = Hashtbl.create 64; jobs_written = 0;
-      errors_sum = 0; t0 = Unix.gettimeofday (); closed = false }
+      errors_sum = 0; failed_sum = 0; t0 = Unix.gettimeofday ();
+      closed = false }
   in
   emit_line t (header_to_json header);
   flush oc;
@@ -246,6 +266,7 @@ let append_job t (job : job) =
     emit_line t (job_to_json j);
     t.jobs_written <- t.jobs_written + 1;
     t.errors_sum <- t.errors_sum + j.errors;
+    if j.failed <> None then t.failed_sum <- t.failed_sum + 1;
     t.next <- t.next + 1;
     drained := true
   done;
@@ -279,7 +300,7 @@ let close t =
     emit_line t
       (footer_to_json
          { total_jobs = t.jobs_written; total_errors = t.errors_sum;
-           wall_s; telemetry });
+           quarantined = t.failed_sum; wall_s; telemetry });
     flush t.oc;
     close_out t.oc;
     t.closed <- true
@@ -367,11 +388,14 @@ let cache_size = Hashtbl.length
 type journal = {
   sink : t option;
   cache : cache option;
+  origin : string option;  (* the resume ledger's path, for messages *)
   phase : string;
 }
 
-let journal ?sink ?cache phase = { sink; cache; phase }
+let journal ?sink ?cache ?origin phase = { sink; cache; origin; phase }
 let extend j suffix = { j with phase = j.phase ^ suffix }
+
+let origin_name jn = Option.value ~default:"resume ledger" jn.origin
 
 type 'a codec = {
   encode : 'a -> Json.t;
@@ -403,29 +427,67 @@ let cached_value jn ~codec ~index ~seed =
   | Some c -> (
     match Hashtbl.find_opt c (jn.phase, index) with
     | None -> None
+    | Some r when r.failed <> None ->
+      (* A quarantined record satisfies the ledger's plan-order stream
+         but carries no result: resuming re-runs the job, which is how a
+         degraded campaign recovers. *)
+      None
     | Some r ->
       if r.seed <> seed then
         failwith
           (Printf.sprintf
-             "Runlog: cached job %s/%d was run with seed %d, this \
-              campaign plans seed %d — the ledger belongs to a \
-              different invocation"
-             jn.phase index r.seed seed);
+             "%s: cached job %s/%d seed mismatch: the ledger records \
+              seed %d, this invocation plans seed %d — refusing to \
+              resume a different campaign"
+             (origin_name jn) jn.phase index r.seed seed);
       (match codec.decode r.result with
       | Ok v -> Some (v, r)
       | Error e ->
         failwith
-          (Printf.sprintf "Runlog: cached job %s/%d does not decode: %s"
-             jn.phase index e)))
+          (Printf.sprintf "%s: cached job %s/%d does not decode: %s"
+             (origin_name jn) jn.phase index e)))
 
 let replay jn r = Option.iter (fun s -> append_job s r) jn.sink
 
-let record jn ~index ~seed ~errors ~duration_s result =
+let record jn ?(attempts = 1) ~index ~seed ~errors ~duration_s result =
   Option.iter
     (fun s ->
       append_job s
-        { phase = jn.phase; index; seed; errors; duration_s; result })
+        { phase = jn.phase; index; seed; errors; duration_s; result;
+          attempts; failed = None })
     jn.sink
+
+let record_failure jn ~index ~seed ~attempts ~duration_s reason =
+  Option.iter
+    (fun s ->
+      append_job s
+        { phase = jn.phase; index; seed; errors = 0; duration_s;
+          result = Json.Null; attempts; failed = Some reason })
+    jn.sink
+
+(* One-stop resume validation with messages that name the ledger and
+   both sides of every mismatch (golden-tested wording; keep stable). *)
+let validate_resume (l : ledger) ~path ~campaign ~seed ~grid =
+  let h = l.header in
+  if h.campaign <> campaign then
+    Error
+      (Printf.sprintf
+         "%s: campaign kind mismatch: the ledger records a %S campaign, \
+          this invocation is %S"
+         path h.campaign campaign)
+  else if h.seed <> seed then
+    Error
+      (Printf.sprintf
+         "%s: seed mismatch: the ledger was run with --seed %d, this \
+          invocation uses --seed %d"
+         path h.seed seed)
+  else if h.grid <> grid then
+    Error
+      (Printf.sprintf
+         "%s: parameter grid mismatch: the ledger records %s, this \
+          invocation plans %s"
+         path (Json.to_string h.grid) (Json.to_string grid))
+  else Ok ()
 
 let memo journal ~codec ~index ~seed f =
   match journal with

@@ -74,12 +74,23 @@ type job = {
   seed : int;  (** the job's pre-derived sub-seed *)
   errors : int;  (** weak/error observations, for progress & compare *)
   duration_s : float;
-  result : Json.t;  (** codec-encoded job result *)
+  result : Json.t;  (** codec-encoded job result; [Null] when [failed] *)
+  attempts : int;
+      (** supervised attempts consumed (1 unless retries healed the job);
+          serialised only when above 1, so fault-free ledgers are
+          byte-identical with and without supervision *)
+  failed : string option;
+      (** [Some reason] marks a quarantined job: the record keeps the
+          plan-order stream whole but carries no result, and resuming
+          the ledger re-runs the job *)
 }
 
 type footer = {
   total_jobs : int;
   total_errors : int;
+  quarantined : int;
+      (** failed job records in this ledger (serialised only when
+          non-zero); a non-zero value marks a degraded campaign *)
   wall_s : float;
   telemetry : Json.t;
 }
@@ -149,12 +160,27 @@ val cache_size : cache -> int
 type journal = {
   sink : t option;
   cache : cache option;
+  origin : string option;
+      (** path of the ledger the cache was loaded from, so mismatch
+          messages can name it *)
   phase : string;
 }
 
-val journal : ?sink:t -> ?cache:cache -> string -> journal
+val journal : ?sink:t -> ?cache:cache -> ?origin:string -> string -> journal
 val extend : journal -> string -> journal
 (** [extend j s] appends [s] to the phase prefix. *)
+
+val validate_resume :
+  ledger ->
+  path:string ->
+  campaign:string ->
+  seed:int ->
+  grid:Json.t ->
+  (unit, string) result
+(** Check a loaded ledger against this invocation's campaign kind, seed
+    and parameter grid before resuming from it.  Each error message
+    names [path] and both the recorded and the planned value (the
+    wording is golden-tested in [test/test_runlog.ml]). *)
 
 (** {1 Codecs} *)
 
@@ -174,8 +200,10 @@ val bool_codec : bool codec
 
 val cached_value : journal -> codec:'a codec -> index:int -> seed:int ->
   ('a * job) option
-(** Look up a cached job record and decode it.  Raises [Failure] when
-    the record exists but its seed differs from the planned seed (the
+(** Look up a cached job record and decode it.  A [failed]
+    (quarantined) record is treated as absent so resuming re-runs it.
+    Raises [Failure] — naming the journal's [origin] ledger — when the
+    record exists but its seed differs from the planned seed (the
     ledger belongs to a different campaign) or its payload does not
     decode — resuming must never silently corrupt results. *)
 
@@ -184,9 +212,16 @@ val replay : journal -> job -> unit
     so a resumed ledger contains the full job history. *)
 
 val record :
-  journal -> index:int -> seed:int -> errors:int -> duration_s:float ->
-  Json.t -> unit
-(** Append a freshly computed job record under the journal's phase. *)
+  journal -> ?attempts:int -> index:int -> seed:int -> errors:int ->
+  duration_s:float -> Json.t -> unit
+(** Append a freshly computed job record under the journal's phase.
+    [attempts] (default 1) is the supervised attempt count. *)
+
+val record_failure :
+  journal -> index:int -> seed:int -> attempts:int -> duration_s:float ->
+  string -> unit
+(** Append a quarantined-job record: [Null] result, zero errors, the
+    failure reason in [failed]. *)
 
 val memo :
   journal option -> codec:'a codec -> index:int -> seed:int ->

@@ -79,6 +79,7 @@ let run ?backend ?journal ~chip ~seed ~budget ~patch () =
     Exec.run ?backend
       ~label:(Printf.sprintf "sequence finding on %s" chip.Gpusim.Chip.name)
       ?journal:(Option.map (fun j -> Runlog.extend j "seq") journal)
+      ~quarantine:(fun _ _ -> 0)
       ~codec:Runlog.int_codec ~execs_per_job:b.Budget.runs_seq ~seed
       ~f:(fun ~seed (sequence, idiom, distance, location) ->
         let strategy =

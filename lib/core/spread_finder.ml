@@ -71,6 +71,7 @@ let run ?backend ?journal ~chip ~seed ~budget ~patch ~sequence () =
     Exec.run ?backend
       ~label:(Printf.sprintf "spread finding on %s" chip.Gpusim.Chip.name)
       ?journal:(Option.map (fun j -> Runlog.extend j "spread") journal)
+      ~quarantine:(fun _ _ -> 0)
       ~codec:Runlog.int_codec ~execs_per_job:b.Budget.runs_spread ~seed
       ~f:(fun ~seed (spread, idiom, distance) ->
         let strategy =

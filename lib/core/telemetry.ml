@@ -220,6 +220,9 @@ let record_to_json { Gpusim.Trace.tick; event } =
       [ ("tid", Int tid); ("daemon", Bool daemon) ]
     | Contention { part; read; write } ->
       [ ("part", Int part); ("read", Float read); ("write", Float write) ]
+    | Bitflip { tid; addr; bit; before; after } ->
+      [ ("tid", Int tid); ("addr", Int addr); ("bit", Int bit);
+        ("before", Int before); ("after", Int after) ]
   in
   Assoc
     (("tick", Int tick)
@@ -292,6 +295,10 @@ let record_of_json j =
       | "thread_done" -> Thread_done { tid = i "tid"; daemon = b "daemon" }
       | "contention" ->
         Contention { part = i "part"; read = f "read"; write = f "write" }
+      | "bitflip" ->
+        Bitflip
+          { tid = i "tid"; addr = i "addr"; bit = i "bit";
+            before = i "before"; after = i "after" }
       | other -> raise (Decode ("unknown event " ^ other))
     in
     { Gpusim.Trace.tick; event }

@@ -43,6 +43,11 @@ type t = {
       (* per-launch intensity of stressing accesses; models the hardware
          parallelism of concentrated stress (see Stress.spec intensity) *)
   strong : bool;
+  mutable soft : (Rng.t * float) option;
+      (* armed soft-error injection: (dedicated rng, per-store flip
+         probability).  The rng is never [t.rng], so arming injection does
+         not perturb the simulated execution itself. *)
+  mutable n_bitflips : int;
 }
 
 let strong t = t.strong
@@ -68,7 +73,9 @@ let create ~chip ~rng ~words ~nthreads =
     n_reorders = 0;
     n_stress = 0;
     stress_gain = 1.0;
-    strong = w.max_delay <= 0.0 && w.base_delay <= 0.0 }
+    strong = w.max_delay <= 0.0 && w.base_delay <= 0.0;
+    soft = None;
+    n_bitflips = 0 }
 
 let read t addr = t.global.(addr)
 let write t addr v = t.global.(addr) <- v
@@ -97,6 +104,28 @@ let observe_access t ~tid ~addr ~write ~atomic =
 
 let reorders t = t.n_reorders
 let stress_accesses t = t.n_stress
+
+let set_soft_errors t soft = t.soft <- soft
+let bitflips t = t.n_bitflips
+
+(* A transient soft error on a committing store: flip one low bit of the
+   value as it lands in global memory (gpuFI-style).  Drawn from the
+   dedicated soft-error rng so the schedule of the simulated execution is
+   untouched; only the stored value differs. *)
+let maybe_flip t ~tid ~addr v =
+  match t.soft with
+  | None -> v
+  | Some (rng, rate) ->
+    if rate > 0.0 && Rng.chance rng rate then begin
+      let bit = Rng.int rng 30 in
+      let v' = v lxor (1 lsl bit) in
+      t.n_bitflips <- t.n_bitflips + 1;
+      if Trace.active t.sink then
+        Trace.emit t.sink ~tick:t.now
+          (Trace.Bitflip { tid; addr; bit; before = v; after = v' });
+      v'
+    end
+    else v
 
 (* ------------------------------------------------------------------ *)
 (* Contention pools                                                     *)
@@ -216,7 +245,7 @@ let load_value t tid e =
 let commit t tid e =
   let q = queue t tid in
   (match e.ekind with
-  | Store_k -> t.global.(e.addr) <- e.store_value
+  | Store_k -> t.global.(e.addr) <- maybe_flip t ~tid ~addr:e.addr e.store_value
   | Load_k -> if e.load_value = None then e.load_value <- Some (load_value t tid e));
   let remaining = List.filter (fun e' -> e' != e) !q in
   q := remaining;
@@ -352,7 +381,7 @@ let force t ~tid e =
 
 let store t ~tid ~addr ~value =
   observe_access t ~tid ~addr ~write:true ~atomic:false;
-  if t.strong then t.global.(addr) <- value
+  if t.strong then t.global.(addr) <- maybe_flip t ~tid ~addr value
   else enqueue t tid (fresh_entry t ~addr ~ekind:Store_k ~store_value:value)
 
 let atomic t ~tid ~addr f =

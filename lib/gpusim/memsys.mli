@@ -130,6 +130,20 @@ val reorders : t -> int
 val stress_accesses : t -> int
 (** Total stressing accesses performed (a campaign statistic). *)
 
+(** {1 Soft-error injection} *)
+
+val set_soft_errors : t -> (Rng.t * float) option -> unit
+(** Arm (or disarm) transient soft errors: each committing plain store
+    flips one low bit of its value with the given probability, drawn from
+    the given {e dedicated} rng — never the device rng, so the simulated
+    schedule is identical with and without injection; only stored values
+    differ.  Every flip bumps {!bitflips} and emits {!Trace.Bitflip}.
+    Atomics and host writes are never flipped (flipping a lock word would
+    wedge the machine rather than model a data soft error). *)
+
+val bitflips : t -> int
+(** Total injected bit flips so far (0 unless armed). *)
+
 val tick : t -> unit
 (** Advance the contention clock by one scheduler step. *)
 

@@ -9,11 +9,13 @@ type t = {
   mutable fence_stall_ticks : int;
   mutable n_reorder : int;
   mutable app_cycles : int;
+  mutable n_bitflip : int;
 }
 
 let create () =
   { ticks = 0; n_alu = 0; n_load = 0; n_store = 0; n_atomic = 0; n_fence = 0;
-    fence_drained = 0; fence_stall_ticks = 0; n_reorder = 0; app_cycles = 0 }
+    fence_drained = 0; fence_stall_ticks = 0; n_reorder = 0; app_cycles = 0;
+    n_bitflip = 0 }
 
 let reset m =
   m.ticks <- 0;
@@ -25,7 +27,8 @@ let reset m =
   m.fence_drained <- 0;
   m.fence_stall_ticks <- 0;
   m.n_reorder <- 0;
-  m.app_cycles <- 0
+  m.app_cycles <- 0;
+  m.n_bitflip <- 0
 
 let add acc x =
   acc.ticks <- acc.ticks + x.ticks;
@@ -37,7 +40,8 @@ let add acc x =
   acc.fence_drained <- acc.fence_drained + x.fence_drained;
   acc.fence_stall_ticks <- acc.fence_stall_ticks + x.fence_stall_ticks;
   acc.n_reorder <- acc.n_reorder + x.n_reorder;
-  acc.app_cycles <- acc.app_cycles + x.app_cycles
+  acc.app_cycles <- acc.app_cycles + x.app_cycles;
+  acc.n_bitflip <- acc.n_bitflip + x.n_bitflip
 
 let total_mem_ops m = m.n_load + m.n_store + m.n_atomic
 
@@ -60,7 +64,7 @@ let to_assoc m =
   [ ("ticks", m.ticks); ("alu", m.n_alu); ("ld", m.n_load); ("st", m.n_store);
     ("atomic", m.n_atomic); ("fence", m.n_fence); ("drained", m.fence_drained);
     ("stall", m.fence_stall_ticks); ("reorder", m.n_reorder);
-    ("app_cycles", m.app_cycles) ]
+    ("app_cycles", m.app_cycles); ("bitflip", m.n_bitflip) ]
 
 let pp ppf m =
   Fmt.pf ppf "%a"

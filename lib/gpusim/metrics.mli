@@ -20,6 +20,9 @@ type t = {
           thread (a visible weak-memory event) *)
   mutable app_cycles : int;
       (** weighted cycle cost of application (non-daemon) threads *)
+  mutable n_bitflip : int;
+      (** injected transient soft errors (store-commit bit flips); always
+          0 unless {!Memsys.set_soft_errors} armed fault injection *)
 }
 
 val create : unit -> t
@@ -40,7 +43,7 @@ val energy : chip:Chip.t -> t -> float
 val to_assoc : t -> (string * int) list
 (** Structured key/value export of every counter, in a stable order with
     stable keys ([ticks], [alu], [ld], [st], [atomic], [fence],
-    [drained], [stall], [reorder], [app_cycles]).  This is the single
+    [drained], [stall], [reorder], [app_cycles], [bitflip]).  This is the single
     source for machine-readable output: {!Sim}'s [Launch_end] trace
     events and both telemetry exporters (Chrome trace JSON and JSONL)
     consume it, and {!pp} renders it. *)

@@ -26,10 +26,32 @@ and environment = {
 let no_environment =
   { randomise = false; make_stress = (fun _ ~app_grid:_ ~app_block:_ -> None) }
 
+(* Ambient per-process configuration, installed by the supervision layer
+   (Core.Exec) and the chaos driver without threading new parameters
+   through every app signature.  Both are read-only on the hot path. *)
+
+let poll_hook : (unit -> unit) option Atomic.t = Atomic.make None
+let set_poll_hook h = Atomic.set poll_hook h
+
+let soft_error_default : (float * int) option Atomic.t = Atomic.make None
+let set_soft_error_default d = Atomic.set soft_error_default d
+let soft_error_defaulted () = Atomic.get soft_error_default
+
 let create ?(words = 65536) ~chip ~seed () =
   let rng = Rng.create seed in
-  { chip; rng; mem = Memsys.create ~chip ~rng ~words ~nthreads:0; brk = 0;
-    env = no_environment; cycles_total = 0; energy_total = 0.0 }
+  let t =
+    { chip; rng; mem = Memsys.create ~chip ~rng ~words ~nthreads:0; brk = 0;
+      env = no_environment; cycles_total = 0; energy_total = 0.0 }
+  in
+  (match Atomic.get soft_error_default with
+  | Some (rate, fault_seed) when rate > 0.0 ->
+    (* A dedicated rng derived from both the fault seed and the device
+       seed: deterministic per device, independent of the device's own
+       random stream. *)
+    Memsys.set_soft_errors t.mem
+      (Some (Rng.create (fault_seed lxor (seed * 0x9E3779B1)), rate))
+  | Some _ | None -> ());
+  t
 
 let chip t = t.chip
 let rng t = t.rng
@@ -58,6 +80,7 @@ let write_array t ~base a =
   Array.iteri (fun i v -> Memsys.write t.mem (base + i) v) a
 
 let reorders t = Memsys.reorders t.mem
+let bitflips t = Memsys.bitflips t.mem
 let elapsed_cycles t = t.cycles_total
 let consumed_energy t = t.energy_total
 let trace t = Memsys.sink t.mem
@@ -169,6 +192,7 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
   let block_of, tid_of = logical_ids t ~randomise:t.env.randomise ~grid ~block in
   let metrics = Metrics.create () in
   let reorders_before = Memsys.reorders t.mem in
+  let bitflips_before = Memsys.bitflips t.mem in
   let threads = Array.make total None in
   let blocks = ref [] in
   let next_gid = ref 0 in
@@ -451,6 +475,12 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
        incr ticks;
        metrics.Metrics.ticks <- metrics.Metrics.ticks + 1;
        Memsys.tick t.mem;
+       (* Cooperative cancellation point for the supervision watchdog: a
+          hook that raises aborts the launch (and the whole job attempt)
+          without needing to kill the domain. *)
+       if !ticks land 1023 = 0 then begin
+         match Atomic.get poll_hook with Some f -> f () | None -> ()
+       end;
        (* Sample one partition's contention pools every 64 ticks, walking
           the partitions round-robin.  Reads no randomness, so tracing
           never perturbs an execution. *)
@@ -503,6 +533,7 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
   Rng.shuffle t.rng order;
   Array.iter (fun gid -> ignore (Memsys.drain t.mem ~tid:gid)) order;
   metrics.Metrics.n_reorder <- Memsys.reorders t.mem - reorders_before;
+  metrics.Metrics.n_bitflip <- Memsys.bitflips t.mem - bitflips_before;
   t.cycles_total <- t.cycles_total + Metrics.runtime_cycles ~chip:t.chip metrics;
   t.energy_total <- t.energy_total +. Metrics.energy ~chip:t.chip metrics;
   if Trace.active sink then

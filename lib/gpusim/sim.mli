@@ -110,6 +110,33 @@ val reorders : t -> int
 (** Cumulative out-of-order commits observed on this device (a diagnostic
     for how much weak behaviour executions exhibited). *)
 
+val bitflips : t -> int
+(** Cumulative injected soft errors (store-commit bit flips) on this
+    device; 0 unless soft-error injection was armed at {!create} time via
+    {!set_soft_error_default}. *)
+
+(** {1 Ambient fault-injection and supervision hooks}
+
+    Process-wide configuration consulted by every device, installed by
+    the supervision layer without widening application signatures. *)
+
+val set_poll_hook : (unit -> unit) option -> unit
+(** Install a cooperative cancellation point: the scheduler loop calls
+    the hook every 1024 ticks.  A hook that raises aborts the launch (the
+    exception propagates out of {!launch}); the supervision watchdog in
+    [Core.Exec] uses this to cancel timed-out jobs, since OCaml domains
+    cannot be killed. *)
+
+val set_soft_error_default : (float * int) option -> unit
+(** [set_soft_error_default (Some (rate, fault_seed))] arms gpuFI-style
+    transient soft errors on every {e subsequently created} device: each
+    committing plain store flips one bit of its value with probability
+    [rate], drawn from a dedicated rng derived from [fault_seed] and the
+    device seed (so flips are deterministic per device and the simulated
+    schedule is unperturbed).  [None] (the default) disarms. *)
+
+val soft_error_defaulted : unit -> (float * int) option
+
 val trace : t -> Trace.t
 (** The device's trace sink (shared with its {!Memsys}).  Enable a ring
     buffer on it before {!launch} to capture the execution's event

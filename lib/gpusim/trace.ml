@@ -27,6 +27,7 @@ type event =
   | Barrier_release of { block : int; by_exit : bool }
   | Thread_done of { tid : int; daemon : bool }
   | Contention of { part : int; read : float; write : float }
+  | Bitflip of { tid : int; addr : int; bit : int; before : int; after : int }
 
 type record = { tick : int; event : event }
 
@@ -121,6 +122,7 @@ let event_name = function
   | Barrier_release _ -> "barrier_release"
   | Thread_done _ -> "thread_done"
   | Contention _ -> "contention"
+  | Bitflip _ -> "bitflip"
 
 let tid_of_event = function
   | Access { tid; _ }
@@ -130,7 +132,8 @@ let tid_of_event = function
   | Atomic_rmw { tid; _ }
   | Fence { tid; _ }
   | Barrier_wait { tid; _ }
-  | Thread_done { tid; _ } -> Some tid
+  | Thread_done { tid; _ }
+  | Bitflip { tid; _ } -> Some tid
   | Launch_begin _ | Launch_end _ | Barrier_release _ | Contention _ -> None
 
 let pp_event ppf = function
@@ -170,5 +173,7 @@ let pp_event ppf = function
     Fmt.pf ppf "done t%d%s" tid (if daemon then " (stress)" else "")
   | Contention { part; read; write } ->
     Fmt.pf ppf "contention part %d: rd %.2f wr %.2f" part read write
+  | Bitflip { tid; addr; bit; before; after } ->
+    Fmt.pf ppf "bitflip t%d @%d bit %d: %d -> %d" tid addr bit before after
 
 let pp_record ppf { tick; event } = Fmt.pf ppf "[%7d] %a" tick pp_event event

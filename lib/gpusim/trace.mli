@@ -61,6 +61,10 @@ type event =
   | Thread_done of { tid : int; daemon : bool }
   | Contention of { part : int; read : float; write : float }
       (** periodic sample of one partition's modelled contention pools *)
+  | Bitflip of { tid : int; addr : int; bit : int; before : int; after : int }
+      (** an injected transient soft error: the store's committed value
+          had [bit] flipped ([before -> after]).  Emitted only when
+          {!Memsys.set_soft_errors} armed fault injection. *)
 
 type record = { tick : int; event : event }
 

@@ -101,7 +101,7 @@ let test_merge_histograms () =
 let test_dominant_empty_cell () =
   let cell =
     { Core.Campaign.app = "clean"; errors = 0; runs = 10; example = "";
-      histogram = [] }
+      histogram = []; quarantined = None }
   in
   Alcotest.(check bool) "clean cell has no dominant mode" true
     (Core.Campaign.dominant cell = None)

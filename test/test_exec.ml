@@ -170,6 +170,234 @@ let test_for_all_agrees_across_backends () =
     [ (fun _ -> true); (fun p -> p <> 63); (fun p -> p < 2) ]
 
 (* ------------------------------------------------------------------ *)
+(* Jobs clamping                                                       *)
+
+let test_clamp_jobs () =
+  List.iter
+    (fun (raw, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "clamp_jobs %d" raw)
+        expect
+        (Core.Exec.clamp_jobs ~warn:false raw))
+    [ (0, 1); (-5, 1); (1, 1); (7, 7); (512, 512); (513, 512);
+      (100000, 512) ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervised execution: deterministic retry, quarantine, watchdog.    *)
+
+let with_supervision s f =
+  Core.Exec.set_supervision (Some s);
+  Fun.protect ~finally:(fun () -> Core.Exec.set_supervision None) f
+
+(* A pure job function and its unsupervised reference results. *)
+let sup_payloads = List.init 40 Fun.id
+let sup_f ~seed p = (seed * 31) + p
+
+let sup_run ?quarantine ~jobs () =
+  Core.Exec.run
+    ~backend:(Core.Exec.backend_of_jobs jobs)
+    ?quarantine ~seed:3 ~f:sup_f sup_payloads
+
+let sup_reference = lazy (sup_run ~jobs:1 ())
+
+let test_retry_heals_bit_identical () =
+  (* faulty_attempts 1 with one retry: every faulted job heals on its
+     second attempt, which reuses the planned seed — the supervised run
+     must be bit-identical to the unsupervised one. *)
+  let plan =
+    Core.Fault.plan ~rate:0.6 ~kinds:[ Core.Fault.Raise ] ~faulty_attempts:1
+      ~seed:77 ()
+  in
+  let expected_retries =
+    List.fold_left
+      (fun acc index ->
+        acc + (Core.Fault.predict plan ~retries:1 ~index).Core.Fault.attempts
+        - 1)
+      0
+      (List.init (List.length sup_payloads) Fun.id)
+  in
+  Alcotest.(check bool) "the plan actually faults some jobs" true
+    (expected_retries > 0);
+  with_supervision (Core.Exec.supervision ~retries:1 ~faults:plan ())
+  @@ fun () ->
+  let r = sup_run ~jobs:4 () in
+  let s = Core.Exec.drain_summary () in
+  Alcotest.(check bool) "healed run = unsupervised run" true
+    (r = Lazy.force sup_reference);
+  Alcotest.(check int) "retry count matches the fault plan"
+    expected_retries s.Core.Exec.retried;
+  Alcotest.(check int) "nothing quarantined" 0
+    (List.length s.Core.Exec.quarantined)
+
+let test_quarantine_matches_prediction () =
+  (* No retries against a two-attempt fault window: predicted-fatal jobs
+     must be quarantined (fallback value, failed summary entry) and every
+     other job must be untouched. *)
+  let plan =
+    Core.Fault.plan ~rate:0.5
+      ~kinds:[ Core.Fault.Raise; Core.Fault.Ledger_fail ]
+      ~faulty_attempts:2 ~seed:5 ()
+  in
+  let predicted =
+    List.filteri
+      (fun index _ ->
+        (Core.Fault.predict plan ~retries:0 ~index).Core.Fault.outcome
+        = `Quarantined)
+      sup_payloads
+  in
+  Alcotest.(check bool) "the plan predicts some quarantines" true
+    (predicted <> []);
+  List.iter
+    (fun jobs ->
+      with_supervision
+        (Core.Exec.supervision ~retries:0 ~keep_going:true ~faults:plan ())
+      @@ fun () ->
+      let r = sup_run ~quarantine:(fun _ _ -> -1) ~jobs () in
+      let s = Core.Exec.drain_summary () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs %d: quarantined set = prediction" jobs)
+        predicted
+        (List.map (fun fl -> fl.Core.Exec.f_index) s.Core.Exec.quarantined);
+      List.iteri
+        (fun i v ->
+          if List.mem i predicted then
+            Alcotest.(check int) "fallback value in place" (-1) v
+          else
+            Alcotest.(check int) "healthy job untouched"
+              (List.nth (Lazy.force sup_reference) i)
+              v)
+        r)
+    [ 1; 4 ]
+
+let test_hang_cancelled_by_watchdog () =
+  (* Every first attempt hangs; the watchdog must cancel it at the
+     timeout and the clean retry must reproduce the reference bits. *)
+  let plan =
+    Core.Fault.plan ~rate:1.0 ~kinds:[ Core.Fault.Hang ] ~faulty_attempts:1
+      ~seed:9 ()
+  in
+  let payloads = List.init 4 Fun.id in
+  let reference =
+    Core.Exec.run ~backend:Core.Exec.Serial ~seed:6 ~f:sup_f payloads
+  in
+  with_supervision
+    (Core.Exec.supervision ~timeout_s:0.3 ~retries:1 ~faults:plan ())
+  @@ fun () ->
+  let r =
+    Core.Exec.run ~backend:(Core.Exec.Parallel 4) ~seed:6 ~f:sup_f payloads
+  in
+  let s = Core.Exec.drain_summary () in
+  Alcotest.(check bool) "cancelled-then-retried run = reference" true
+    (r = reference);
+  Alcotest.(check int) "every job burned one retry" 4 s.Core.Exec.retried;
+  Alcotest.(check int) "no quarantines" 0
+    (List.length s.Core.Exec.quarantined)
+
+let test_hang_without_timeout_degrades_to_raise () =
+  (* A Hang fault with no timeout armed must not wedge the process: it
+     degrades to an injected raise naming the missing timeout. *)
+  let plan =
+    Core.Fault.plan ~rate:1.0 ~kinds:[ Core.Fault.Hang ] ~faulty_attempts:1
+      ~seed:2 ()
+  in
+  with_supervision
+    (Core.Exec.supervision ~retries:0 ~keep_going:true ~faults:plan ())
+  @@ fun () ->
+  let r =
+    Core.Exec.run ~backend:Core.Exec.Serial ~quarantine:(fun _ _ -> -1)
+      ~seed:1 ~f:sup_f [ 0; 1; 2 ]
+  in
+  let s = Core.Exec.drain_summary () in
+  Alcotest.(check (list int)) "every job quarantined" [ -1; -1; -1 ] r;
+  List.iter
+    (fun fl ->
+      Alcotest.(check bool) "the reason names the missing timeout" true
+        (Test_util.contains fl.Core.Exec.f_reason "no timeout armed"))
+    s.Core.Exec.quarantined
+
+let test_poison_job_raises_without_keep_going () =
+  let plan =
+    Core.Fault.plan ~rate:1.0 ~kinds:[ Core.Fault.Raise ] ~faulty_attempts:8
+      ~seed:4 ()
+  in
+  with_supervision
+    (Core.Exec.supervision ~retries:1 ~keep_going:false ~faults:plan ())
+  @@ fun () ->
+  match sup_run ~quarantine:(fun _ _ -> -1) ~jobs:2 () with
+  | _ -> Alcotest.fail "a poison job without keep_going must raise"
+  | exception Core.Exec.Job_failed fl ->
+    ignore (Core.Exec.drain_summary ());
+    Alcotest.(check int) "both attempts were consumed" 2
+      fl.Core.Exec.f_attempts;
+    Alcotest.(check bool) "the reason names the injected fault" true
+      (Test_util.contains fl.Core.Exec.f_reason "injected fault: job crash")
+
+(* Satellite: a fully cached journal must answer without calling [f]
+   (and hence without starting the pool). *)
+let test_cached_run_never_calls_f () =
+  let path = Filename.temp_file "exec-cache" ".jsonl" in
+  let header =
+    { Core.Runlog.schema = Core.Runlog.schema_version; campaign = "test";
+      argv = []; seed = 3; jobs = 0; grid = Core.Json.Null; git = None;
+      created = 0.0 }
+  in
+  let sink = Core.Runlog.create ~deterministic:true ~path header in
+  let r1 =
+    Core.Exec.run ~backend:Core.Exec.Serial
+      ~journal:(Core.Runlog.journal ~sink "")
+      ~codec:Core.Runlog.int_codec ~seed:3 ~f:sup_f sup_payloads
+  in
+  Core.Runlog.close sink;
+  let cache =
+    match Core.Runlog.load path with
+    | Ok l -> Core.Runlog.cache_of_ledger l
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  let r2 =
+    Core.Exec.run
+      ~backend:(Core.Exec.Parallel 4)
+      ~journal:(Core.Runlog.journal ~cache "")
+      ~codec:Core.Runlog.int_codec ~seed:3
+      ~f:(fun ~seed:_ _ -> Alcotest.fail "f called on a fully cached run")
+      sup_payloads
+  in
+  Alcotest.(check bool) "cached results replay bit-identically" true
+    (r1 = r2)
+
+(* Satellite: the supervised retry schedule and the reduced result are a
+   pure function of (campaign seed, fault plan) — identical for every
+   --jobs value. *)
+let prop_supervised_deterministic =
+  QCheck.Test.make
+    ~name:"supervised run: same seed + plan = same result (jobs in {1,2,4})"
+    ~count:4
+    QCheck.(int_range 0 1_000_000)
+    (fun fault_seed ->
+      let plan =
+        Core.Fault.plan ~rate:0.5
+          ~kinds:
+            [ Core.Fault.Raise; Core.Fault.Ledger_fail; Core.Fault.Corrupt ]
+          ~faulty_attempts:2 ~seed:fault_seed ()
+      in
+      let observe jobs =
+        with_supervision
+          (Core.Exec.supervision ~retries:1 ~keep_going:true ~faults:plan ())
+        @@ fun () ->
+        let r = sup_run ~quarantine:(fun _ _ -> -1) ~jobs () in
+        let s = Core.Exec.drain_summary () in
+        ( r,
+          s.Core.Exec.retried,
+          List.map
+            (fun fl ->
+              ( fl.Core.Exec.f_index, fl.Core.Exec.f_attempts,
+                fl.Core.Exec.f_reason ))
+            s.Core.Exec.quarantined )
+      in
+      let reference = observe 1 in
+      List.for_all (fun jobs -> observe jobs = reference) [ 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
 (* The headline property: real campaign drivers are bit-identical
    across backends at the same seed. *)
 
@@ -228,7 +456,22 @@ let () =
           Alcotest.test_case "ticker rate-limited" `Quick
             test_ticker_rate_limited;
           Alcotest.test_case "for_all across backends" `Quick
-            test_for_all_agrees_across_backends ] );
+            test_for_all_agrees_across_backends;
+          Alcotest.test_case "clamp_jobs" `Quick test_clamp_jobs ] );
+      ( "supervision",
+        [ Alcotest.test_case "retry heals bit-identically" `Quick
+            test_retry_heals_bit_identical;
+          Alcotest.test_case "quarantine matches prediction" `Quick
+            test_quarantine_matches_prediction;
+          Alcotest.test_case "watchdog cancels hangs" `Quick
+            test_hang_cancelled_by_watchdog;
+          Alcotest.test_case "hang without timeout degrades" `Quick
+            test_hang_without_timeout_degrades_to_raise;
+          Alcotest.test_case "poison job raises without keep-going" `Quick
+            test_poison_job_raises_without_keep_going;
+          Alcotest.test_case "fully cached run never calls f" `Quick
+            test_cached_run_never_calls_f;
+          QCheck_alcotest.to_alcotest prop_supervised_deterministic ] );
       ( "backend equality",
         List.map QCheck_alcotest.to_alcotest
           [ prop_campaign_backend_equality;

@@ -30,7 +30,7 @@ let test_table5 () =
       cells =
         [ { Core.Campaign.app = "cbe-dot"; errors = 10; runs = 40;
             example = "x";
-            histogram = [ ("x", 7); ("y", 3) ] } ];
+            histogram = [ ("x", 7); ("y", 3) ]; quarantined = None } ];
       capable = 1; effective = 1 }
   in
   let s = render (fun ppf -> Core.Report.table5 ppf [ row ]) in
@@ -102,7 +102,7 @@ let test_figure4_and_csv () =
 let cell app errors runs histogram =
   { Core.Campaign.app; errors; runs;
     example = (match histogram with (m, _) :: _ -> m | [] -> "");
-    histogram }
+    histogram; quarantined = None }
 
 let golden_rows =
   [ { Core.Campaign.chip = "K20"; environment = "no-str-";

@@ -179,6 +179,150 @@ let test_seed_mismatch_fails_closed () =
   Alcotest.(check bool) "resume at a different seed raises" true raised
 
 (* ------------------------------------------------------------------ *)
+(* Supervision records: attempts, quarantined jobs, and the guarantee
+   that fault-free ledgers stay byte-identical (every new field is
+   serialised conditionally).                                          *)
+
+let test_failed_record_roundtrip () =
+  let path = temp () in
+  let sink =
+    Core.Runlog.create ~deterministic:true ~path
+      (header ~campaign:"test" ~seed:1)
+  in
+  let jn = Core.Runlog.journal ~sink "" in
+  Core.Runlog.record jn ~index:0 ~seed:100 ~errors:0 ~duration_s:0.0
+    (Core.Json.Int 1);
+  Core.Runlog.record jn ~attempts:3 ~index:1 ~seed:101 ~errors:2
+    ~duration_s:0.0 (Core.Json.Int 2);
+  Core.Runlog.record_failure jn ~index:2 ~seed:102 ~attempts:2
+    ~duration_s:0.0 "boom";
+  Core.Runlog.close sink;
+  let text = read_all path in
+  (match String.split_on_char '\n' text with
+  | _header :: j0 :: _j1 :: _j2 :: footer :: _ ->
+    (* Byte-stability: a fault-free job record carries neither of the new
+       fields, while a degraded footer counts its quarantined jobs. *)
+    Alcotest.(check bool) "attempts=1 is not serialised" false
+      (Test_util.contains j0 "attempts");
+    Alcotest.(check bool) "healthy jobs carry no failed field" false
+      (Test_util.contains j0 "failed");
+    Alcotest.(check bool) "degraded footer counts quarantines" true
+      (Test_util.contains footer "quarantined")
+  | _ -> Alcotest.fail "unexpected ledger shape");
+  (match Core.Runlog.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok l -> (
+    match l.Core.Runlog.jobs with
+    | [ j0; j1; j2 ] ->
+      Alcotest.(check int) "default attempts" 1 j0.Core.Runlog.attempts;
+      Alcotest.(check bool) "healthy job has no failure" true
+        (j0.Core.Runlog.failed = None);
+      Alcotest.(check int) "retried attempts round-trip" 3
+        j1.Core.Runlog.attempts;
+      Alcotest.(check bool) "quarantine reason round-trips" true
+        (j2.Core.Runlog.failed = Some "boom");
+      Alcotest.(check bool) "quarantined record carries no result" true
+        (j2.Core.Runlog.result = Core.Json.Null);
+      (match l.Core.Runlog.footer with
+      | Some f ->
+        Alcotest.(check int) "footer counts the quarantine" 1
+          f.Core.Runlog.quarantined
+      | None -> Alcotest.fail "footer missing");
+      (* Recovery path: the failed record satisfies plan order but must
+         not be replayed as a cached result. *)
+      let cache = Core.Runlog.cache_of_ledger l in
+      let jc = Core.Runlog.journal ~cache ~origin:path "" in
+      Alcotest.(check bool) "failed record is not resumable" true
+        (Core.Runlog.cached_value jc ~codec:Core.Runlog.int_codec ~index:2
+           ~seed:102
+        = None);
+      Alcotest.(check bool) "healthy record is resumable" true
+        (match
+           Core.Runlog.cached_value jc ~codec:Core.Runlog.int_codec ~index:1
+             ~seed:101
+         with
+        | Some (2, j) -> j.Core.Runlog.attempts = 3
+        | _ -> false)
+    | js -> Alcotest.failf "expected 3 job records, got %d" (List.length js)));
+  Sys.remove path
+
+let test_clean_footer_has_no_quarantined_field () =
+  let path = temp () in
+  let sink =
+    Core.Runlog.create ~deterministic:true ~path
+      (header ~campaign:"test" ~seed:1)
+  in
+  let jn = Core.Runlog.journal ~sink "" in
+  Core.Runlog.record jn ~index:0 ~seed:100 ~errors:0 ~duration_s:0.0
+    (Core.Json.Int 1);
+  Core.Runlog.close sink;
+  let text = read_all path in
+  Sys.remove path;
+  Alcotest.(check bool)
+    "a clean ledger never mentions quarantine (byte-stability)" false
+    (Test_util.contains text "quarantined")
+
+let test_cached_mismatch_names_origin () =
+  let path = temp () in
+  let sink =
+    Core.Runlog.create ~deterministic:true ~path
+      (header ~campaign:"test" ~seed:1)
+  in
+  let jn = Core.Runlog.journal ~sink "" in
+  Core.Runlog.record jn ~index:0 ~seed:100 ~errors:0 ~duration_s:0.0
+    (Core.Json.Int 1);
+  Core.Runlog.close sink;
+  let cache = cache_of path in
+  Sys.remove path;
+  let jc = Core.Runlog.journal ~cache ~origin:"old.jsonl" "" in
+  match
+    Core.Runlog.cached_value jc ~codec:Core.Runlog.int_codec ~index:0
+      ~seed:999
+  with
+  | _ -> Alcotest.fail "a seed mismatch must raise"
+  | exception Failure msg ->
+    Alcotest.(check string) "the message names the ledger and both seeds"
+      "old.jsonl: cached job /0 seed mismatch: the ledger records seed \
+       100, this invocation plans seed 999 — refusing to resume a \
+       different campaign"
+      msg
+
+let test_validate_resume_wording () =
+  let path = temp () in
+  let sink =
+    Core.Runlog.create ~deterministic:true ~path
+      (header ~campaign:"test" ~seed:11)
+  in
+  let jn = Core.Runlog.journal ~sink "" in
+  Core.Runlog.record jn ~index:0 ~seed:100 ~errors:0 ~duration_s:0.0
+    (Core.Json.Int 1);
+  Core.Runlog.close sink;
+  let l =
+    match Core.Runlog.load path with Ok l -> l | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  let validate = Core.Runlog.validate_resume l ~path:"led.jsonl" in
+  Alcotest.(check bool) "a matching invocation validates" true
+    (validate ~campaign:"test" ~seed:11 ~grid:Core.Json.Null = Ok ());
+  let err = function Error e -> e | Ok () -> Alcotest.fail "must not validate" in
+  Alcotest.(check string) "campaign mismatch names both kinds"
+    "led.jsonl: campaign kind mismatch: the ledger records a \"test\" \
+     campaign, this invocation is \"tune\""
+    (err (validate ~campaign:"tune" ~seed:11 ~grid:Core.Json.Null));
+  Alcotest.(check string) "seed mismatch names both seeds"
+    "led.jsonl: seed mismatch: the ledger was run with --seed 11, this \
+     invocation uses --seed 12"
+    (err (validate ~campaign:"test" ~seed:12 ~grid:Core.Json.Null));
+  let grid = Core.Json.Assoc [ ("runs", Core.Json.Int 8) ] in
+  Alcotest.(check string) "grid mismatch renders both grids"
+    (Printf.sprintf
+       "led.jsonl: parameter grid mismatch: the ledger records %s, this \
+        invocation plans %s"
+       (Core.Json.to_string Core.Json.Null)
+       (Core.Json.to_string grid))
+    (err (validate ~campaign:"test" ~seed:11 ~grid))
+
+(* ------------------------------------------------------------------ *)
 (* Kill/resume byte-identity                                           *)
 
 let resume_prop =
@@ -299,7 +443,15 @@ let () =
           Alcotest.test_case "malformed middle rejected" `Slow
             test_malformed_middle_rejected;
           Alcotest.test_case "seed mismatch fails closed" `Slow
-            test_seed_mismatch_fails_closed ] );
+            test_seed_mismatch_fails_closed;
+          Alcotest.test_case "failed record round-trip" `Quick
+            test_failed_record_roundtrip;
+          Alcotest.test_case "clean footer byte-stable" `Quick
+            test_clean_footer_has_no_quarantined_field;
+          Alcotest.test_case "cached mismatch names origin" `Quick
+            test_cached_mismatch_names_origin;
+          Alcotest.test_case "validate_resume wording" `Quick
+            test_validate_resume_wording ] );
       ( "resume",
         [ QCheck_alcotest.to_alcotest resume_prop;
           Alcotest.test_case "tuning resumes across phases" `Slow

@@ -101,6 +101,7 @@ let all_event_records =
       Barrier_release { block = 0; by_exit = false };
       Thread_done { tid = 3; daemon = true };
       Contention { part = 1; read = 0.25; write = 1.5 };
+      Bitflip { tid = 4; addr = 11; bit = 3; before = 9; after = 1 };
       Launch_end
         { outcome = "finished"; divergence = false;
           metrics = [ ("ticks", 123); ("reorder", 4) ] } ]

@@ -226,7 +226,7 @@ let test_metrics_to_assoc_round_trip () =
   let assoc = Gpusim.Metrics.to_assoc m in
   Alcotest.(check (list string)) "stable keys in stable order"
     [ "ticks"; "alu"; "ld"; "st"; "atomic"; "fence"; "drained"; "stall";
-      "reorder"; "app_cycles" ]
+      "reorder"; "app_cycles"; "bitflip" ]
     (List.map fst assoc);
   Alcotest.(check bool) "accumulated ticks" true
     (List.assoc "ticks" assoc > 0);
