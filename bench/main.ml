@@ -9,12 +9,34 @@
 
    With `--json FILE` (or `dune exec bench/main.exe -- --json FILE`), all
    wall-clock and Bechamel timings are also written to FILE as JSON, so
-   successive commits have a machine-readable perf trajectory. *)
+   successive commits have a machine-readable perf trajectory.
+
+   `--quick` restricts the run to the perf-critical subset (the --jobs
+   scaling sweep plus the two hot-path micro-benchmarks) at reduced
+   budgets — minutes, not tens of minutes — and `--gate BASELINE.json`
+   then compares the run against a committed baseline: the gate fails if
+   the Table 5 campaign at --jobs 2 is slower than serial (on machines
+   with at least two cores), or if either hot-path micro-benchmark
+   regressed by more than the tolerance (20% by default;
+   GPUWMM_PERF_TOLERANCE overrides, e.g. 0.5 for noisy CI runners). *)
 
 open Bechamel
 open Toolkit
 
 let seed = 42
+
+let has_flag name = Array.exists (String.equal name) Sys.argv
+
+let flag_value name =
+  let rec go i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name && i + 1 < Array.length Sys.argv then
+      Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let quick_mode = has_flag "--quick"
 
 (* Machine-readable timing collection for --json. *)
 let recorded : (string * float) list ref = ref []
@@ -194,11 +216,29 @@ let tracing_overhead () =
 
 let quick = Core.Budget.quick
 
+(* The two hot-path micro-benchmarks the perf gate watches: the litmus
+   inner loop (the 7.4µs/run path behind every tuning campaign) and one
+   Table 5 campaign cell (the heaviest per-execution workload). *)
+let hot_path_tests =
+  let chip = Gpusim.Chip.titan in
+  let app = Option.get (Apps.Registry.by_name "cbe-dot") in
+  let tuned = Core.Tuning.shipped ~chip in
+  [ Test.make ~name:"table5_campaign_cell"
+      (Staged.stage (fun () ->
+           Core.Campaign.test_app ~chip
+             ~env:(Core.Environment.sys_plus ~tuned)
+             ~app ~runs:5 ~seed:1));
+    Test.make ~name:"litmus_execution"
+      (Staged.stage (fun () ->
+           Litmus.Runner.run_once ~chip ~seed:1
+             { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 })) ]
+
 let bench_tests =
   let chip = Gpusim.Chip.titan in
   let app = Option.get (Apps.Registry.by_name "cbe-dot") in
   let tuned = Core.Tuning.shipped ~chip in
-  [ Test.make ~name:"table1_chips"
+  hot_path_tests
+  @ [ Test.make ~name:"table1_chips"
       (Staged.stage (fun () -> Fmt.str "%t" Core.Report.table1));
     Test.make ~name:"fig3_patch_finding"
       (Staged.stage (fun () ->
@@ -216,11 +256,6 @@ let bench_tests =
       (Staged.stage (fun () ->
            let sim = Gpusim.Sim.create ~chip ~seed:1 () in
            app.Apps.App.run sim Apps.App.Original));
-    Test.make ~name:"table5_campaign_cell"
-      (Staged.stage (fun () ->
-           Core.Campaign.test_app ~chip
-             ~env:(Core.Environment.sys_plus ~tuned)
-             ~app ~runs:5 ~seed:1));
     Test.make ~name:"table6_harden"
       (Staged.stage (fun () ->
            Core.Harden.insert ~chip
@@ -228,77 +263,105 @@ let bench_tests =
                { (Core.Harden.default_config ~chip) with
                  initial_iterations = 8; stability_runs = 16 }
              ~app ~seed:1 ()));
-    Test.make ~name:"fig5_cost_point"
-      (Staged.stage (fun () ->
-           Core.Cost.measure ~chip ~app ~fencing:Apps.App.Conservative ~runs:3
-             ~seed:1));
-    Test.make ~name:"litmus_execution"
-      (Staged.stage (fun () ->
-           Litmus.Runner.run_once ~chip ~seed:1
-             { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 })) ]
+      Test.make ~name:"fig5_cost_point"
+        (Staged.stage (fun () ->
+             Core.Cost.measure ~chip ~app ~fencing:Apps.App.Conservative
+               ~runs:3 ~seed:1)) ]
 
 (* ------------------------------------------------------------------ *)
-(* Part 3: serial vs parallel executor backends                         *)
+(* Part 3: --jobs scaling sweep                                         *)
 
-let backend_comparison () =
-  section "Executor backends: serial vs parallel wall-clock";
-  (* Scale the pool to the machine: with more domains than cores, OCaml 5's
-     stop-the-world minor collections make oversubscription strictly
-     counter-productive, which would benchmark the scheduler rather than
-     the engine. *)
+(* The Table 5 campaign across --jobs 1/2/4/8 (1/2/4 under --quick).
+   Every point must be bit-identical to serial — the executor guarantee —
+   and each point records both its wall-clock and its speedup_j<N>
+   against serial, so BENCH snapshots carry the scaling trajectory. *)
+
+let sweep_jobs = if quick_mode then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ]
+let sweep_runs = if quick_mode then 8 else campaign_runs
+let sweep_chips = if quick_mode then [ Gpusim.Chip.titan ] else bench_chips
+
+let jobs_sweep () =
+  section "Executor scaling: Table 5 campaign across --jobs";
   let cores = Domain.recommended_domain_count () in
-  let jobs = Int.max 2 (Int.min 4 cores) in
+  Fmt.pr "machine: %d recommended domain(s); %d runs per cell on %d chip(s)@."
+    cores sweep_runs
+    (List.length sweep_chips);
   if cores < 2 then
     Fmt.pr
-      "note: only %d core(s) available; parallel cannot beat serial here \
-       (this checks determinism, not speedup)@."
-      cores;
-  let compare_on name ~equal run =
-    let rs = timed (name ^ "_serial_s") (fun () -> run Core.Exec.Serial) in
-    let rp =
-      timed
-        (Printf.sprintf "%s_parallel%d_s" name jobs)
-        (fun () -> run (Core.Exec.Parallel jobs))
-    in
-    let ts = List.assoc (name ^ "_serial_s") !recorded in
-    let tp = List.assoc (Printf.sprintf "%s_parallel%d_s" name jobs) !recorded in
-    Fmt.pr
-      "%-18s serial %6.2f s | parallel (%d jobs) %6.2f s | speedup %.2fx | \
-       identical results: %b@."
-      name ts jobs tp
-      (if tp > 0.0 then ts /. tp else 0.0)
-      (equal rs rp);
-    if not (equal rs rp) then
-      failwith (name ^ ": serial and parallel results diverge")
+      "note: a single core cannot show parallel speedup; the sweep still \
+       checks determinism@.";
+  let run backend =
+    Core.Campaign.run ~backend ~chips:sweep_chips
+      ~environments_for:(fun chip ->
+        Core.Environment.all ~tuned:(Core.Tuning.shipped ~chip))
+      ~apps:Apps.Registry.all ~runs:sweep_runs ~seed ()
   in
-  compare_on "table5_campaign" ~equal:( = ) (fun backend ->
-      Core.Campaign.run ~backend ~chips:bench_chips
-        ~environments_for:(fun chip ->
-          Core.Environment.all ~tuned:(Core.Tuning.shipped ~chip))
-        ~apps:Apps.Registry.all ~runs:campaign_runs ~seed ());
-  compare_on "sec3_tuning_sweep"
-    ~equal:(fun (a : Core.Tuning.result) b ->
-      (* elapsed_s is wall-clock; everything else must agree bitwise. *)
-      a.Core.Tuning.patch = b.Core.Tuning.patch
-      && a.Core.Tuning.sequences = b.Core.Tuning.sequences
-      && a.Core.Tuning.spreads = b.Core.Tuning.spreads
-      && a.Core.Tuning.tuned = b.Core.Tuning.tuned)
-    (fun backend ->
-      Core.Tuning.run ~backend ~chip:Gpusim.Chip.titan ~seed
-        ~budget:bench_budget ())
+  let serial = timed "table5_campaign_serial_s" (fun () -> run Core.Exec.Serial) in
+  let ts = List.assoc "table5_campaign_serial_s" !recorded in
+  Fmt.pr "%-12s %6.2f s@." "serial" ts;
+  List.iter
+    (fun n ->
+      let key = Printf.sprintf "table5_campaign_j%d_s" n in
+      let r = timed key (fun () -> run (Core.Exec.Parallel n)) in
+      let tn = List.assoc key !recorded in
+      let sp = if tn > 0.0 then ts /. tn else 0.0 in
+      record (Printf.sprintf "speedup_j%d" n) sp;
+      Fmt.pr "%-12s %6.2f s | speedup %.2fx | identical to serial: %b@."
+        (Printf.sprintf "--jobs %d" n)
+        tn sp (r = serial);
+      if r <> serial then
+        failwith
+          (Printf.sprintf "--jobs %d: campaign results diverge from serial" n))
+    sweep_jobs
 
-let run_bechamel () =
-  section "Bechamel micro-benchmarks (one per table/figure)";
+(* Full runs additionally cross-check the Sec. 3 tuning sweep across
+   backends (wall-clock fields are excluded from the comparison). *)
+let tuning_backend_check () =
+  section "Executor backends: Sec. 3 tuning sweep, serial vs parallel";
+  let cores = Domain.recommended_domain_count () in
+  let jobs = Int.max 2 (Int.min 4 cores) in
+  let run backend =
+    Core.Tuning.run ~backend ~chip:Gpusim.Chip.titan ~seed ~budget:bench_budget
+      ()
+  in
+  let rs = timed "sec3_tuning_sweep_serial_s" (fun () -> run Core.Exec.Serial) in
+  let rp =
+    timed
+      (Printf.sprintf "sec3_tuning_sweep_parallel%d_s" jobs)
+      (fun () -> run (Core.Exec.Parallel jobs))
+  in
+  let equal (a : Core.Tuning.result) b =
+    a.Core.Tuning.patch = b.Core.Tuning.patch
+    && a.Core.Tuning.sequences = b.Core.Tuning.sequences
+    && a.Core.Tuning.spreads = b.Core.Tuning.spreads
+    && a.Core.Tuning.tuned = b.Core.Tuning.tuned
+  in
+  let ts = List.assoc "sec3_tuning_sweep_serial_s" !recorded in
+  let tp =
+    List.assoc (Printf.sprintf "sec3_tuning_sweep_parallel%d_s" jobs) !recorded
+  in
+  Fmt.pr
+    "serial %6.2f s | parallel (%d jobs) %6.2f s | speedup %.2fx | identical \
+     results: %b@."
+    ts jobs tp
+    (if tp > 0.0 then ts /. tp else 0.0)
+    (equal rs rp);
+  if not (equal rs rp) then
+    failwith "sec3_tuning_sweep: serial and parallel results diverge"
+
+let run_bechamel ~tests () =
+  section "Bechamel micro-benchmarks";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
+  (* The gate compares absolute times, so quick runs buy stability with a
+     longer quota per test (there are only two of them). *)
+  let quota = if quick_mode then 3.0 else 0.5 in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+    Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~stabilize:false ()
   in
-  let grouped =
-    Test.make_grouped ~name:"gpuwmm" ~fmt:"%s/%s" bench_tests
-  in
+  let grouped = Test.make_grouped ~name:"gpuwmm" ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -331,16 +394,110 @@ let run_bechamel () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Perf gate                                                            *)
+
+(* Timing lookup by exact name, falling back to suffix match (Bechamel
+   rows are recorded under their grouped name, "gpuwmm/<test>_ns"). *)
+let lookup name entries =
+  match List.assoc_opt name entries with
+  | Some v -> Some v
+  | None ->
+    List.find_map
+      (fun (k, v) ->
+        let lk = String.length k and ln = String.length name in
+        if lk > ln && String.sub k (lk - ln) ln = name then Some v else None)
+      entries
+
+let gate_tolerance () =
+  match Sys.getenv_opt "GPUWMM_PERF_TOLERANCE" with
+  | None -> 0.20
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 -> f
+    | Some _ | None ->
+      Fmt.epr "ignoring malformed GPUWMM_PERF_TOLERANCE=%s@." s;
+      0.20)
+
+(* The perf gate, run against a committed baseline snapshot.  Two
+   checks, both about the refactor's headline promises:
+
+   - at --jobs 2 the Table 5 campaign must not be slower than serial
+     (the multicore backend must never again be a pessimization) —
+     skipped on single-core machines, where parallel cannot win;
+   - the two hot-path micro-benchmarks must be within [1 + tolerance]
+     of the baseline's absolute times.  The committed baseline was
+     recorded on a modest container, so faster CI machines pass with
+     margin; the tolerance exists for same-machine noise. *)
+let run_gate baseline_path =
+  section (Printf.sprintf "Perf gate (baseline %s)" baseline_path);
+  let entries = List.rev !recorded in
+  let baseline =
+    let ic = open_in baseline_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Core.Json.of_string s with
+    | Error e -> failwith (Printf.sprintf "%s: unparseable: %s" baseline_path e)
+    | Ok doc -> (
+      match Core.Json.member "timings" doc with
+      | Some (Core.Json.Assoc kvs) ->
+        List.filter_map
+          (fun (k, v) ->
+            match Core.Json.to_float v with
+            | Some f -> Some (k, f)
+            | None -> None)
+          kvs
+      | Some _ | None ->
+        failwith (baseline_path ^ ": no \"timings\" object"))
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* Check 1: parallel beats (or at least matches) serial at --jobs 2. *)
+  (if Domain.recommended_domain_count () >= 2 then
+     match (lookup "table5_campaign_serial_s" entries,
+            lookup "table5_campaign_j2_s" entries)
+     with
+     | Some ts, Some tp ->
+       Fmt.pr "serial %.2f s vs --jobs 2 %.2f s: %s@." ts tp
+         (if tp <= ts then "ok" else "PARALLEL SLOWER THAN SERIAL");
+       if tp > ts then
+         fail
+           "--jobs 2 (%.2f s) is slower than serial (%.2f s): the parallel \
+            backend is a pessimization again"
+           tp ts
+     | _ -> fail "gate needs the jobs sweep; run with the sweep enabled"
+   else
+     Fmt.pr
+       "single core: skipping the parallel-vs-serial check (cannot show \
+        speedup on this machine)@.");
+  (* Check 2: hot-path micro-benchmarks vs the committed baseline. *)
+  let tol = gate_tolerance () in
+  List.iter
+    (fun metric ->
+      match (lookup metric entries, lookup metric baseline) with
+      | Some cur, Some base when base > 0.0 ->
+        let ratio = cur /. base in
+        Fmt.pr "%-28s %10.0f ns vs baseline %10.0f ns (%.2fx): %s@." metric
+          cur base ratio
+          (if ratio <= 1.0 +. tol then "ok" else "REGRESSION");
+        if ratio > 1.0 +. tol then
+          fail "%s regressed %.0f%% over baseline (tolerance %.0f%%)" metric
+            ((ratio -. 1.0) *. 100.0)
+            (tol *. 100.0)
+      | Some _, _ ->
+        Fmt.pr "%-28s not in baseline; skipping@." metric
+      | None, _ -> fail "%s was not measured in this run" metric)
+    [ "litmus_execution_ns"; "table5_campaign_cell_ns" ];
+  match !failures with
+  | [] -> Fmt.pr "perf gate: ok@."
+  | fs ->
+    List.iter (fun f -> Fmt.epr "perf gate: %s@." f) (List.rev fs);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 
-let json_out () =
-  let rec go i =
-    if i >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--json" && i + 1 < Array.length Sys.argv then
-      Some Sys.argv.(i + 1)
-    else go (i + 1)
-  in
-  go 1
+let json_out () = flag_value "--json"
 
 let write_json path =
   let entries = List.rev !recorded in
@@ -427,21 +584,29 @@ let write_snapshot () =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  timed "table1_s" print_table1;
-  let patches = timed "fig3_s" print_fig3 in
-  let tuning = timed "table2_3_s" (fun () -> print_table2_3 patches) in
-  timed "fig4_s" (fun () -> print_fig4 tuning);
-  timed "table4_s" print_table4;
-  timed "table5_s" print_table5;
-  let harden_results = timed "table6_s" print_table6 in
-  timed "fig5_s" (fun () -> print_fig5 harden_results);
-  tracing_overhead ();
-  backend_comparison ();
-  run_bechamel ();
+  if quick_mode then begin
+    jobs_sweep ();
+    run_bechamel ~tests:hot_path_tests ()
+  end
+  else begin
+    timed "table1_s" print_table1;
+    let patches = timed "fig3_s" print_fig3 in
+    let tuning = timed "table2_3_s" (fun () -> print_table2_3 patches) in
+    timed "fig4_s" (fun () -> print_fig4 tuning);
+    timed "table4_s" print_table4;
+    timed "table5_s" print_table5;
+    let harden_results = timed "table6_s" print_table6 in
+    timed "fig5_s" (fun () -> print_fig5 harden_results);
+    tracing_overhead ();
+    jobs_sweep ();
+    tuning_backend_check ();
+    run_bechamel ~tests:bench_tests ()
+  end;
   record "total_s" (Unix.gettimeofday () -. t0);
   Fmt.pr "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0);
   Option.iter
     (fun path ->
       write_json path;
-      write_snapshot ())
-    (json_out ())
+      if not quick_mode then write_snapshot ())
+    (json_out ());
+  Option.iter run_gate (flag_value "--gate")

@@ -26,27 +26,25 @@ let test_app ~chip ~env ~app ~runs ~seed =
   let counts = Hashtbl.create 7 in
   Telemetry.add runs_counter runs;
   for i = 0 to runs - 1 do
-    let sim =
-      Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.subseed seed i) ()
-    in
-    Gpusim.Sim.set_environment sim (Environment.for_app env);
-    match app.Apps.App.run sim Apps.App.Original with
-    | Ok () -> ()
-    | Error msg ->
-      (* An erroneous run that saw injected bit-flips is tagged so the
-         histogram separates soft errors from weak-memory failures:
-         [soft-error] when no reordering happened (the flip is the only
-         possible cause), [soft-error?] when both occurred. *)
-      let msg =
-        if Gpusim.Sim.bitflips sim = 0 then msg
-        else if Gpusim.Sim.reorders sim = 0 then msg ^ " [soft-error]"
-        else msg ^ " [soft-error?]"
-      in
-      incr errors;
-      Telemetry.incr errors_counter;
-      if !example = "" then example := msg;
-      Hashtbl.replace counts msg
-        (1 + Option.value ~default:0 (Hashtbl.find_opt counts msg))
+    Gpusim.Sim.with_sim ~chip ~seed:(Gpusim.Rng.subseed seed i) (fun sim ->
+        Gpusim.Sim.set_environment sim (Environment.for_app env);
+        match app.Apps.App.run sim Apps.App.Original with
+        | Ok () -> ()
+        | Error msg ->
+          (* An erroneous run that saw injected bit-flips is tagged so the
+             histogram separates soft errors from weak-memory failures:
+             [soft-error] when no reordering happened (the flip is the only
+             possible cause), [soft-error?] when both occurred. *)
+          let msg =
+            if Gpusim.Sim.bitflips sim = 0 then msg
+            else if Gpusim.Sim.reorders sim = 0 then msg ^ " [soft-error]"
+            else msg ^ " [soft-error?]"
+          in
+          incr errors;
+          Telemetry.incr errors_counter;
+          if !example = "" then example := msg;
+          Hashtbl.replace counts msg
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts msg)))
   done;
   let histogram =
     Hashtbl.fold (fun msg n acc -> (msg, n) :: acc) counts []

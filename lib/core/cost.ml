@@ -10,14 +10,14 @@ let measure ~chip ~app ~fencing ~runs ~seed =
   let kept = ref 0 in
   let discarded = ref 0 in
   for i = 0 to runs - 1 do
-    let sim = Gpusim.Sim.create ~chip ~seed:(Gpusim.Rng.subseed seed i) () in
-    match app.Apps.App.run sim fencing with
-    | Ok () ->
-      incr kept;
-      total_runtime :=
-        !total_runtime +. float_of_int (Gpusim.Sim.elapsed_cycles sim);
-      total_energy := !total_energy +. Gpusim.Sim.consumed_energy sim
-    | Error _ -> incr discarded
+    Gpusim.Sim.with_sim ~chip ~seed:(Gpusim.Rng.subseed seed i) (fun sim ->
+        match app.Apps.App.run sim fencing with
+        | Ok () ->
+          incr kept;
+          total_runtime :=
+            !total_runtime +. float_of_int (Gpusim.Sim.elapsed_cycles sim);
+          total_energy := !total_energy +. Gpusim.Sim.consumed_energy sim
+        | Error _ -> incr discarded)
   done;
   let n = float_of_int (Int.max 1 !kept) in
   { runtime = !total_runtime /. n; energy = !total_energy /. n;

@@ -328,6 +328,45 @@ let make_ticker ~label ~execs_per_job ~total ~cached =
       end
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain GC tuning                                                 *)
+
+(* The default 256k-word minor heap forces a collection every few
+   simulated executions; under OCaml 5's stop-the-world parallel minor
+   collector each of those synchronises every domain, which is the prime
+   suspect for parallel slowdown on allocation-heavy workloads.  A large
+   minor heap amortises the synchronisation to the point where domains
+   mostly run undisturbed.  Override the size (in words) with
+   [GPUWMM_GC=<words>], or disable tuning entirely with [GPUWMM_GC=off]. *)
+let default_minor_heap_words = 2 * 1024 * 1024 (* 16 MiB per domain *)
+
+let gc_tuned : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let tune_gc () =
+  let tuned = Domain.DLS.get gc_tuned in
+  if not !tuned then begin
+    tuned := true;
+    match Sys.getenv_opt "GPUWMM_GC" with
+    | Some "off" -> ()
+    | gc_env ->
+      let minor =
+        match gc_env with
+        | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n > 0 -> n
+          | Some _ | None -> default_minor_heap_words)
+        | None -> default_minor_heap_words
+      in
+      let g = Gc.get () in
+      if g.Gc.minor_heap_size < minor then
+        Gc.set
+          { g with
+            Gc.minor_heap_size = minor;
+            (* Simulator state is long-lived and reused; trading major-heap
+               slack for fewer slices suits the workload. *)
+            space_overhead = Int.max g.Gc.space_overhead 200 }
+  end
+
+(* ------------------------------------------------------------------ *)
 (* The worker pool                                                      *)
 
 (* Run [process ~worker i] for every i in [0, len) on [domains] domains
@@ -341,6 +380,7 @@ let pool_iter ~domains ~stop ~process len =
   let error = Atomic.make None in
   let chunk = Int.max 1 (len / (domains * 8)) in
   let worker w =
+    tune_gc ();
     let rec loop () =
       if Atomic.get error = None && not (stop ()) then begin
         let start = Atomic.fetch_and_add next chunk in
@@ -389,6 +429,7 @@ let instrumented ?label ~f ~queued_at =
     (r, ended_at -. started_at)
 
 let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
+  tune_gc ();
   let arr = Array.of_list jobs in
   let len = Array.length arr in
   let tick = make_ticker ~label ~execs_per_job ~total:len ~cached:0 in
@@ -417,6 +458,7 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
 
 let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
     ?quarantine ~seed ~f payloads =
+  tune_gc ();
   let jobs = plan ~seed payloads in
   let arr = Array.of_list jobs in
   let len = Array.length arr in
@@ -555,6 +597,7 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
   end
 
 let for_all ?(backend = Serial) ~seed ~f payloads =
+  tune_gc ();
   let jobs = plan ~seed payloads in
   let njobs = List.length jobs in
   if njobs = 0 then true

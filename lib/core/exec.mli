@@ -54,6 +54,16 @@ val default_jobs : unit -> int
 val default_backend : unit -> backend
 (** [backend_of_jobs (default_jobs ())]. *)
 
+val tune_gc : unit -> unit
+(** Tune the calling domain's GC for campaign throughput (idempotent per
+    domain; every executor entry point and worker calls it).  Grows the
+    minor heap — 16 MiB per domain by default — so that OCaml 5's
+    stop-the-world minor collections stop serialising worker domains,
+    which is the dominant parallel-scaling cost for allocation-heavy
+    simulation.  [GPUWMM_GC=<words>] overrides the minor-heap size;
+    [GPUWMM_GC=off] leaves the runtime defaults untouched.  Never affects
+    results, only scheduling of collections. *)
+
 type 'a job = {
   index : int;  (** position in the plan, [0..n-1] *)
   seed : int;  (** [Rng.subseed master_seed index], derived up front *)

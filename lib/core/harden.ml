@@ -23,7 +23,7 @@ type result = {
 }
 
 let run_app ~chip ~env ~app ~fences ~seed =
-  let sim = Gpusim.Sim.create ~chip ~seed () in
+  Gpusim.Sim.with_sim ~chip ~seed @@ fun sim ->
   Gpusim.Sim.set_environment sim (Environment.for_app env);
   app.Apps.App.run sim (Apps.App.Sites fences)
 

@@ -35,8 +35,7 @@ let access_stmt = function
   | Access_seq.Ld -> Gpusim.Kbuild.load "v" (Gpusim.Kbuild.reg "addr")
   | Access_seq.St -> Gpusim.Kbuild.store (Gpusim.Kbuild.reg "addr") (Gpusim.Kbuild.int 1)
 
-let kernel ~sequence ~n_locations =
-  if n_locations < 1 then invalid_arg "Stress.kernel: need at least one location";
+let build_kernel ~sequence ~n_locations =
   let open Gpusim.Kbuild in
   let params = "scratch" :: List.init n_locations location_param in
   let select =
@@ -51,6 +50,28 @@ let kernel ~sequence ~n_locations =
     (Printf.sprintf "stress_%s" (Access_seq.to_string sequence))
     ~params
     (select @ [ while_ (int 1) (List.map access_stmt sequence) ])
+
+(* The stress-kernel AST depends only on the access sequence and the
+   location count, yet it was rebuilt at every launch; campaigns launch
+   millions of times with a handful of distinct shapes.  Memoised under a
+   mutex (one lookup per launch — far off the hot path); the AST is
+   immutable, so sharing one value across worker domains is safe. *)
+let kernel_memo : (string * int, Gpusim.Kernel.t) Hashtbl.t = Hashtbl.create 16
+let kernel_mu = Mutex.create ()
+
+let kernel ~sequence ~n_locations =
+  if n_locations < 1 then invalid_arg "Stress.kernel: need at least one location";
+  let key = (Access_seq.to_string sequence, n_locations) in
+  Mutex.lock kernel_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock kernel_mu)
+    (fun () ->
+      match Hashtbl.find_opt kernel_memo key with
+      | Some k -> k
+      | None ->
+        let k = build_kernel ~sequence ~n_locations in
+        Hashtbl.add kernel_memo key k;
+        k)
 
 let rand_kernel =
   let open Gpusim.Kbuild in

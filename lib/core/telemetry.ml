@@ -1,7 +1,28 @@
 (* ------------------------------------------------------------------ *)
+(* Striping                                                             *)
+
+(* Counters and histogram cells are striped: each domain writes its own
+   stripe (assigned round-robin on first use) and readers merge on
+   demand.  Worker domains therefore never contend on a shared cache
+   line while bumping metrics — with a single shared cell, the
+   per-completed-job counter updates serialise the whole pool.  Reads
+   ({!counter_value}, {!snapshot}) sum the stripes; they are exact
+   whenever no writer is concurrently mid-update, which is the same
+   consistency the single-cell representation offered. *)
+let n_stripes = 8 (* power of two *)
+
+let next_stripe = Atomic.make 0
+
+let stripe_key : int Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Atomic.fetch_and_add next_stripe 1 land (n_stripes - 1))
+
+let stripe () = Domain.DLS.get stripe_key
+
+(* ------------------------------------------------------------------ *)
 (* Counters                                                             *)
 
-type counter = int Atomic.t
+type counter = int Atomic.t array (* one cell per stripe *)
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let registry_mu = Mutex.create ()
@@ -15,13 +36,17 @@ let counter name =
       match Hashtbl.find_opt counters name with
       | Some c -> c
       | None ->
-        let c = Atomic.make 0 in
+        let c = Array.init n_stripes (fun _ -> Atomic.make 0) in
         Hashtbl.add counters name c;
         c)
 
-let incr c = Atomic.incr c
-let add c n = ignore (Atomic.fetch_and_add c n)
-let counter_value c = Atomic.get c
+let incr c = Atomic.incr c.(stripe ())
+let add c n = ignore (Atomic.fetch_and_add c.(stripe ()) n)
+
+let counter_value c =
+  let total = ref 0 in
+  Array.iter (fun cell -> total := !total + Atomic.get cell) c;
+  !total
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                           *)
@@ -31,8 +56,8 @@ let counter_value c = Atomic.get c
 let bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; 100.0; infinity |]
 
 type histogram = {
-  cells : int Atomic.t array;  (* one per bound, non-cumulative *)
-  sum : float Atomic.t;
+  cells : int Atomic.t array array;  (* stripe -> per-bound cells *)
+  sum : float Atomic.t array;  (* stripe -> partial sum *)
 }
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
@@ -43,15 +68,18 @@ let histogram name =
       | Some h -> h
       | None ->
         let h =
-          { cells = Array.init (Array.length bounds) (fun _ -> Atomic.make 0);
-            sum = Atomic.make 0.0 }
+          { cells =
+              Array.init n_stripes (fun _ ->
+                  Array.init (Array.length bounds) (fun _ -> Atomic.make 0));
+            sum = Array.init n_stripes (fun _ -> Atomic.make 0.0) }
         in
         Hashtbl.add histograms name h;
         h)
 
 (* [compare_and_set] on a boxed float compares the box physically, so
    the retry loop is sound: we only install a new box against the exact
-   box we read. *)
+   box we read.  More domains than stripes can share a cell, so the CAS
+   loop stays necessary even striped. *)
 let rec atomic_add_float a x =
   let old = Atomic.get a in
   if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
@@ -59,8 +87,9 @@ let rec atomic_add_float a x =
 let observe h v =
   let v = Float.max 0.0 v in
   let rec slot i = if v <= bounds.(i) then i else slot (i + 1) in
-  Atomic.incr h.cells.(slot 0);
-  atomic_add_float h.sum v
+  let s = stripe () in
+  Atomic.incr h.cells.(s).(slot 0);
+  atomic_add_float h.sum.(s) v
 
 type histogram_snapshot = {
   count : int;
@@ -69,8 +98,15 @@ type histogram_snapshot = {
 }
 
 let snapshot_histogram h =
-  let counts = Array.map Atomic.get h.cells in
+  let counts =
+    Array.init (Array.length bounds) (fun i ->
+        let n = ref 0 in
+        Array.iter (fun stripe -> n := !n + Atomic.get stripe.(i)) h.cells;
+        !n)
+  in
   let total = Array.fold_left ( + ) 0 counts in
+  let sum = ref 0.0 in
+  Array.iter (fun cell -> sum := !sum +. Atomic.get cell) h.sum;
   (* Cumulative "le" semantics, Prometheus-style. *)
   let acc = ref 0 in
   let buckets =
@@ -81,7 +117,7 @@ let snapshot_histogram h =
            (bounds.(i), !acc))
          counts)
   in
-  { count = total; sum = Atomic.get h.sum; buckets }
+  { count = total; sum = !sum; buckets }
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                            *)
@@ -96,7 +132,7 @@ let by_name (a, _) (b, _) = String.compare a b
 let snapshot () =
   with_registry (fun () ->
       { counters =
-          Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) counters []
+          Hashtbl.fold (fun k c acc -> (k, counter_value c) :: acc) counters []
           |> List.sort by_name;
         histograms =
           Hashtbl.fold
@@ -106,11 +142,12 @@ let snapshot () =
 
 let reset () =
   with_registry (fun () ->
-      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c)
+        counters;
       Hashtbl.iter
         (fun _ h ->
-          Array.iter (fun c -> Atomic.set c 0) h.cells;
-          Atomic.set h.sum 0.0)
+          Array.iter (Array.iter (fun c -> Atomic.set c 0)) h.cells;
+          Array.iter (fun cell -> Atomic.set cell 0.0) h.sum)
         histograms)
 
 let bound_json b =

@@ -9,8 +9,10 @@
 
     {ul
     {- a process-wide registry of named {b counters} and duration
-       {b histograms}, safe to bump from any domain (atomics; the
-       registry itself is mutex-guarded);}
+       {b histograms}, safe to bump from any domain.  Cells are striped
+       per domain and merged on read, so hot-path updates from worker
+       domains never contend on a shared cache line (the registry itself
+       is mutex-guarded);}
     {- per-job {b spans} recorded by {!Exec} when enabled — queue wait,
        run time, worker id — for visualising campaign schedules;}
     {- exporters: Chrome trace-event JSON ([chrome://tracing],

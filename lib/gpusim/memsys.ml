@@ -6,27 +6,104 @@ type entry = {
   part : int;
   ekind : kind;
   store_value : int;  (* meaningful for stores *)
-  mutable load_value : int option;  (* meaningful for loads once resolved *)
+  mutable resolved : bool;  (* a load that has its value *)
+  mutable load_value : int;  (* meaningful once [resolved] *)
   leak : bool;  (* exempt from same-partition FIFO (GTX 980 quirk) *)
+  mutable alive : bool;  (* still pending in its thread's queue *)
 }
 
 type pending = entry
 
+(* A placeholder for unused queue slots; never enqueued, never committed,
+   so its mutable fields are never written. *)
+let dummy_entry =
+  { seq = 0; addr = 0; part = 0; ekind = Load_k; store_value = 0;
+    resolved = false; load_value = 0; leak = false; alive = false }
+
+(* Per-thread pending FIFO as a preallocated slot array, reused across
+   launches and across runs (allocation discipline: the former
+   representation was an [entry list ref] rebuilt by [List.filter] on
+   every commit and copied whole by [q := !q @ [e]] on every issue).
+   Entries live in [buf.(head .. tail-1)] in issue (FIFO) order; a
+   committed entry is tombstoned in place ([alive = false]) because
+   commits can happen mid-queue (partition heads).  [head] always points
+   at a live entry while [live > 0]; vacated slots are re-pointed at
+   [dummy_entry] so retired entries stay collectable. *)
+type queue = {
+  mutable buf : entry array;
+  mutable head : int;  (* first live slot (when live > 0) *)
+  mutable tail : int;  (* one past the last used slot *)
+  mutable live : int;  (* pending entries, i.e. the logical length *)
+}
+
+let new_queue () = { buf = Array.make 8 dummy_entry; head = 0; tail = 0; live = 0 }
+
+let q_reset q =
+  if q.tail > 0 then Array.fill q.buf 0 q.tail dummy_entry;
+  q.head <- 0;
+  q.tail <- 0;
+  q.live <- 0
+
+(* Advance [head] past tombstones (or reset the slot window when the
+   queue empties), clearing vacated slots. *)
+let q_settle q =
+  if q.live = 0 then begin
+    if q.tail > q.head then Array.fill q.buf q.head (q.tail - q.head) dummy_entry;
+    q.head <- 0;
+    q.tail <- 0
+  end
+  else
+    while not q.buf.(q.head).alive do
+      q.buf.(q.head) <- dummy_entry;
+      q.head <- q.head + 1
+    done
+
+(* Append at the tail; when the slot window is exhausted, compact the
+   live entries to the front (tombstones are dropped), doubling the slot
+   array only if it is genuinely full of live entries.  Amortised
+   allocation-free once the buffer has grown to the chip's queue
+   capacity. *)
+let q_push q e =
+  let cap = Array.length q.buf in
+  if q.tail = cap then begin
+    let dst = if q.live = cap then Array.make (cap * 2) dummy_entry else q.buf in
+    let j = ref 0 in
+    for i = q.head to q.tail - 1 do
+      let e' = q.buf.(i) in
+      if e'.alive then begin
+        dst.(!j) <- e';
+        incr j
+      end
+    done;
+    if dst == q.buf then Array.fill dst !j (q.tail - !j) dummy_entry;
+    q.buf <- dst;
+    q.head <- 0;
+    q.tail <- !j
+  end;
+  q.buf.(q.tail) <- e;
+  q.tail <- q.tail + 1;
+  q.live <- q.live + 1
+
 (* Pattern state of one stressing thread, used by the chip's traffic
    response (Sec. 3.3): consecutive-access run lengths and the kind of the
-   previous access decide how much contention an access generates. *)
+   previous access decide how much contention an access generates.
+   [prev] is encoded as an int (0 none / 1 load / 2 store) so updating it
+   allocates nothing. *)
 type stress_state = {
-  mutable prev : kind option;
+  mutable prev : int;
   mutable run : int;
   mutable prev_run : int;  (* length of the run before the current one *)
 }
+
+let prev_code = function Load_k -> 1 | Store_k -> 2
 
 type t = {
   chip : Chip.t;
   rng : Rng.t;
   global : int array;
-  mutable queues : entry list ref array;
-      (* per-thread pending FIFOs, oldest first *)
+  mutable queues : queue array;
+      (* per-thread pending FIFOs; sized to the high-water thread count
+         and reused across launches *)
   mutable seq : int;
   mutable now : int;
   (* contention pools per partition, with lazy exponential decay *)
@@ -34,8 +111,19 @@ type t = {
   write_pool : float array;
   pool_stamp : int array;
   decay_pow : float array;
-  stress_states : (int, stress_state) Hashtbl.t;
+  (* stressing pattern state, dense by stress thread id; [stress_gen]
+     carries a per-launch generation stamp so clearing all states is one
+     integer bump instead of a table walk *)
+  mutable stress_states : stress_state array;
+  mutable stress_gen : int array;
+  mutable cur_gen : int;
   nonempty : (int, unit) Hashtbl.t;  (* threads with pending entries *)
+  (* scratch for [attempt_commits]: the partition-head snapshot and the
+     seen-partition stamps, preallocated so the hot path allocates
+     nothing *)
+  heads_scratch : entry array;
+  seen_stamp : int array;
+  mutable seen_gen : int;
   sink : Trace.t;  (* the device's trace sink; shared with Sim *)
   mutable n_reorders : int;
   mutable n_stress : int;  (* stress accesses performed, a tuning statistic *)
@@ -61,14 +149,20 @@ let create ~chip ~rng ~words ~nthreads =
     decay_pow.(i) <- decay_pow.(i - 1) *. w.decay_per_tick
   done;
   { chip; rng; global = Array.make words 0;
-    queues = Array.init nthreads (fun _ -> ref []);
+    queues = Array.init nthreads (fun _ -> new_queue ());
     seq = 0; now = 0;
     read_pool = Array.make n 0.0;
     write_pool = Array.make n 0.0;
     pool_stamp = Array.make n 0;
     decay_pow;
-    stress_states = Hashtbl.create 64;
+    stress_states =
+      Array.init nthreads (fun _ -> { prev = 0; run = 0; prev_run = 0 });
+    stress_gen = Array.make nthreads 0;
+    cur_gen = 0;
     nonempty = Hashtbl.create 64;
+    heads_scratch = Array.make (Int.max 1 w.queue_cap) dummy_entry;
+    seen_stamp = Array.make n 0;
+    seen_gen = 0;
     sink = Trace.create ();
     n_reorders = 0;
     n_stress = 0;
@@ -83,13 +177,48 @@ let words t = Array.length t.global
 
 let set_stress_gain t g = t.stress_gain <- g
 
+let grow_thread_state t ~nthreads =
+  let cap = Array.length t.queues in
+  if cap < nthreads then begin
+    let old = t.queues in
+    t.queues <-
+      Array.init nthreads (fun i -> if i < cap then old.(i) else new_queue ())
+  end;
+  let scap = Array.length t.stress_states in
+  if scap < nthreads then begin
+    let old = t.stress_states and old_gen = t.stress_gen in
+    t.stress_states <-
+      Array.init nthreads (fun i ->
+          if i < scap then old.(i) else { prev = 0; run = 0; prev_run = 0 });
+    t.stress_gen <-
+      Array.init nthreads (fun i -> if i < scap then old_gen.(i) else 0)
+  end
+
 let reset_threads t ~nthreads =
-  t.queues <- Array.init nthreads (fun _ -> ref []);
+  grow_thread_state t ~nthreads;
+  Array.iter q_reset t.queues;
   Array.fill t.read_pool 0 (Array.length t.read_pool) 0.0;
   Array.fill t.write_pool 0 (Array.length t.write_pool) 0.0;
   Array.fill t.pool_stamp 0 (Array.length t.pool_stamp) 0;
-  Hashtbl.reset t.stress_states;
+  t.cur_gen <- t.cur_gen + 1;
   Hashtbl.reset t.nonempty
+
+let reset_device t =
+  Array.fill t.global 0 (Array.length t.global) 0;
+  Array.iter q_reset t.queues;
+  Array.fill t.read_pool 0 (Array.length t.read_pool) 0.0;
+  Array.fill t.write_pool 0 (Array.length t.write_pool) 0.0;
+  Array.fill t.pool_stamp 0 (Array.length t.pool_stamp) 0;
+  t.cur_gen <- t.cur_gen + 1;
+  Hashtbl.reset t.nonempty;
+  t.seq <- 0;
+  t.now <- 0;
+  t.n_reorders <- 0;
+  t.n_stress <- 0;
+  t.stress_gain <- 1.0;
+  t.soft <- None;
+  t.n_bitflips <- 0;
+  Trace.reset t.sink
 
 let tick t = t.now <- t.now + 1
 
@@ -153,12 +282,16 @@ let contention t ~part ~kind =
   | `Store -> t.write_pool.(part) +. (w.cross *. t.read_pool.(part))
 
 let stress_state t sid =
-  match Hashtbl.find_opt t.stress_states sid with
-  | Some s -> s
-  | None ->
-    let s = { prev = None; run = 0; prev_run = 0 } in
-    Hashtbl.add t.stress_states sid s;
-    s
+  if sid >= Array.length t.stress_states then
+    grow_thread_state t ~nthreads:(sid + 1);
+  let s = t.stress_states.(sid) in
+  if t.stress_gen.(sid) <> t.cur_gen then begin
+    t.stress_gen.(sid) <- t.cur_gen;
+    s.prev <- 0;
+    s.run <- 0;
+    s.prev_run <- 0
+  end;
+  s
 
 (* Contention generated by one stressing access, given the thread's access
    pattern so far.  At a loop boundary the pattern linkage to the previous
@@ -166,7 +299,8 @@ let stress_state t sid =
    rotations of a stressing sequence are not equally effective. *)
 let traffic_bump t st k ~boundary =
   let tr = t.chip.Chip.traffic in
-  let same = match st.prev with Some p -> p = k | None -> false in
+  let kc = prev_code k in
+  let same = st.prev = kc in
   let run = if same then st.run + 1 else 1 in
   let runfac_arr = match k with Load_k -> tr.run_ld | Store_k -> tr.run_st in
   let runfac = runfac_arr.(min run (Array.length runfac_arr) - 1) in
@@ -179,21 +313,18 @@ let traffic_bump t st k ~boundary =
   let bf = if boundary then tr.boundary_factor else 1.0 in
   let base = (match k with Load_k -> tr.w_ld | Store_k -> tr.w_st) *. runfac in
   let trans =
-    match st.prev with
-    | Some p when p <> k -> tr.trans_bonus *. bf
-    | Some _ | None -> 0.0
+    if st.prev <> 0 && st.prev <> kc then tr.trans_bonus *. bf else 0.0
   in
   let flush =
-    match (k, st.prev) with
-    | Store_k, Some Load_k ->
+    if k = Store_k && st.prev = prev_code Load_k then
       tr.flush_bonus *. float_of_int (min st.run tr.flush_cap) *. bf
-    | _, _ -> 0.0
+    else 0.0
   in
   if same then st.run <- run
   else begin
     st.prev_run <- st.run;
     st.run <- 1;
-    st.prev <- Some k
+    st.prev <- kc
   end;
   base +. trans +. flush
 
@@ -221,22 +352,23 @@ let app_access t ~kind ~addr =
 let queue t tid = t.queues.(tid)
 
 let mark_nonempty t tid q =
-  if !q = [] then Hashtbl.remove t.nonempty tid
+  if q.live = 0 then Hashtbl.remove t.nonempty tid
   else Hashtbl.replace t.nonempty tid ()
 
 (* Resolve a load's value: forward from the newest older pending store of
    the same thread to the same address, else read memory. *)
 let load_value t tid e =
   let q = queue t tid in
-  let forwarded =
-    List.fold_left
-      (fun acc e' ->
-        match e'.ekind with
-        | Store_k when e'.addr = e.addr && e'.seq < e.seq -> Some e'.store_value
-        | Store_k | Load_k -> acc)
-      None !q
-  in
-  match forwarded with Some v -> v | None -> t.global.(e.addr)
+  let v = ref 0 and found = ref false in
+  for i = q.head to q.tail - 1 do
+    let e' = q.buf.(i) in
+    if e'.alive && e'.ekind == Store_k && e'.addr = e.addr && e'.seq < e.seq
+    then begin
+      v := e'.store_value;
+      found := true
+    end
+  done;
+  if !found then !v else t.global.(e.addr)
 
 (* Commit one entry: apply its global effect and remove it.  An entry
    that overtakes an older pending one is a visible weak-memory event:
@@ -246,12 +378,27 @@ let commit t tid e =
   let q = queue t tid in
   (match e.ekind with
   | Store_k -> t.global.(e.addr) <- maybe_flip t ~tid ~addr:e.addr e.store_value
-  | Load_k -> if e.load_value = None then e.load_value <- Some (load_value t tid e));
-  let remaining = List.filter (fun e' -> e' != e) !q in
-  q := remaining;
+  | Load_k ->
+    if not e.resolved then begin
+      e.load_value <- load_value t tid e;
+      e.resolved <- true
+    end);
+  e.alive <- false;
+  q.live <- q.live - 1;
+  (* [older]: does a live entry issued before [e] remain?  [overtaken]
+     tracks the newest such entry's address (FIFO scan, last match), which
+     is what the former [List.fold_left] over the filtered list reported. *)
+  let older = ref false and overtaken = ref 0 in
+  for i = q.head to q.tail - 1 do
+    let e' = q.buf.(i) in
+    if e'.alive && e'.seq < e.seq then begin
+      older := true;
+      overtaken := e'.addr
+    end
+  done;
+  q_settle q;
   mark_nonempty t tid q;
-  let older = List.exists (fun (e' : entry) -> e'.seq < e.seq) remaining in
-  if older then t.n_reorders <- t.n_reorders + 1;
+  if !older then t.n_reorders <- t.n_reorders + 1;
   if Trace.active t.sink then begin
     Trace.emit t.sink ~tick:t.now
       (Trace.Commit
@@ -259,34 +406,14 @@ let commit t tid e =
            value =
              (match e.ekind with
              | Store_k -> e.store_value
-             | Load_k -> Option.value ~default:0 e.load_value);
-           reordered = older });
-    if older then
-      let overtaken =
-        List.fold_left
-          (fun acc (e' : entry) -> if e'.seq < e.seq then Some e'.addr else acc)
-          None remaining
-      in
-      match overtaken with
-      | Some a ->
-        Trace.emit t.sink ~tick:t.now
-          (Trace.Reorder { tid; overtaken = a; committed = e.addr })
-      | None -> ()
+             | Load_k -> e.load_value);
+           reordered = !older });
+    if !older then
+      Trace.emit t.sink ~tick:t.now
+        (Trace.Reorder { tid; overtaken = !overtaken; committed = e.addr })
   end
 
-let pending_count t ~tid = List.length !(queue t tid)
-
-(* Partition heads: entries with no older pending entry in the same
-   partition.  Leaking entries (980 quirk) are exempt in both directions. *)
-let heads q =
-  let rec go seen acc = function
-    | [] -> List.rev acc
-    | e :: rest ->
-      if e.leak then go seen (e :: acc) rest
-      else if List.mem e.part seen then go seen acc rest
-      else go (e.part :: seen) (e :: acc) rest
-  in
-  go [] [] q
+let pending_count t ~tid = (queue t tid).live
 
 let delay_for t e =
   let w = t.chip.Chip.weakness in
@@ -299,24 +426,55 @@ let delay_for t e =
   in
   Float.min w.max_delay (w.base_delay +. (w.gain *. factor *. kw))
 
+(* Partition heads: entries with no older pending entry in the same
+   partition.  Leaking entries (980 quirk) are exempt in both directions.
+   The snapshot lands in [heads_scratch] (at most [queue_cap] entries, so
+   the scratch never grows); seen-partition bookkeeping uses generation
+   stamps so nothing is cleared or allocated per call. *)
 let attempt_commits t ~tid =
   let q = queue t tid in
-  if !q <> [] then
-    List.iter
-      (fun e -> if not (Rng.chance t.rng (delay_for t e)) then commit t tid e)
-      (heads !q)
+  if q.live > 0 then begin
+    t.seen_gen <- t.seen_gen + 1;
+    let gen = t.seen_gen in
+    let n = ref 0 in
+    for i = q.head to q.tail - 1 do
+      let e = q.buf.(i) in
+      if e.alive then
+        if e.leak then begin
+          t.heads_scratch.(!n) <- e;
+          incr n
+        end
+        else if t.seen_stamp.(e.part) <> gen then begin
+          t.seen_stamp.(e.part) <- gen;
+          t.heads_scratch.(!n) <- e;
+          incr n
+        end
+    done;
+    for i = 0 to !n - 1 do
+      let e = t.heads_scratch.(i) in
+      if not (Rng.chance t.rng (delay_for t e)) then commit t tid e
+    done;
+    Array.fill t.heads_scratch 0 !n dummy_entry
+  end
 
 let drain t ~tid =
   let q = queue t tid in
-  let n = List.length !q in
-  (* Sequence order: no reordering is introduced by a fence. *)
-  List.iter (fun e -> commit t tid e) !q;
+  let n = q.live in
+  (* Sequence order: no reordering is introduced by a fence.  The loop
+     bounds are fixed up front; commits only tombstone entries, never
+     move them, so the FIFO walk visits exactly the pre-drain pending
+     set. *)
+  let t0 = q.tail in
+  for i = q.head to t0 - 1 do
+    let e = q.buf.(i) in
+    if e.alive then commit t tid e
+  done;
   n
 
 let drain_step t ~tid =
   let q = queue t tid in
-  (match !q with e :: _ -> commit t tid e | [] -> ());
-  !q = []
+  if q.live > 0 then commit t tid q.buf.(q.head);
+  q.live = 0
 
 let any_pending t = Hashtbl.length t.nonempty > 0
 
@@ -338,8 +496,9 @@ let fresh_entry t ~addr ~ekind ~store_value =
   let w = t.chip.Chip.weakness in
   t.seq <- t.seq + 1;
   { seq = t.seq; addr; part = Chip.partition t.chip addr; ekind; store_value;
-    load_value = None;
-    leak = w.same_patch_leak > 0.0 && Rng.chance t.rng w.same_patch_leak }
+    resolved = false; load_value = 0;
+    leak = w.same_patch_leak > 0.0 && Rng.chance t.rng w.same_patch_leak;
+    alive = false }
 
 let enqueue t tid e =
   if Trace.active t.sink then
@@ -348,11 +507,11 @@ let enqueue t tid e =
          { tid; addr = e.addr; part = e.part; is_store = (e.ekind = Store_k) });
   let q = queue t tid in
   let w = t.chip.Chip.weakness in
-  if List.length !q >= w.queue_cap then begin
+  if q.live >= w.queue_cap && q.live > 0 then
     (* Capacity pressure: retire the oldest entry first. *)
-    match !q with oldest :: _ -> commit t tid oldest | [] -> ()
-  end;
-  q := !q @ [ e ];
+    commit t tid q.buf.(q.head);
+  e.alive <- true;
+  q_push q e;
   mark_nonempty t tid q
 
 let load t ~tid ~addr =
@@ -360,7 +519,8 @@ let load t ~tid ~addr =
   if t.strong then begin
     t.seq <- t.seq + 1;
     { seq = t.seq; addr; part = 0; ekind = Load_k; store_value = 0;
-      load_value = Some t.global.(addr); leak = false }
+      resolved = true; load_value = t.global.(addr); leak = false;
+      alive = false }
   end
   else begin
     let e = fresh_entry t ~addr ~ekind:Load_k ~store_value:0 in
@@ -368,16 +528,17 @@ let load t ~tid ~addr =
     e
   end
 
-let resolved (e : entry) = e.load_value <> None
+let resolved (e : entry) = e.resolved
 
 let force t ~tid e =
-  match e.load_value with
-  | Some v -> v
-  | None ->
+  if e.resolved then e.load_value
+  else begin
     (* Still pending: resolving now is an early (possibly out-of-order)
        commit forced by a dependency. *)
     commit t tid e;
-    (match e.load_value with Some v -> v | None -> assert false)
+    assert e.resolved;
+    e.load_value
+  end
 
 let store t ~tid ~addr ~value =
   observe_access t ~tid ~addr ~write:true ~atomic:false;
@@ -390,18 +551,23 @@ let atomic t ~tid ~addr f =
     (* The atomic must observe this thread's program-order past on the
        same address, so retire pending same-address entries first. *)
     let q = queue t tid in
-    let same = List.filter (fun e -> e.addr = addr) !q in
-    List.iter (fun e -> commit t tid e) same;
+    let t0 = q.tail in
+    for i = q.head to t0 - 1 do
+      let e = q.buf.(i) in
+      if e.alive && e.addr = addr then commit t tid e
+    done;
     (* The atomic takes effect now while older plain operations are still
        pending: the unlock-overtakes-critical-section hazard.  Record each
        bypassed entry as a reordering event for the diagnostics. *)
-    List.iter
-      (fun (e : entry) ->
+    for i = q.head to q.tail - 1 do
+      let e = q.buf.(i) in
+      if e.alive then begin
         t.n_reorders <- t.n_reorders + 1;
         if Trace.active t.sink then
           Trace.emit t.sink ~tick:t.now
-            (Trace.Reorder { tid; overtaken = e.addr; committed = addr }))
-      !q
+            (Trace.Reorder { tid; overtaken = e.addr; committed = addr })
+      end
+    done
   end;
   let old = t.global.(addr) in
   t.global.(addr) <- f old;

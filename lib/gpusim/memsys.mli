@@ -48,7 +48,17 @@ val set_stress_gain : t -> float -> unit
 val reset_threads : t -> nthreads:int -> unit
 (** Prepare for a new launch: fresh pending queues for thread ids
     [0 .. nthreads-1], cleared contention pools and pattern state.  Global
-    memory contents persist across launches. *)
+    memory contents persist across launches.  The queues are preallocated
+    slot arrays reused across launches, so this allocates only when the
+    thread count grows past its high-water mark. *)
+
+val reset_device : t -> unit
+(** Return the subsystem to its just-created state — zeroed global memory,
+    empty queues and pools, sequence and contention clocks at zero,
+    counters cleared, soft errors disarmed, trace sink reset — while
+    keeping every internal buffer for reuse.  Combined with a fresh rng
+    seed this makes a recycled subsystem behaviourally indistinguishable
+    from a newly created one, at near-zero allocation cost. *)
 
 (** {1 Device operations} *)
 
@@ -82,6 +92,7 @@ val drain_step : t -> tid:int -> bool
     with queue occupancy).  Returns [true] when the FIFO is now empty. *)
 
 val pending_count : t -> tid:int -> int
+(** Number of pending entries of [tid].  O(1). *)
 
 val attempt_commits : t -> tid:int -> unit
 (** Background commit: for each partition-head entry of [tid], commit

@@ -13,6 +13,10 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+(* In-place [create]: restart an existing generator on a fresh seed
+   without allocating a new state record. *)
+let reseed t seed = t.state <- mix (Int64.of_int seed)
+
 let copy t = { state = t.state }
 
 let int64 t =

@@ -11,6 +11,11 @@ val create : int -> t
 (** [create seed] returns a fresh generator.  Equal seeds give equal
     streams. *)
 
+val reseed : t -> int -> unit
+(** [reseed t seed] restarts [t] on [seed] in place: afterwards [t]'s
+    stream is indistinguishable from [create seed]'s.  Lets a recycled
+    simulator reuse its generator without allocating. *)
+
 val copy : t -> t
 (** [copy t] is a generator with the same current state as [t]; advancing
     one does not affect the other. *)

@@ -37,21 +37,73 @@ let soft_error_default : (float * int) option Atomic.t = Atomic.make None
 let set_soft_error_default d = Atomic.set soft_error_default d
 let soft_error_defaulted () = Atomic.get soft_error_default
 
-let create ?(words = 65536) ~chip ~seed () =
-  let rng = Rng.create seed in
-  let t =
-    { chip; rng; mem = Memsys.create ~chip ~rng ~words ~nthreads:0; brk = 0;
-      env = no_environment; cycles_total = 0; energy_total = 0.0 }
-  in
-  (match Atomic.get soft_error_default with
+(* Arm soft-error injection per the ambient default; shared between
+   [create] and [reset] so a recycled simulator is configured exactly like
+   a fresh one. *)
+let arm_soft_errors t ~seed =
+  match Atomic.get soft_error_default with
   | Some (rate, fault_seed) when rate > 0.0 ->
     (* A dedicated rng derived from both the fault seed and the device
        seed: deterministic per device, independent of the device's own
        random stream. *)
     Memsys.set_soft_errors t.mem
       (Some (Rng.create (fault_seed lxor (seed * 0x9E3779B1)), rate))
-  | Some _ | None -> ());
+  | Some _ | None -> ()
+
+let create ?(words = 65536) ~chip ~seed () =
+  let rng = Rng.create seed in
+  let t =
+    { chip; rng; mem = Memsys.create ~chip ~rng ~words ~nthreads:0; brk = 0;
+      env = no_environment; cycles_total = 0; energy_total = 0.0 }
+  in
+  arm_soft_errors t ~seed;
   t
+
+(* Rewind a simulator to the state [create ~words ~chip ~seed ()] would
+   produce, reusing every internal buffer.  Behavioural equivalence is
+   property-tested against fresh creation (test_sim / test_alloc). *)
+let reset t ~seed =
+  Rng.reseed t.rng seed;
+  Memsys.reset_device t.mem;
+  t.brk <- 0;
+  t.env <- no_environment;
+  t.cycles_total <- 0;
+  t.energy_total <- 0.0;
+  arm_soft_errors t ~seed
+
+(* Per-domain simulator arenas: one recycled instance per (chip, device
+   size), so the per-run cost of a campaign is the run itself rather than
+   re-creating a device (global memory array, queues, trace sink) on
+   every iteration.  Keyed in domain-local storage — domains never share
+   an instance, so no synchronisation is needed on the hot path. *)
+type slot = { sim : t; mutable busy : bool }
+
+let arenas : (string * int, slot) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let with_sim ?(words = 65536) ~chip ~seed f =
+  let tbl = Domain.DLS.get arenas in
+  let key = (chip.Chip.name, words) in
+  match Hashtbl.find_opt tbl key with
+  | Some slot when (not slot.busy) && slot.sim.chip == chip ->
+    slot.busy <- true;
+    Fun.protect
+      ~finally:(fun () -> slot.busy <- false)
+      (fun () ->
+        reset slot.sim ~seed;
+        f slot.sim)
+  | Some { busy = true; _ } ->
+    (* Nested borrow of the same device class (an app running a sub-sim):
+       fall back to a throwaway instance. *)
+    f (create ~words ~chip ~seed ())
+  | Some _ | None ->
+    (* First use, or a structurally different chip under the same name
+       (property tests build ad-hoc chips): install a fresh instance. *)
+    let slot = { sim = create ~words ~chip ~seed (); busy = true } in
+    Hashtbl.replace tbl key slot;
+    Fun.protect
+      ~finally:(fun () -> slot.busy <- false)
+      (fun () -> f slot.sim)
 
 let chip t = t.chip
 let rng t = t.rng
@@ -124,29 +176,29 @@ type blk = {
    among block slots, complete warps among warp slots within each block,
    and lanes within each warp.  Threads that share a block (warp) before
    randomisation still do afterwards, so barriers and intra-warp idioms
-   stay meaningful (Sec. 3.5). *)
-let logical_ids t ~randomise ~grid ~block =
+   stay meaningful (Sec. 3.5).  Without randomisation the mapping is the
+   identity and nothing is allocated (nor any randomness drawn): callers
+   use the ids directly. *)
+let logical_ids t ~grid ~block =
   let warp = t.chip.Chip.warp_size in
   let block_of = Array.init grid (fun b -> b) in
   let tid_of = Array.init grid (fun _ -> Array.init block (fun i -> i)) in
-  if randomise then begin
-    Rng.shuffle t.rng block_of;
-    let full_warps = block / warp in
-    Array.iter
-      (fun tids ->
-        if full_warps > 1 then begin
-          let warp_slot = Array.init full_warps (fun w -> w) in
-          Rng.shuffle t.rng warp_slot;
-          let lanes = Array.init warp (fun l -> l) in
-          for w = 0 to full_warps - 1 do
-            Rng.shuffle t.rng lanes;
-            for l = 0 to warp - 1 do
-              tids.((w * warp) + l) <- (warp_slot.(w) * warp) + lanes.(l)
-            done
+  Rng.shuffle t.rng block_of;
+  let full_warps = block / warp in
+  Array.iter
+    (fun tids ->
+      if full_warps > 1 then begin
+        let warp_slot = Array.init full_warps (fun w -> w) in
+        Rng.shuffle t.rng warp_slot;
+        let lanes = Array.init warp (fun l -> l) in
+        for w = 0 to full_warps - 1 do
+          Rng.shuffle t.rng lanes;
+          for l = 0 to warp - 1 do
+            tids.((w * warp) + l) <- (warp_slot.(w) * warp) + lanes.(l)
           done
-        end)
-      tid_of
-  end;
+        done
+      end)
+    tid_of;
   (block_of, tid_of)
 
 let default_max_ticks = 1_000_000
@@ -189,34 +241,41 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
   Memsys.reset_threads t.mem ~nthreads:total;
   Memsys.set_stress_gain t.mem
     (match stress with Some s -> s.intensity | None -> 1.0);
-  let block_of, tid_of = logical_ids t ~randomise:t.env.randomise ~grid ~block in
+  (* The randomised id maps are only materialised when the environment
+     asks for randomisation; the default identity mapping allocates
+     nothing. *)
+  let ids = if t.env.randomise then Some (logical_ids t ~grid ~block) else None in
   let metrics = Metrics.create () in
   let reorders_before = Memsys.reorders t.mem in
   let bitflips_before = Memsys.bitflips t.mem in
-  let threads = Array.make total None in
   let blocks = ref [] in
+  let n_blocks = ref 0 in
   let next_gid = ref 0 in
   let add_block ~code ~daemon ~period ~l_gdim ~l_bid ~size ~shared_sz =
     let shared = Array.make (Int.max 1 shared_sz) 0 in
+    let block_id = !n_blocks in
     let members =
       Array.init size (fun i ->
           let gid = !next_gid in
           incr next_gid;
           let l_tid =
             if daemon then i
-            else tid_of.(l_bid).(i)
+            else match ids with Some (_, tid_of) -> tid_of.(l_bid).(i) | None -> i
+          in
+          let l_bid =
+            if daemon then l_bid
+            else match ids with Some (block_of, _) -> block_of.(l_bid) | None -> l_bid
           in
           let ctx =
-            Code.make_ctx ~code ~gid ~l_tid
-              ~l_bid:(if daemon then l_bid else block_of.(l_bid))
-              ~l_bdim:size ~l_gdim ~mem:t.mem ~shared
+            Code.make_ctx ~code ~gid ~l_tid ~l_bid ~l_bdim:size ~l_gdim
+              ~mem:t.mem ~shared
           in
           { ctx; code; pc = 0; status = Running; daemon;
-            block_id = List.length !blocks; accesses = 0; period })
+            block_id; accesses = 0; period })
     in
     let b = { live = size; waiting = 0; members } in
     blocks := b :: !blocks;
-    Array.iter (fun th -> threads.(th.ctx.Code.gid) <- Some th) members
+    incr n_blocks
   in
   for b = 0 to grid - 1 do
     add_block ~code:app_code ~daemon:false ~period:0 ~l_gdim:grid ~l_bid:b
@@ -230,8 +289,11 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
     done
   | _ -> ());
   let blocks = Array.of_list (List.rev !blocks) in
+  (* Global ids are assigned densely in block-creation order, so the
+     per-block member arrays concatenate into the gid-indexed thread
+     table directly — no intermediate option array. *)
   let threads =
-    Array.map (function Some th -> th | None -> assert false) threads
+    Array.concat (Array.to_list (Array.map (fun b -> b.members) blocks))
   in
   (* Two runnable sets with O(1) removal: application threads keep a fixed
      scheduling share even when many stressing threads are resident, as on

@@ -50,6 +50,25 @@ val no_environment : environment
 val create : ?words:int -> chip:Chip.t -> seed:int -> unit -> t
 (** A fresh device with [words] (default 65536) of zeroed global memory. *)
 
+val reset : t -> seed:int -> unit
+(** Rewind a device to the state [create] with the same [words] and
+    [chip] and the given [seed] would produce — zeroed memory, rewound
+    allocator, default environment, reseeded random stream, cleared
+    counters — reusing every internal buffer.  The basis of simulator
+    recycling: running a workload on a reset device is bit-identical to
+    running it on a fresh one. *)
+
+val with_sim : ?words:int -> chip:Chip.t -> seed:int -> (t -> 'a) -> 'a
+(** [with_sim ~chip ~seed f] borrows the calling domain's recycled
+    simulator for this [(chip, words)] class — {!reset} to [seed] — and
+    runs [f] on it.  Observably identical to
+    [f (create ?words ~chip ~seed ())] but without re-creating the
+    device: campaign hot paths run thousands of short executions per
+    second, and the per-run allocation drops to (almost) the run itself.
+    Each domain has its own arena, so parallel jobs never share a
+    device.  Re-entrant borrows and ad-hoc chip values fall back to a
+    fresh throwaway instance. *)
+
 val chip : t -> Chip.t
 val rng : t -> Rng.t
 val mem : t -> Memsys.t

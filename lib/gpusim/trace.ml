@@ -75,6 +75,17 @@ let clear t =
   t.len <- 0;
   t.emitted <- 0
 
+(* Back to the just-created state; used when a simulator instance is
+   recycled for a fresh run. *)
+let reset t =
+  t.ring <- [||];
+  t.head <- 0;
+  t.len <- 0;
+  t.emitted <- 0;
+  t.subscribers <- [];
+  t.next_id <- 0;
+  t.active <- false
+
 let emit t ~tick event =
   let cap = Array.length t.ring in
   if cap > 0 then begin

@@ -96,6 +96,11 @@ val clear : t -> unit
 (** Forget buffered records and reset the emitted/dropped counters,
     keeping the buffer enabled. *)
 
+val reset : t -> unit
+(** Return the sink to its just-created state: ring buffer detached,
+    records forgotten, all subscribers removed, handle counter rewound.
+    Used when a simulator instance is recycled for a fresh run. *)
+
 val emit : t -> tick:int -> event -> unit
 (** Record an event: append to the ring buffer (if enabled) and call
     every subscriber.  Call only under an {!active} guard. *)

@@ -382,7 +382,7 @@ let check_exists t registers =
     t.exists
 
 let run_once ~chip ~seed ?(env = Gpusim.Sim.no_environment) t =
-  let sim = Gpusim.Sim.create ~words:4096 ~chip ~seed () in
+  Gpusim.Sim.with_sim ~words:4096 ~chip ~seed @@ fun sim ->
   Gpusim.Sim.set_environment sim env;
   let _, extent = layout t in
   let base = Gpusim.Sim.alloc sim extent in

@@ -7,7 +7,7 @@ let device_words = 2048
 let litmus_max_ticks = 50_000
 
 let run_once ~chip ~seed ?(env = Gpusim.Sim.no_environment) inst =
-  let sim = Gpusim.Sim.create ~words:device_words ~chip ~seed () in
+  Gpusim.Sim.with_sim ~words:device_words ~chip ~seed @@ fun sim ->
   Gpusim.Sim.set_environment sim env;
   let x = Gpusim.Sim.alloc sim (Test.layout_words inst) in
   let out = Gpusim.Sim.alloc sim 2 in

@@ -1,0 +1,124 @@
+(* Allocation-discipline regression tests.
+
+   The campaign hot path runs short litmus executions back to back on a
+   recycled per-domain simulator ([Sim.with_sim]).  The refactor's
+   contract is twofold:
+
+   - recycling is observably identical to creating a fresh device per
+     run (checked here against an inline fresh-device runner);
+   - a single run stays within a committed minor-heap budget, so a
+     change that reintroduces per-run device creation (a 65k-word global
+     memory array per run) or list-based pending queues fails loudly. *)
+
+let chip = Gpusim.Chip.k20
+
+let inst = { Litmus.Test.idiom = Litmus.Test.MP; distance = 8 }
+
+(* The pre-arena runner: a fresh device per run, as [Litmus.Runner]
+   used to do.  The oracle for recycling equivalence. *)
+(* Mirrors [Litmus.Runner]'s device_words / litmus_max_ticks. *)
+let run_once_fresh ~seed inst =
+  let sim = Gpusim.Sim.create ~words:2048 ~chip ~seed () in
+  let x = Gpusim.Sim.alloc sim (Litmus.Test.layout_words inst) in
+  let out = Gpusim.Sim.alloc sim 2 in
+  Gpusim.Sim.write sim out (-1);
+  Gpusim.Sim.write sim (out + 1) (-1);
+  let result =
+    Gpusim.Sim.launch sim ~max_ticks:50_000 ~grid:2
+      ~block:1 (Litmus.Test.kernel inst)
+      ~args:[ ("x", x); ("out", out) ]
+  in
+  let r1 = Gpusim.Sim.read sim out in
+  let r2 = Gpusim.Sim.read sim (out + 1) in
+  let timed_out =
+    match result.Gpusim.Sim.outcome with
+    | Gpusim.Sim.Finished -> false
+    | Gpusim.Sim.Timeout | Gpusim.Sim.Trapped _ -> true
+  in
+  (r1, r2, timed_out)
+
+let test_recycled_equals_fresh () =
+  for seed = 1 to 500 do
+    let o = Litmus.Runner.run_once ~chip ~seed inst in
+    let r1, r2, timed_out = run_once_fresh ~seed inst in
+    if (o.r1, o.r2, o.timed_out) <> (r1, r2, timed_out) then
+      Alcotest.failf
+        "seed %d: recycled sim gave (%d,%d,%b), fresh sim gave (%d,%d,%b)"
+        seed o.r1 o.r2 o.timed_out r1 r2 timed_out
+  done
+
+let test_reset_equals_create () =
+  (* Directly: a reset device behaves like a fresh one, including under
+     an environment that draws randomness (stress + randomisation). *)
+  let env =
+    Core.Environment.for_litmus
+      (Core.Environment.sys_plus
+         ~tuned:(Core.Tuning.shipped ~chip:Gpusim.Chip.k20))
+  in
+  for seed = 1 to 100 do
+    let fresh = Gpusim.Sim.create ~words:2048 ~chip ~seed () in
+    let recycled = Gpusim.Sim.create ~words:2048 ~chip ~seed:(seed + 999) () in
+    (* Dirty the recycled device with a different run first. *)
+    ignore
+      (Gpusim.Sim.launch recycled ~grid:2 ~block:1
+         (Litmus.Test.kernel inst)
+         ~args:
+           [ ("x", Gpusim.Sim.alloc recycled (Litmus.Test.layout_words inst));
+             ("out", Gpusim.Sim.alloc recycled 2) ]);
+    Gpusim.Sim.reset recycled ~seed;
+    let run sim =
+      Gpusim.Sim.set_environment sim env;
+      let x = Gpusim.Sim.alloc sim (Litmus.Test.layout_words inst) in
+      let out = Gpusim.Sim.alloc sim 2 in
+      let r =
+        Gpusim.Sim.launch sim ~grid:2 ~block:1 (Litmus.Test.kernel inst)
+          ~args:[ ("x", x); ("out", out) ]
+      in
+      ( Gpusim.Sim.read sim out,
+        Gpusim.Sim.read sim (out + 1),
+        r.Gpusim.Sim.outcome = Gpusim.Sim.Finished,
+        Gpusim.Sim.reorders sim )
+    in
+    let a = run fresh and b = run recycled in
+    if a <> b then Alcotest.failf "seed %d: reset device diverged" seed
+  done
+
+(* The committed per-run minor-heap budget, in words.  Measured at
+   ~1.6k words/run when the budget was committed (ring-buffer queues,
+   recycled simulator); the ceiling leaves ~4x headroom for noise and
+   compiler drift but fails on any structural regression — per-run
+   device creation alone costs >2k words of arrays, and list-based
+   pending queues cost a cons per memory access. *)
+let per_run_budget_words = 6_000.0
+
+let batch_runs = 400
+
+let test_minor_words_budget () =
+  (* Warm the arena, kernel compilation paths and any memo tables so the
+     measured window sees only steady-state per-run cost. *)
+  for seed = 1 to 50 do
+    ignore (Litmus.Runner.run_once ~chip ~seed inst)
+  done;
+  let before = Gc.minor_words () in
+  for seed = 1 to batch_runs do
+    ignore (Litmus.Runner.run_once ~chip ~seed inst)
+  done;
+  let after = Gc.minor_words () in
+  let per_run = (after -. before) /. float_of_int batch_runs in
+  Printf.printf "alloc: %.0f minor words/run (budget %.0f)\n%!" per_run
+    per_run_budget_words;
+  if per_run > per_run_budget_words then
+    Alcotest.failf
+      "per-run minor allocation %.0f words exceeds the committed budget of \
+       %.0f words — did a hot path start allocating per run again?"
+      per_run per_run_budget_words
+
+let () =
+  Alcotest.run "alloc"
+    [ ( "allocation discipline",
+        [ Alcotest.test_case "recycled sim = fresh sim" `Quick
+            test_recycled_equals_fresh;
+          Alcotest.test_case "reset = create under environment" `Quick
+            test_reset_equals_create;
+          Alcotest.test_case "minor-words budget per litmus run" `Quick
+            test_minor_words_budget ] ) ]

@@ -132,6 +132,540 @@ let test_pure_run_decays () =
     true
     (last < 0.3 *. first)
 
+(* ------------------------------------------------------------------ *)
+(* Model equivalence: the ring-buffer pending queues must be observably
+   identical to the original list-based implementation.  [Model] below
+   is that original implementation, transcribed verbatim (minus the
+   soft-error machinery, which is orthogonal and never armed here).
+   Both sides are driven with the same random op sequence and must
+   agree on every intermediate observation, every trace event, the
+   final memory image, and the rng stream (same draws in the same
+   order — any divergence desynchronises the streams and shows up
+   immediately in the observations). *)
+
+module Model = struct
+  open Gpusim
+
+  type kind = Load_k | Store_k
+
+  type entry = {
+    seq : int;
+    addr : int;
+    part : int;
+    ekind : kind;
+    store_value : int;
+    mutable load_value : int option;
+    leak : bool;
+  }
+
+  type pending = entry
+
+  type stress_state = {
+    mutable prev : kind option;
+    mutable run : int;
+    mutable prev_run : int;
+  }
+
+  type t = {
+    chip : Chip.t;
+    rng : Rng.t;
+    global : int array;
+    mutable queues : entry list ref array;
+    mutable seq : int;
+    mutable now : int;
+    read_pool : float array;
+    write_pool : float array;
+    pool_stamp : int array;
+    decay_pow : float array;
+    stress_states : (int, stress_state) Hashtbl.t;
+    nonempty : (int, unit) Hashtbl.t;
+    sink : Trace.t;
+    mutable n_reorders : int;
+    mutable n_stress : int;
+    mutable stress_gain : float;
+    strong : bool;
+  }
+
+  let create ~chip ~rng ~words ~nthreads =
+    let w = chip.Chip.weakness in
+    let n = w.n_partitions in
+    let decay_pow = Array.make 128 0.0 in
+    decay_pow.(0) <- 1.0;
+    for i = 1 to 127 do
+      decay_pow.(i) <- decay_pow.(i - 1) *. w.decay_per_tick
+    done;
+    { chip; rng; global = Array.make words 0;
+      queues = Array.init nthreads (fun _ -> ref []);
+      seq = 0; now = 0;
+      read_pool = Array.make n 0.0;
+      write_pool = Array.make n 0.0;
+      pool_stamp = Array.make n 0;
+      decay_pow;
+      stress_states = Hashtbl.create 64;
+      nonempty = Hashtbl.create 64;
+      sink = Trace.create ();
+      n_reorders = 0;
+      n_stress = 0;
+      stress_gain = 1.0;
+      strong = w.max_delay <= 0.0 && w.base_delay <= 0.0 }
+
+  let read t addr = t.global.(addr)
+  let words t = Array.length t.global
+  let tick t = t.now <- t.now + 1
+  let sink t = t.sink
+
+  let observe_access t ~tid ~addr ~write ~atomic =
+    if Trace.active t.sink then
+      Trace.emit t.sink ~tick:t.now (Trace.Access { tid; addr; write; atomic })
+
+  let reorders t = t.n_reorders
+  let stress_accesses t = t.n_stress
+
+  let refresh_pool t part =
+    let dt = t.now - t.pool_stamp.(part) in
+    if dt > 0 then begin
+      let f = if dt < 128 then t.decay_pow.(dt) else 0.0 in
+      t.read_pool.(part) <- t.read_pool.(part) *. f;
+      t.write_pool.(part) <- t.write_pool.(part) *. f;
+      t.pool_stamp.(part) <- t.now
+    end
+
+  let add_contention t part ckind amount =
+    refresh_pool t part;
+    match ckind with
+    | `Load -> t.read_pool.(part) <- t.read_pool.(part) +. amount
+    | `Store -> t.write_pool.(part) <- t.write_pool.(part) +. amount
+
+  let contention t ~part ~kind =
+    refresh_pool t part;
+    let w = t.chip.Chip.weakness in
+    match kind with
+    | `Load -> t.read_pool.(part) +. (w.cross *. t.write_pool.(part))
+    | `Store -> t.write_pool.(part) +. (w.cross *. t.read_pool.(part))
+
+  let stress_state t sid =
+    match Hashtbl.find_opt t.stress_states sid with
+    | Some s -> s
+    | None ->
+      let s = { prev = None; run = 0; prev_run = 0 } in
+      Hashtbl.add t.stress_states sid s;
+      s
+
+  let traffic_bump t st k ~boundary =
+    let tr = t.chip.Chip.traffic in
+    let same = match st.prev with Some p -> p = k | None -> false in
+    let run = if same then st.run + 1 else 1 in
+    let runfac_arr =
+      match k with Load_k -> tr.run_ld | Store_k -> tr.run_st
+    in
+    let runfac = runfac_arr.(min run (Array.length runfac_arr) - 1) in
+    let bf = if boundary then tr.boundary_factor else 1.0 in
+    let base =
+      (match k with Load_k -> tr.w_ld | Store_k -> tr.w_st) *. runfac
+    in
+    let trans =
+      match st.prev with
+      | Some p when p <> k -> tr.trans_bonus *. bf
+      | Some _ | None -> 0.0
+    in
+    let flush =
+      match (k, st.prev) with
+      | Store_k, Some Load_k ->
+        tr.flush_bonus *. float_of_int (min st.run tr.flush_cap) *. bf
+      | _, _ -> 0.0
+    in
+    if same then st.run <- run
+    else begin
+      st.prev_run <- st.run;
+      st.run <- 1;
+      st.prev <- Some k
+    end;
+    base +. trans +. flush
+
+  let stress_access t ~sid ~kind ~addr ~boundary =
+    t.n_stress <- t.n_stress + 1;
+    let k = match kind with `Load -> Load_k | `Store -> Store_k in
+    let st = stress_state t sid in
+    let amount = traffic_bump t st k ~boundary *. t.stress_gain in
+    let part = Chip.partition t.chip addr in
+    add_contention t part kind amount;
+    match kind with
+    | `Load -> ignore t.global.(addr)
+    | `Store -> t.global.(addr) <- sid
+
+  let app_access_bump = 0.02
+
+  let app_access t ~kind ~addr =
+    let part = Chip.partition t.chip addr in
+    add_contention t part kind app_access_bump
+
+  let queue t tid = t.queues.(tid)
+
+  let mark_nonempty t tid q =
+    if !q = [] then Hashtbl.remove t.nonempty tid
+    else Hashtbl.replace t.nonempty tid ()
+
+  let load_value t tid e =
+    let q = queue t tid in
+    let forwarded =
+      List.fold_left
+        (fun acc e' ->
+          match e'.ekind with
+          | Store_k when e'.addr = e.addr && e'.seq < e.seq ->
+            Some e'.store_value
+          | Store_k | Load_k -> acc)
+        None !q
+    in
+    match forwarded with Some v -> v | None -> t.global.(e.addr)
+
+  let commit t tid e =
+    let q = queue t tid in
+    (match e.ekind with
+    | Store_k -> t.global.(e.addr) <- e.store_value
+    | Load_k ->
+      if e.load_value = None then e.load_value <- Some (load_value t tid e));
+    let remaining = List.filter (fun e' -> e' != e) !q in
+    q := remaining;
+    mark_nonempty t tid q;
+    let older = List.exists (fun (e' : entry) -> e'.seq < e.seq) remaining in
+    if older then t.n_reorders <- t.n_reorders + 1;
+    if Trace.active t.sink then begin
+      Trace.emit t.sink ~tick:t.now
+        (Trace.Commit
+           { tid; addr = e.addr; is_store = (e.ekind = Store_k);
+             value =
+               (match e.ekind with
+               | Store_k -> e.store_value
+               | Load_k -> Option.value ~default:0 e.load_value);
+             reordered = older });
+      if older then
+        let overtaken =
+          List.fold_left
+            (fun acc (e' : entry) ->
+              if e'.seq < e.seq then Some e'.addr else acc)
+            None remaining
+        in
+        match overtaken with
+        | Some a ->
+          Trace.emit t.sink ~tick:t.now
+            (Trace.Reorder { tid; overtaken = a; committed = e.addr })
+        | None -> ()
+    end
+
+  let pending_count t ~tid = List.length !(queue t tid)
+
+  let heads q =
+    let rec go seen acc = function
+      | [] -> List.rev acc
+      | e :: rest ->
+        if e.leak then go seen (e :: acc) rest
+        else if List.mem e.part seen then go seen acc rest
+        else go (e.part :: seen) (e :: acc) rest
+    in
+    go [] [] q
+
+  let delay_for t e =
+    let w = t.chip.Chip.weakness in
+    let kind = match e.ekind with Load_k -> `Load | Store_k -> `Store in
+    let c = contention t ~part:e.part ~kind in
+    let factor = c *. c /. ((w.knee *. w.knee) +. (c *. c)) in
+    let kw =
+      match e.ekind with
+      | Load_k -> w.ld_delay_w
+      | Store_k -> w.st_delay_w
+    in
+    Float.min w.max_delay (w.base_delay +. (w.gain *. factor *. kw))
+
+  let attempt_commits t ~tid =
+    let q = queue t tid in
+    if !q <> [] then
+      List.iter
+        (fun e -> if not (Rng.chance t.rng (delay_for t e)) then commit t tid e)
+        (heads !q)
+
+  let drain t ~tid =
+    let q = queue t tid in
+    let n = List.length !q in
+    List.iter (fun e -> commit t tid e) !q;
+    n
+
+  let drain_step t ~tid =
+    let q = queue t tid in
+    (match !q with e :: _ -> commit t tid e | [] -> ());
+    !q = []
+
+  let any_pending t = Hashtbl.length t.nonempty > 0
+
+  let random_background_drain t =
+    let n = Hashtbl.length t.nonempty in
+    if n > 0 then begin
+      let i = Rng.int t.rng n in
+      let tid = ref (-1) in
+      let j = ref 0 in
+      Hashtbl.iter
+        (fun k () ->
+          if !j = i then tid := k;
+          incr j)
+        t.nonempty;
+      if !tid >= 0 then attempt_commits t ~tid:!tid
+    end
+
+  let fresh_entry t ~addr ~ekind ~store_value =
+    let w = t.chip.Chip.weakness in
+    t.seq <- t.seq + 1;
+    { seq = t.seq; addr; part = Chip.partition t.chip addr; ekind;
+      store_value; load_value = None;
+      leak = w.same_patch_leak > 0.0 && Rng.chance t.rng w.same_patch_leak }
+
+  let enqueue t tid e =
+    if Trace.active t.sink then
+      Trace.emit t.sink ~tick:t.now
+        (Trace.Issue
+           { tid; addr = e.addr; part = e.part;
+             is_store = (e.ekind = Store_k) });
+    let q = queue t tid in
+    let w = t.chip.Chip.weakness in
+    if List.length !q >= w.queue_cap then begin
+      match !q with oldest :: _ -> commit t tid oldest | [] -> ()
+    end;
+    q := !q @ [ e ];
+    mark_nonempty t tid q
+
+  let load t ~tid ~addr =
+    observe_access t ~tid ~addr ~write:false ~atomic:false;
+    if t.strong then begin
+      t.seq <- t.seq + 1;
+      { seq = t.seq; addr; part = 0; ekind = Load_k; store_value = 0;
+        load_value = Some t.global.(addr); leak = false }
+    end
+    else begin
+      let e = fresh_entry t ~addr ~ekind:Load_k ~store_value:0 in
+      enqueue t tid e;
+      e
+    end
+
+  let resolved (e : entry) = e.load_value <> None
+
+  let force t ~tid e =
+    match e.load_value with
+    | Some v -> v
+    | None ->
+      commit t tid e;
+      (match e.load_value with Some v -> v | None -> assert false)
+
+  let store t ~tid ~addr ~value =
+    observe_access t ~tid ~addr ~write:true ~atomic:false;
+    if t.strong then t.global.(addr) <- value
+    else enqueue t tid (fresh_entry t ~addr ~ekind:Store_k ~store_value:value)
+
+  let atomic t ~tid ~addr f =
+    observe_access t ~tid ~addr ~write:true ~atomic:true;
+    if not t.strong then begin
+      let q = queue t tid in
+      let same = List.filter (fun e -> e.addr = addr) !q in
+      List.iter (fun e -> commit t tid e) same;
+      List.iter
+        (fun (e : entry) ->
+          t.n_reorders <- t.n_reorders + 1;
+          if Trace.active t.sink then
+            Trace.emit t.sink ~tick:t.now
+              (Trace.Reorder { tid; overtaken = e.addr; committed = addr }))
+        !q
+    end;
+    let old = t.global.(addr) in
+    t.global.(addr) <- f old;
+    if Trace.active t.sink then
+      Trace.emit t.sink ~tick:t.now
+        (Trace.Atomic_rmw { tid; addr; before = old; after = t.global.(addr) });
+    old
+end
+
+type mop =
+  | M_store of int * int * int  (* tid, addr, value *)
+  | M_load_force of int * int  (* load then force immediately *)
+  | M_load_keep of int * int  (* load, drop the handle *)
+  | M_atomic of int * int
+  | M_fence of int  (* full drain *)
+  | M_step of int  (* drain_step *)
+  | M_attempt of int
+  | M_tick
+  | M_background
+  | M_stress of int * [ `Load | `Store ] * int * bool
+  | M_app of [ `Load | `Store ] * int
+
+(* One driver for both implementations, via a record of operations. *)
+type ('m, 'p) impl = {
+  i_store : 'm -> tid:int -> addr:int -> value:int -> unit;
+  i_load : 'm -> tid:int -> addr:int -> 'p;
+  i_force : 'm -> tid:int -> 'p -> int;
+  i_resolved : 'p -> bool;
+  i_atomic : 'm -> tid:int -> addr:int -> (int -> int) -> int;
+  i_drain : 'm -> tid:int -> int;
+  i_drain_step : 'm -> tid:int -> bool;
+  i_attempt : 'm -> tid:int -> unit;
+  i_tick : 'm -> unit;
+  i_background : 'm -> unit;
+  i_stress :
+    'm -> sid:int -> kind:[ `Load | `Store ] -> addr:int -> boundary:bool ->
+    unit;
+  i_app : 'm -> kind:[ `Load | `Store ] -> addr:int -> unit;
+  i_pending : 'm -> tid:int -> int;
+  i_read : 'm -> int -> int;
+  i_words : 'm -> int;
+  i_reorders : 'm -> int;
+  i_stress_accesses : 'm -> int;
+  i_any_pending : 'm -> bool;
+  i_contention : 'm -> part:int -> kind:[ `Load | `Store ] -> float;
+  i_sink : 'm -> Gpusim.Trace.t;
+}
+
+let real_impl : (Gpusim.Memsys.t, Gpusim.Memsys.pending) impl =
+  { i_store = Gpusim.Memsys.store;
+    i_load = Gpusim.Memsys.load;
+    i_force = Gpusim.Memsys.force;
+    i_resolved = Gpusim.Memsys.resolved;
+    i_atomic = Gpusim.Memsys.atomic;
+    i_drain = Gpusim.Memsys.drain;
+    i_drain_step = Gpusim.Memsys.drain_step;
+    i_attempt = Gpusim.Memsys.attempt_commits;
+    i_tick = Gpusim.Memsys.tick;
+    i_background = Gpusim.Memsys.random_background_drain;
+    i_stress = Gpusim.Memsys.stress_access;
+    i_app = Gpusim.Memsys.app_access;
+    i_pending = Gpusim.Memsys.pending_count;
+    i_read = Gpusim.Memsys.read;
+    i_words = Gpusim.Memsys.words;
+    i_reorders = Gpusim.Memsys.reorders;
+    i_stress_accesses = Gpusim.Memsys.stress_accesses;
+    i_any_pending = Gpusim.Memsys.any_pending;
+    i_contention = Gpusim.Memsys.contention;
+    i_sink = Gpusim.Memsys.sink }
+
+let model_impl : (Model.t, Model.pending) impl =
+  { i_store = Model.store;
+    i_load = Model.load;
+    i_force = Model.force;
+    i_resolved = Model.resolved;
+    i_atomic = Model.atomic;
+    i_drain = Model.drain;
+    i_drain_step = Model.drain_step;
+    i_attempt = Model.attempt_commits;
+    i_tick = Model.tick;
+    i_background = Model.random_background_drain;
+    i_stress = Model.stress_access;
+    i_app = Model.app_access;
+    i_pending = Model.pending_count;
+    i_read = Model.read;
+    i_words = Model.words;
+    i_reorders = Model.reorders;
+    i_stress_accesses = Model.stress_accesses;
+    i_any_pending = Model.any_pending;
+    i_contention = Model.contention;
+    i_sink = Model.sink }
+
+let model_nthreads = 3
+let model_words = 256
+
+(* Run the op sequence and render every observation into one string;
+   equality of the two strings is the property. *)
+let run_ops (type m p) (impl : (m, p) impl) (m : m) ops =
+  Gpusim.Trace.enable (impl.i_sink m);
+  let buf = Buffer.create 1024 in
+  let obs fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun op ->
+      (match op with
+      | M_store (tid, addr, value) -> impl.i_store m ~tid ~addr ~value
+      | M_load_force (tid, addr) ->
+        let p = impl.i_load m ~tid ~addr in
+        obs "F%d;" (impl.i_force m ~tid p)
+      | M_load_keep (tid, addr) ->
+        let p = impl.i_load m ~tid ~addr in
+        obs "K%b;" (impl.i_resolved p)
+      | M_atomic (tid, addr) ->
+        obs "A%d;" (impl.i_atomic m ~tid ~addr (fun v -> v + 3))
+      | M_fence tid -> obs "D%d;" (impl.i_drain m ~tid)
+      | M_step tid -> obs "S%b;" (impl.i_drain_step m ~tid)
+      | M_attempt tid -> impl.i_attempt m ~tid
+      | M_tick -> impl.i_tick m
+      | M_background -> impl.i_background m
+      | M_stress (sid, kind, addr, boundary) ->
+        impl.i_stress m ~sid ~kind ~addr ~boundary
+      | M_app (kind, addr) -> impl.i_app m ~kind ~addr);
+      for tid = 0 to model_nthreads - 1 do
+        obs "p%d," (impl.i_pending m ~tid)
+      done;
+      obs "%b;" (impl.i_any_pending m))
+    ops;
+  for tid = 0 to model_nthreads - 1 do
+    obs "d%d;" (impl.i_drain m ~tid)
+  done;
+  for a = 0 to impl.i_words m - 1 do
+    let v = impl.i_read m a in
+    if v <> 0 then obs "m%d=%d," a v
+  done;
+  obs "reorders=%d;stress=%d;" (impl.i_reorders m)
+    (impl.i_stress_accesses m);
+  List.iter
+    (fun k ->
+      for part = 0 to 7 do
+        obs "c%.9g," (impl.i_contention m ~part ~kind:k)
+      done)
+    [ `Load; `Store ];
+  List.iter
+    (fun r -> obs "%s;" (Format.asprintf "%a" Gpusim.Trace.pp_record r))
+    (Gpusim.Trace.records (impl.i_sink m));
+  Buffer.contents buf
+
+let mop_gen =
+  let open QCheck.Gen in
+  let tid = int_range 0 (model_nthreads - 1) in
+  let addr = int_range 0 (model_words - 1) in
+  let kind = oneofl [ `Load; `Store ] in
+  frequency
+    [ (4, map3 (fun t a v -> M_store (t, a, v)) tid addr (int_range 0 99));
+      (3, map2 (fun t a -> M_load_force (t, a)) tid addr);
+      (2, map2 (fun t a -> M_load_keep (t, a)) tid addr);
+      (1, map2 (fun t a -> M_atomic (t, a)) tid addr);
+      (1, map (fun t -> M_fence t) tid);
+      (1, map (fun t -> M_step t) tid);
+      (2, map (fun t -> M_attempt t) tid);
+      (3, return M_tick);
+      (2, return M_background);
+      ( 2,
+        map3
+          (fun s (k, a) b -> M_stress (s, k, a, b))
+          (int_range 0 3) (pair kind addr) bool );
+      (1, map2 (fun k a -> M_app (k, a)) kind addr) ]
+
+let scenario_gen =
+  QCheck.Gen.(
+    triple (int_range 1 1_000_000) bool
+      (list_size (int_range 1 150) mop_gen))
+
+let model_equiv =
+  QCheck.Test.make ~count:300 ~name:"ring-buffer queues = list-based model"
+    (QCheck.make scenario_gen) (fun (seed, quirky, ops) ->
+      (* gtx980 exercises the same-partition leak quirk (extra rng
+         draws per entry); k20 is the common case. *)
+      let chip = if quirky then Gpusim.Chip.gtx980 else Gpusim.Chip.k20 in
+      let real =
+        Gpusim.Memsys.create ~chip ~rng:(Gpusim.Rng.create seed)
+          ~words:model_words ~nthreads:model_nthreads
+      in
+      let model =
+        Model.create ~chip ~rng:(Gpusim.Rng.create seed) ~words:model_words
+          ~nthreads:model_nthreads
+      in
+      let a = run_ops real_impl real ops in
+      let b = run_ops model_impl model ops in
+      if String.equal a b then true
+      else
+        QCheck.Test.fail_reportf
+          "ring-buffer implementation diverged from the list model@.real:  \
+           %s@.model: %s"
+          a b)
+
 let () =
   Alcotest.run "memsys"
     [ ( "unit",
@@ -150,5 +684,5 @@ let () =
           Alcotest.test_case "reorder counting" `Quick test_reorder_counting;
           Alcotest.test_case "contention decay" `Quick test_contention_decay;
           Alcotest.test_case "stress gain" `Quick test_stress_gain_scales;
-          Alcotest.test_case "pure runs decay" `Quick test_pure_run_decays ] )
-    ]
+          Alcotest.test_case "pure runs decay" `Quick test_pure_run_decays ] );
+      ("model", [ QCheck_alcotest.to_alcotest model_equiv ]) ]
