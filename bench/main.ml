@@ -231,7 +231,17 @@ let hot_path_tests =
     Test.make ~name:"litmus_execution"
       (Staged.stage (fun () ->
            Litmus.Runner.run_once ~chip ~seed:1
-             { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 })) ]
+             { Litmus.Test.idiom = Litmus.Test.MP; distance = 64 }));
+    (* One full model-checker verdict on the canonical weak MP instance
+       (program construction + DPOR exploration + SC baseline): the cost
+       of proving one litmus cell, which the check subcommand and the
+       cross-validation tests pay per case. *)
+    Test.make ~name:"check_litmus"
+      (Staged.stage (fun () ->
+           Gpusim.Mcheck.check ~chip:Gpusim.Chip.k20 ~max_reorderings:2
+             (Core.Check.litmus_program
+                { Litmus.Test.idiom = Litmus.Test.MP; distance = 31 }
+                ~fenced:false))) ]
 
 let bench_tests =
   let chip = Gpusim.Chip.titan in
@@ -487,7 +497,7 @@ let run_gate baseline_path =
       | Some _, _ ->
         Fmt.pr "%-28s not in baseline; skipping@." metric
       | None, _ -> fail "%s was not measured in this run" metric)
-    [ "litmus_execution_ns"; "table5_campaign_cell_ns" ];
+    [ "litmus_execution_ns"; "table5_campaign_cell_ns"; "check_litmus_ns" ];
   match !failures with
   | [] -> Fmt.pr "perf gate: ok@."
   | fs ->

@@ -36,7 +36,14 @@ type op =
   | Ojz of ev * int
   | Oreturn
 
-type t = { kernel_name : string; ops : op array; n_regs : int }
+type t = {
+  kernel_name : string;
+  ops : op array;
+  n_regs : int;
+  slots : (string * int) list;
+}
+
+let reg_slot code r = List.assoc_opt r code.slots
 
 let read_reg ctx i =
   match ctx.regs.(i) with
@@ -255,7 +262,8 @@ let compile k ~args =
   emit Oreturn;
   let ops = Array.of_list (List.rev !buf) in
   List.iter (fun (at, mk) -> ops.(at) <- mk ()) !patches;
-  { kernel_name = k.name; ops; n_regs = Hashtbl.length slots }
+  { kernel_name = k.name; ops; n_regs = Hashtbl.length slots;
+    slots = Hashtbl.fold (fun r i acc -> (r, i) :: acc) slots [] }
 
 let make_ctx ~code ~gid ~l_tid ~l_bid ~l_bdim ~l_gdim ~mem ~shared =
   { gid; regs = Array.make (Int.max 1 code.n_regs) (Val 0);

@@ -59,7 +59,12 @@ type t = {
   kernel_name : string;
   ops : op array;
   n_regs : int;
+  slots : (string * int) list;  (** register-name [->] slot mapping *)
 }
+
+val reg_slot : t -> string -> int option
+(** The slot allocated to a register name, if the kernel mentions it.
+    Lets replay/checker code read back named registers from a context. *)
 
 val compile : Kernel.t -> args:(string * int) list -> t
 (** Lower a labelled kernel, binding each parameter to its argument.

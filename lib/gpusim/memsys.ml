@@ -476,6 +476,25 @@ let drain_step t ~tid =
   if q.live > 0 then commit t tid q.buf.(q.head);
   q.live = 0
 
+(* Commit the [n]-th live entry (FIFO position) of [tid]'s queue.  This
+   is the replay hook: a model-checker witness identifies commits by
+   queue position, not entry id, so replay is insensitive to slot-window
+   compaction. *)
+let commit_nth t ~tid ~n =
+  let q = queue t tid in
+  if n < 0 || n >= q.live then
+    invalid_arg
+      (Printf.sprintf "Memsys.commit_nth: index %d out of 0..%d" n
+         (q.live - 1));
+  let k = ref n and i = ref q.head and chosen = ref dummy_entry in
+  while !chosen == dummy_entry do
+    let e = q.buf.(!i) in
+    if e.alive then
+      if !k = 0 then chosen := e else decr k;
+    incr i
+  done;
+  commit t tid !chosen
+
 let any_pending t = Hashtbl.length t.nonempty > 0
 
 let random_background_drain t =

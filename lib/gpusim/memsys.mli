@@ -94,6 +94,15 @@ val drain_step : t -> tid:int -> bool
 val pending_count : t -> tid:int -> int
 (** Number of pending entries of [tid].  O(1). *)
 
+val commit_nth : t -> tid:int -> n:int -> unit
+(** Commit the [n]-th pending entry of [tid] in FIFO order ([n = 0] is
+    the oldest).  Deterministic replay hook for model-checker witness
+    schedules ({!Sim.run_schedule}): the reorder/forwarding semantics
+    are exactly those of the background committer, with the
+    contention-delay dice removed.
+
+    @raise Invalid_argument if [n] is outside [0 .. pending_count - 1]. *)
+
 val attempt_commits : t -> tid:int -> unit
 (** Background commit: for each partition-head entry of [tid], commit
     unless deferred by the contention-dependent delay. *)

@@ -8,11 +8,13 @@
     - verify that the weak behaviours of the MP/LB/SB litmus tests are
       genuinely non-SC outcomes;
     - check (in property tests) that fully fenced programs only exhibit
-      SC outcomes on the weak machine.
+      SC outcomes on the weak machine;
+    - give {!Mcheck} verdicts their SC baseline ([Proved_sc] means the
+      weak machine's reachable set equals this oracle's).
 
-    Threads are straight-line: loops and barriers are rejected.  Branches
-    are supported.  Complexity is exponential in program size, so keep
-    programs litmus-sized. *)
+    Threads are straight-line: loops are rejected.  Branches and block
+    barriers are supported.  Complexity is exponential in program size,
+    so keep programs litmus-sized. *)
 
 type state = {
   memory : (int * int) list;  (** observed (address, value), sorted *)
@@ -20,23 +22,45 @@ type state = {
       (** observed (thread, register, value), sorted *)
 }
 
+val layouts : ?blocks:int array -> int -> (int * int * int * int) array
+(** [layouts ?blocks n] derives per-thread launch geometry
+    [(tid, bid, bdim, gdim)] from a block-membership array ([blocks.(i)]
+    is the block of thread [i]; block ids are renumbered to 0.. in order
+    of first appearance, threads are numbered within their block in order
+    of appearance).  Defaults to one block per thread, i.e.
+    [tid = 0, bid = i, bdim = 1, gdim = n].  Shared by this oracle,
+    {!Mcheck} and [Sim.run_schedule] so all three agree on what thread
+    [i] observes in its special registers.
+
+    @raise Invalid_argument if [blocks] has the wrong length. *)
+
 val run :
+  ?blocks:int array ->
   threads:Kernel.t list ->
   args:(string * int) list list ->
   init:(int * int) list ->
   watch_mem:int list ->
   watch_regs:(int * string) list ->
+  unit ->
   state list
 (** [run ~threads ~args ~init ~watch_mem ~watch_regs] executes every
     interleaving of the given kernels (thread [i] runs [List.nth threads i]
-    with arguments [List.nth args i], as a single thread with
-    [tid = 0, bid = i, bdim = 1, gdim = n]).  [init] seeds global memory.
-    The result is the de-duplicated, sorted list of final states projected
-    onto the watched locations and registers.
+    with arguments [List.nth args i], with the geometry of
+    {!layouts}[ ?blocks n]).  [init] seeds global memory.  The result is
+    the de-duplicated, sorted list of final states projected onto the
+    watched locations and registers.
 
-    @raise Invalid_argument on loops, barriers or shared-memory use. *)
+    A [Barrier] parks its thread until every live thread of its block is
+    parked, then releases the block.  A release with exited members, or a
+    barrier that can never fill (deadlock), is {e undefined} in CUDA and
+    rejected here with [Invalid_argument "Sc_ref: barrier divergence"] —
+    the oracle refuses to assign outcomes to undefined programs.
+
+    @raise Invalid_argument on loops, shared-memory use, or barrier
+    divergence. *)
 
 val allows :
+  ?blocks:int array ->
   threads:Kernel.t list ->
   args:(string * int) list list ->
   init:(int * int) list ->

@@ -609,3 +609,192 @@ let launch t ?(max_ticks = default_max_ticks) ?(shared_words = 64) ~grid
            divergence = !divergence;
            metrics = Metrics.to_assoc metrics });
   { outcome = !outcome; barrier_divergence = !divergence; metrics }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fixed-schedule replay                                  *)
+
+type rthread = {
+  r_ctx : Code.tctx;
+  r_code : Code.t;
+  mutable r_pc : int;
+  mutable r_draining : bool;
+  mutable r_at_barrier : bool;
+  mutable r_done : bool;
+}
+
+(* Replay an Mcheck witness: the schedule, not the rng, decides every
+   thread step and every store-buffer commit.  One [Sstep] executes one
+   statement op ([Ojump] glue is followed for free, and a thread whose
+   next op is the kernel's trailing [Oreturn] finishes as part of the
+   same step, mirroring Mcheck's one-transition-per-statement account);
+   one [Scommit (tid, n)] commits the n-th pending FIFO entry through
+   the ordinary Memsys commit path.  Replay shares Mcheck's program
+   restrictions and validates the schedule as it goes: stepping a
+   finished/draining/parked/blocked thread, a bad commit index, or a
+   schedule that ends before quiescence all [Failure]. *)
+let run_schedule t ?blocks ~threads ~args ~watch_mem ~watch_regs schedule =
+  if List.length threads <> List.length args then
+    invalid_arg "Sim.run_schedule: threads/args length mismatch";
+  let n = List.length threads in
+  let lay = Sc_ref.layouts ?blocks n in
+  let bid_of = Array.map (fun (_, b, _, _) -> b) lay in
+  Memsys.reset_threads t.mem ~nthreads:n;
+  let weak = not (Memsys.strong t.mem) in
+  let reorders_before = Memsys.reorders t.mem in
+  let ths =
+    Array.of_list
+      (List.mapi
+         (fun i (k : Kernel.t) ->
+           let code = Code.compile k ~args:(List.nth args i) in
+           let l_tid, l_bid, l_bdim, l_gdim = lay.(i) in
+           let ctx =
+             Code.make_ctx ~code ~gid:i ~l_tid ~l_bid ~l_bdim ~l_gdim
+               ~mem:t.mem ~shared:(Array.make 1 0)
+           in
+           { r_ctx = ctx; r_code = code; r_pc = 0; r_draining = false;
+             r_at_barrier = false; r_done = false })
+         threads)
+  in
+  let invalid fmt = Fmt.failwith ("Sim.run_schedule: " ^^ fmt) in
+  let bounds a =
+    if a < 0 || a >= Memsys.words t.mem then
+      invalid "out-of-bounds global access %d" a
+  in
+  let rec settle_pc th =
+    match th.r_code.Code.ops.(th.r_pc) with
+    | Code.Ojump tgt ->
+      th.r_pc <- tgt;
+      settle_pc th
+    | _ -> ()
+  in
+  let rec finish th =
+    th.r_done <- true;
+    check_release bid_of.(th.r_ctx.Code.gid)
+  and check_release b =
+    let members = ref [] in
+    for i = n - 1 downto 0 do
+      if bid_of.(i) = b then members := i :: !members
+    done;
+    let members = !members in
+    let live = List.filter (fun i -> not ths.(i).r_done) members in
+    let waiting = List.filter (fun i -> ths.(i).r_at_barrier) members in
+    if live <> [] && List.length waiting = List.length live then begin
+      if List.length live < List.length members then invalid "barrier divergence";
+      List.iter (fun i -> ignore (Memsys.drain t.mem ~tid:i)) members;
+      List.iter
+        (fun i ->
+          let th = ths.(i) in
+          if th.r_at_barrier then begin
+            th.r_at_barrier <- false;
+            settle_pc th;
+            try_finish th
+          end)
+        members
+    end
+  and try_finish th =
+    if (not th.r_done) && (not th.r_draining) && not th.r_at_barrier then
+      match th.r_code.Code.ops.(th.r_pc) with
+      | Code.Oreturn when th.r_pc = Array.length th.r_code.Code.ops - 1 ->
+        finish th
+      | _ -> ()
+  in
+  let exec_op th =
+    let ctx = th.r_ctx in
+    let gid = ctx.Code.gid in
+    match th.r_code.Code.ops.(th.r_pc) with
+    | Code.Oassign (i, ev) ->
+      ctx.Code.regs.(i) <- Code.Val (ev ctx);
+      th.r_pc <- th.r_pc + 1
+    | Code.Oload { dst; space = Kernel.Global; addr; _ } ->
+      let a = addr ctx in
+      bounds a;
+      let p = Memsys.load t.mem ~tid:gid ~addr:a in
+      ctx.Code.regs.(dst) <-
+        (if weak then Code.Pend p else Code.Val (Memsys.force t.mem ~tid:gid p));
+      th.r_pc <- th.r_pc + 1
+    | Code.Ostore { space = Kernel.Global; addr; value; _ } ->
+      let a = addr ctx in
+      let v = value ctx in
+      bounds a;
+      Memsys.store t.mem ~tid:gid ~addr:a ~value:v;
+      th.r_pc <- th.r_pc + 1
+    | Code.Oatomic { dst; space = Kernel.Global; addr; prepare; _ } ->
+      let a = addr ctx in
+      bounds a;
+      let f = prepare ctx in
+      let old = Memsys.atomic t.mem ~tid:gid ~addr:a f in
+      (match dst with
+      | Some i -> ctx.Code.regs.(i) <- Code.Val old
+      | None -> ());
+      th.r_pc <- th.r_pc + 1
+    | Code.Oload _ | Code.Ostore _ | Code.Oatomic _ ->
+      invalid "shared memory is not supported"
+    | Code.Ofence _ ->
+      th.r_pc <- th.r_pc + 1;
+      if weak && Memsys.pending_count t.mem ~tid:gid > 0 then
+        th.r_draining <- true
+    | Code.Obarrier ->
+      th.r_pc <- th.r_pc + 1;
+      th.r_at_barrier <- true;
+      check_release bid_of.(gid)
+    | Code.Ojz (c, tgt) ->
+      th.r_pc <- (if c ctx = 0 then tgt else th.r_pc + 1)
+    | Code.Ojump _ -> assert false (* settled before exec *)
+    | Code.Oreturn -> finish th
+  in
+  Array.iter
+    (fun th ->
+      settle_pc th;
+      try_finish th)
+    ths;
+  List.iter
+    (fun (stp : Mcheck.step) ->
+      match stp with
+      | Mcheck.Sstep ti ->
+        if ti < 0 || ti >= n then invalid "bad thread id %d" ti;
+        let th = ths.(ti) in
+        if th.r_done then invalid "step of finished thread %d" ti;
+        if th.r_draining then invalid "step of draining thread %d" ti;
+        if th.r_at_barrier then invalid "step of parked thread %d" ti;
+        (try exec_op th
+         with Code.Unresolved _ -> invalid "step of blocked thread %d" ti);
+        if not (th.r_done || th.r_at_barrier) then begin
+          settle_pc th;
+          try_finish th
+        end
+      | Mcheck.Scommit (ti, k) ->
+        if ti < 0 || ti >= n then invalid "bad thread id %d" ti;
+        Memsys.commit_nth t.mem ~tid:ti ~n:k;
+        let th = ths.(ti) in
+        if th.r_draining && Memsys.pending_count t.mem ~tid:ti = 0 then begin
+          th.r_draining <- false;
+          settle_pc th;
+          try_finish th
+        end)
+    schedule;
+  Array.iteri
+    (fun i th ->
+      if not th.r_done then invalid "incomplete schedule: thread %d unfinished" i;
+      if Memsys.pending_count t.mem ~tid:i > 0 then
+        invalid "incomplete schedule: thread %d has pending entries" i)
+    ths;
+  let memory =
+    List.sort compare (List.map (fun a -> (a, Memsys.read t.mem a)) watch_mem)
+  in
+  let registers =
+    List.sort compare
+      (List.map
+         (fun (ti, r) ->
+           let th = ths.(ti) in
+           let v =
+             match Code.reg_slot th.r_code r with
+             | None -> 0
+             | Some s -> (
+               match th.r_ctx.Code.regs.(s) with
+               | Code.Val v -> v
+               | Code.Pend p -> Memsys.force t.mem ~tid:ti p)
+           in
+           (ti, r, v))
+         watch_regs)
+  in
+  ({ Sc_ref.memory; registers }, Memsys.reorders t.mem - reorders_before)

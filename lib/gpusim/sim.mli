@@ -161,3 +161,35 @@ val trace : t -> Trace.t
     buffer on it before {!launch} to capture the execution's event
     stream ({!Trace.enable}), or subscribe observers — {!Diagnosis} and
     {!Race} attach this way.  Inactive (and free) by default. *)
+
+(** {1 Deterministic fixed-schedule replay} *)
+
+val run_schedule :
+  t ->
+  ?blocks:int array ->
+  threads:Kernel.t list ->
+  args:(string * int) list list ->
+  watch_mem:int list ->
+  watch_regs:(int * string) list ->
+  Mcheck.step list ->
+  Sc_ref.state * int
+(** [run_schedule t ~threads ~args ~watch_mem ~watch_regs schedule]
+    replays an {!Mcheck} witness schedule on this device's memory
+    system: the schedule, not the rng, decides every thread step
+    ([Sstep]) and every store-buffer commit ([Scommit], via
+    {!Memsys.commit_nth}), so the replay is bit-deterministic and
+    independent of the device seed.  Thread [i] of [threads] runs with
+    geometry {!Sc_ref.layouts}[ ?blocks] against the device's current
+    global memory (initialise it with {!write} first).  Returns the
+    final state projected on the watch sets — for a valid witness,
+    exactly [witness.state] — and the number of reorderings performed —
+    exactly [witness.reorders].
+
+    Programs are restricted as in {!Mcheck} (no loops, shared memory or
+    random expressions); soft-error injection must be disarmed for the
+    replay to match the checker.
+
+    @raise Failure if the schedule is invalid for the program: stepping
+    a finished, draining, parked or load-blocked thread, committing out
+    of range, barrier divergence, or ending before every thread has
+    finished with an empty queue. *)

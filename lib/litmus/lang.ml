@@ -442,6 +442,6 @@ let sc_allows t =
          t.threads)
   in
   let states =
-    Gpusim.Sc_ref.run ~threads ~args ~init ~watch_mem:[] ~watch_regs
+    Gpusim.Sc_ref.run ~threads ~args ~init ~watch_mem:[] ~watch_regs ()
   in
   List.exists (fun s -> check_exists t s.Gpusim.Sc_ref.registers) states

@@ -37,3 +37,13 @@ let count_weak ~chip ~seed ?env ~runs inst =
     if (run_once ~chip ~seed ?env inst).weak then incr n
   done;
   !n
+
+let observed ~chip ~seed ?env ~runs inst =
+  let master = Gpusim.Rng.create seed in
+  let acc = ref [] in
+  for _ = 1 to runs do
+    let seed = Gpusim.Rng.bits30 master in
+    let o = run_once ~chip ~seed ?env inst in
+    if not o.timed_out then acc := (o.r1, o.r2) :: !acc
+  done;
+  List.sort_uniq compare !acc

@@ -31,3 +31,16 @@ val count_weak :
   int
 (** Number of weak outcomes over [runs] executions with seeds derived
     from [seed].  Timeouts are not counted as weak. *)
+
+val observed :
+  chip:Gpusim.Chip.t ->
+  seed:int ->
+  ?env:Gpusim.Sim.environment ->
+  runs:int ->
+  Test.instance ->
+  (int * int) list
+(** The distinct [(r1, r2)] outcomes over [runs] executions with seeds
+    derived from [seed], sorted; timeouts are dropped.  This is the
+    campaign side of checker cross-validation: every outcome observed
+    here must be reachable for the model checker ([Core.Check]), and
+    every observed {e weak} outcome must have a witness schedule. *)

@@ -69,7 +69,7 @@ let sc_outcomes inst =
   let threads, args = threads inst ~x in
   let states =
     Gpusim.Sc_ref.run ~threads ~args ~init:[] ~watch_mem:[ out; out + 1 ]
-      ~watch_regs:[]
+      ~watch_regs:[] ()
   in
   List.map
     (fun (s : Gpusim.Sc_ref.state) ->

@@ -57,7 +57,7 @@ let test_rejects_loops () =
     (try
        ignore
          (Gpusim.Sc_ref.run ~threads:[ k ] ~args:[ [] ] ~init:[] ~watch_mem:[]
-            ~watch_regs:[]);
+            ~watch_regs:[] ());
        false
      with Invalid_argument _ -> true)
 
@@ -71,7 +71,7 @@ let test_single_thread_deterministic () =
   in
   let states =
     Gpusim.Sc_ref.run ~threads:[ k ] ~args:[ [] ] ~init:[] ~watch_mem:[ 0; 1 ]
-      ~watch_regs:[]
+      ~watch_regs:[] ()
   in
   Alcotest.(check int) "one final state" 1 (List.length states);
   match states with
@@ -86,7 +86,7 @@ let test_interleaving_count () =
   let k v = kernel "st" ~params:[] [ store (int 0) (int v) ] in
   let states =
     Gpusim.Sc_ref.run ~threads:[ k 1; k 2 ] ~args:[ []; [] ] ~init:[]
-      ~watch_mem:[ 0 ] ~watch_regs:[]
+      ~watch_mem:[ 0 ] ~watch_regs:[] ()
   in
   Alcotest.(check int) "two final states" 2 (List.length states)
 
@@ -95,11 +95,73 @@ let test_atomic_in_sc () =
   let k = kernel "inc" ~params:[] [ atomic_add (int 0) (int 1) ] in
   let states =
     Gpusim.Sc_ref.run ~threads:[ k; k ] ~args:[ []; [] ] ~init:[]
-      ~watch_mem:[ 0 ] ~watch_regs:[]
+      ~watch_mem:[ 0 ] ~watch_regs:[] ()
   in
   Alcotest.(check (list (pair int int))) "both increments always land"
     [ (0, 2) ]
     (List.concat_map (fun s -> s.Gpusim.Sc_ref.memory) states)
+
+let test_barrier_orders_block () =
+  (* Within one block, a barrier separates t0's store from t1's load: the
+     load can never observe the initial value. *)
+  let open Gpusim.Kbuild in
+  let k0 = kernel "t0" ~params:[] [ store (int 0) (int 1); barrier ] in
+  let k1 = kernel "t1" ~params:[] [ barrier; load "r" (int 0) ] in
+  let states =
+    Gpusim.Sc_ref.run ~blocks:[| 0; 0 |] ~threads:[ k0; k1 ]
+      ~args:[ []; [] ] ~init:[] ~watch_mem:[] ~watch_regs:[ (1, "r") ] ()
+  in
+  Alcotest.(check int) "one final state" 1 (List.length states);
+  List.iter
+    (fun (s : Gpusim.Sc_ref.state) ->
+      Alcotest.(check (list (triple int string int)))
+        "load after barrier sees the store" [ (1, "r", 1) ] s.registers)
+    states
+
+let test_barrier_no_order_across_blocks () =
+  (* One thread per block (the default layout): the same program no longer
+     synchronises, so the load can race with the store. *)
+  let open Gpusim.Kbuild in
+  let k0 = kernel "t0" ~params:[] [ store (int 0) (int 1); barrier ] in
+  let k1 = kernel "t1" ~params:[] [ barrier; load "r" (int 0) ] in
+  let states =
+    Gpusim.Sc_ref.run ~threads:[ k0; k1 ] ~args:[ []; [] ] ~init:[]
+      ~watch_mem:[] ~watch_regs:[ (1, "r") ] ()
+  in
+  Alcotest.(check int) "both load results reachable" 2 (List.length states)
+
+let divergence_rejected name threads blocks =
+  Alcotest.(check bool) name true
+    (try
+       ignore
+         (Gpusim.Sc_ref.run ~blocks ~threads
+            ~args:(List.map (fun _ -> []) threads)
+            ~init:[] ~watch_mem:[] ~watch_regs:[] ());
+       false
+     with Invalid_argument m ->
+       m = "Sc_ref: barrier divergence")
+
+let test_barrier_divergence_rejected () =
+  let open Gpusim.Kbuild in
+  (* One member exits without reaching the barrier the other waits at. *)
+  divergence_rejected "exited member"
+    [ kernel "t0" ~params:[] [ barrier ]; kernel "t1" ~params:[] [] ]
+    [| 0; 0 |];
+  (* Conditional barrier: one branch synchronises, the other never does —
+     divergence on the interleavings where the skipping thread exits. *)
+  divergence_rejected "conditional barrier"
+    [ kernel "t0" ~params:[] [ barrier ];
+      kernel "t1" ~params:[] [ if_ (tid = int 0) [ barrier ] [] ] ]
+    [| 0; 0 |]
+
+let test_barrier_divergence_detects_deadlock () =
+  (* Both threads reach *a* barrier, but thread 1 waits at a second one
+     that can never fill: the oracle must reject rather than hang. *)
+  let open Gpusim.Kbuild in
+  divergence_rejected "deadlock"
+    [ kernel "t0" ~params:[] [ barrier ];
+      kernel "t1" ~params:[] [ barrier; barrier ] ]
+    [| 0; 0 |]
 
 let () =
   Alcotest.run "sc_ref"
@@ -114,4 +176,12 @@ let () =
           Alcotest.test_case "deterministic single thread" `Quick
             test_single_thread_deterministic;
           Alcotest.test_case "interleavings" `Quick test_interleaving_count;
-          Alcotest.test_case "atomics" `Quick test_atomic_in_sc ] ) ]
+          Alcotest.test_case "atomics" `Quick test_atomic_in_sc;
+          Alcotest.test_case "barrier orders a block" `Quick
+            test_barrier_orders_block;
+          Alcotest.test_case "barrier is per-block" `Quick
+            test_barrier_no_order_across_blocks;
+          Alcotest.test_case "barrier divergence rejected" `Quick
+            test_barrier_divergence_rejected;
+          Alcotest.test_case "barrier deadlock rejected" `Quick
+            test_barrier_divergence_detects_deadlock ] ) ]

@@ -66,7 +66,7 @@ let sc_states (a, b) ~fenced =
   in
   Gpusim.Sc_ref.run
     ~threads:[ mk "t0" out_base a; mk "t1" (out_base + 20) b ]
-    ~args:[ []; [] ] ~init:[] ~watch_mem:(watched (a, b)) ~watch_regs:[]
+    ~args:[ []; [] ] ~init:[] ~watch_mem:(watched (a, b)) ~watch_regs:[] ()
 
 let weak_kernel (a, b) ~fenced =
   let out1 = out_base + 20 in
