@@ -117,7 +117,14 @@ let budget_term =
   in
   let make full scale =
     let b = if full then Core.Budget.paper else Core.Budget.default in
-    if scale = 1.0 then b else Core.Budget.scale_runs b scale
+    let b = if scale = 1.0 then b else Core.Budget.scale_runs b scale in
+    (* The raw flags ride along so a sharded worker subprocess can be
+       spawned with a byte-identical parameter grid. *)
+    let argv =
+      (if full then [ "--full" ] else [])
+      @ if scale = 1.0 then [] else [ "--runs-scale"; string_of_float scale ]
+    in
+    (b, argv)
   in
   Term.(const make $ full $ scale)
 
@@ -167,6 +174,26 @@ let resume_term =
            remainder runs.  The invocation must describe the same campaign \
            (kind, seed, parameter grid).  The ledger is rewritten in place \
            unless $(b,--log) names a different file.")
+
+let shard_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard" ] ~docv:"K/N"
+        ~doc:
+          "Run only shard $(docv) of the campaign's job plan (1-based; \
+           append $(b,:contiguous) for block partitioning instead of the \
+           default stride).  Requires $(b,--log): the shard ledger records \
+           just this shard's jobs, at their unsharded seeds, and carries no \
+           result record.  Combine the N shard ledgers with $(b,gpuwmm \
+           merge) into one canonical ledger.")
+
+(* Escape hatch for the process backend: GPUWMM_PROCS=off forces the
+   in-process domain pool even at campaign scale. *)
+let procs_enabled () =
+  match Sys.getenv_opt "GPUWMM_PROCS" with
+  | Some ("0" | "off" | "no" | "false") -> false
+  | _ -> true
 
 let strict_term =
   Arg.(
@@ -429,74 +456,162 @@ let render_ledger_result ?(format = `Ascii) ~path (l : Core.Runlog.ledger) =
    is rendered and the file is left byte-untouched — no pool is started
    and no job function runs.  A complete-but-degraded ledger (footer
    records quarantined jobs) takes the normal path instead, so its
-   quarantined jobs re-run and can recover. *)
-let with_ledger ~campaign ~seed ~jobs ~grid ~log ~resume ~kind ~encode f =
-  match (log, resume) with
-  | None, None -> ignore (f None)
-  | _ -> (
-    let path = match log with Some p -> p | None -> Option.get resume in
-    let loaded =
-      match resume with
-      | None -> None
-      | Some p -> (
-        match Core.Runlog.load p with
-        | Error e ->
-          Fmt.epr "cannot resume from %s: %s@." p e;
-          exit 2
-        | Ok l ->
-          (match
-             Core.Runlog.validate_resume l ~path:p ~campaign ~seed ~grid
-           with
-          | Ok () -> ()
-          | Error m ->
-            Fmt.epr "%s@." m;
-            exit 2);
-          if l.Core.Runlog.torn then
-            Fmt.epr
-              "note: %s ends mid-record (killed during a write); dropping \
-               the torn line@."
-              p;
-          Some l)
-    in
-    let complete =
-      match loaded with
-      | Some l ->
-        l.Core.Runlog.result <> None
-        && (match l.Core.Runlog.footer with
-           | Some ft -> ft.Core.Runlog.quarantined = 0
-           | None -> false)
-        && (log = None || log = resume)
-      | None -> false
-    in
-    if complete then begin
-      let l = Option.get loaded in
-      Fmt.epr "%s is already complete; nothing to re-run@." path;
-      render_ledger_result ~path l
-    end
-    else begin
-      let header =
-        match loaded with
-        | Some l -> l.Core.Runlog.header
-        | None -> Core.Runlog.make_header ?jobs ~campaign ~seed ~grid ()
-      in
-      let cache = Option.map Core.Runlog.cache_of_ledger loaded in
-      Option.iter
-        (fun c ->
-          Logs.info (fun f ->
-              f "resuming from %s: %d completed job record(s)" path
-                (Core.Runlog.cache_size c)))
-        cache;
-      let sink = Core.Runlog.create ~path header in
-      let journal = Core.Runlog.journal ~sink ?cache ~origin:path "" in
-      match f (Some journal) with
-      | v ->
-        Core.Runlog.append_result sink ~kind (encode v);
-        Core.Runlog.close sink;
-        Logs.info (fun f -> f "ledger written to %s" path)
-      | exception e ->
-        Core.Runlog.abort sink;
-        raise e
-    end)
+   quarantined jobs re-run and can recover.
+
+   With ~shard (a parsed --shard K/N) the run covers only the owned
+   slice of the plan: the header records the shard, the ambient shard is
+   installed around the body so Exec journals just the owned jobs (at
+   dense shard-local flush ranks), and the ledger is closed without a
+   result record — `gpuwmm merge` reassembles the canonical ledger from
+   the full shard set.
+
+   With ~procs (worker count n and the self-exec argv builder) the
+   campaign fans out across n worker subprocesses first — each a
+   single-domain `--shard k/n` run with its own GC — and the body then
+   executes against the union resume cache of their shard ledgers:
+   cached jobs replay, anything a crashed worker failed to flush re-runs
+   here, and the resulting ledger is indistinguishable from a
+   single-process run.  Fan-out is skipped under --resume/--shard and
+   when GPUWMM_PROCS=off. *)
+let with_ledger ?shard ?procs ~campaign ~seed ~jobs ~grid ~log ~resume ~kind
+    ~encode f =
+  let shard =
+    match shard with
+    | None -> None
+    | Some spec -> (
+      match Core.Shard.parse spec with
+      | Ok sh -> Some sh
+      | Error e ->
+        Fmt.epr "--shard %s: %s@." spec e;
+        exit 2)
+  in
+  (match (shard, log, resume) with
+  | Some _, None, None ->
+    Fmt.epr
+      "--shard requires --log: the shard ledger is the shard's only output@.";
+    exit 2
+  | _ -> ());
+  let shard_spec = Option.map Core.Shard.to_string shard in
+  let procs_cache, procs_tmp =
+    match procs with
+    | Some (n, argv_of)
+      when n >= 2 && shard = None && resume = None && procs_enabled () ->
+      let paths = Core.Procs.shard_paths ?log ~n () in
+      Logs.info (fun f -> f "fanning out %d worker processes" n);
+      let outcomes = Core.Procs.fan_out ~n ~paths ~argv_of () in
+      List.iter
+        (fun (o : Core.Procs.outcome) ->
+          match o.Core.Procs.status with
+          | Core.Procs.Failed reason ->
+            Logs.warn (fun f ->
+                f "shard %d/%d failed (%s); its jobs re-run in this process"
+                  o.Core.Procs.k n reason)
+          | _ -> ())
+        outcomes;
+      (Some (Core.Procs.merged_cache paths), if log = None then paths else [])
+    | _ -> (None, [])
+  in
+  Fun.protect
+    ~finally:(fun () -> Core.Procs.cleanup procs_tmp)
+    (fun () ->
+      match (log, resume) with
+      | None, None -> (
+        match procs_cache with
+        | None -> ignore (f None)
+        | Some cache ->
+          (* No ledger requested: the workers' shard ledgers are still
+             the cache, so the reduce replays their results without
+             re-executing. *)
+          ignore
+            (f (Some (Core.Runlog.journal ~cache ~origin:"worker shards" ""))))
+      | _ ->
+        let path = match log with Some p -> p | None -> Option.get resume in
+        let loaded =
+          match resume with
+          | None -> None
+          | Some p -> (
+            match Core.Runlog.load p with
+            | Error e ->
+              Fmt.epr "cannot resume from %s: %s@." p e;
+              exit 2
+            | Ok l ->
+              (match
+                 Core.Runlog.validate_resume ?shard:shard_spec l ~path:p
+                   ~campaign ~seed ~grid
+               with
+              | Ok () -> ()
+              | Error m ->
+                Fmt.epr "%s@." m;
+                exit 2);
+              if l.Core.Runlog.torn then
+                Fmt.epr
+                  "note: %s ends mid-record (killed during a write); \
+                   dropping the torn line@."
+                  p;
+              Some l)
+        in
+        let complete =
+          match loaded with
+          | Some l ->
+            l.Core.Runlog.result <> None
+            && (match l.Core.Runlog.footer with
+               | Some ft -> ft.Core.Runlog.quarantined = 0
+               | None -> false)
+            && (log = None || log = resume)
+          | None -> false
+        in
+        if complete then begin
+          let l = Option.get loaded in
+          Fmt.epr "%s is already complete; nothing to re-run@." path;
+          render_ledger_result ~path l
+        end
+        else begin
+          let header =
+            match loaded with
+            | Some l -> l.Core.Runlog.header
+            | None ->
+              Core.Runlog.make_header ?jobs ?shard:shard_spec ~campaign ~seed
+                ~grid ()
+          in
+          let cache =
+            match loaded with
+            | Some l -> Some (Core.Runlog.cache_of_ledger l)
+            | None -> procs_cache
+          in
+          Option.iter
+            (fun c ->
+              Logs.info (fun f ->
+                  f "resuming from %s: %d completed job record(s)"
+                    (if resume = None then "worker shards" else path)
+                    (Core.Runlog.cache_size c)))
+            cache;
+          let sink = Core.Runlog.create ~path header in
+          let journal = Core.Runlog.journal ~sink ?cache ~origin:path "" in
+          Core.Shard.set_ambient shard;
+          match
+            Fun.protect
+              ~finally:(fun () -> Core.Shard.set_ambient None)
+              (fun () -> f (Some journal))
+          with
+          | v -> (
+            match shard_spec with
+            | Some spec ->
+              (* A shard ledger carries no result record: its reduce saw
+                 placeholder values for the cells it did not own. *)
+              Core.Runlog.close sink;
+              Logs.info (fun f -> f "shard ledger written to %s" path);
+              Fmt.epr
+                "shard %s of campaign written to %s; combine the full shard \
+                 set with `gpuwmm merge ... --out LEDGER`@."
+                spec path
+            | None ->
+              Core.Runlog.append_result sink ~kind (encode v);
+              Core.Runlog.close sink;
+              Logs.info (fun f -> f "ledger written to %s" path))
+          | exception e ->
+            Core.Runlog.abort sink;
+            raise e
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
@@ -634,8 +749,8 @@ let check_cmd =
       $ json_flag $ out_term)
 
 let tune_cmd =
-  let run verbose quiet seed chip budget jobs log resume timeout retries
-      keep_going =
+  let run verbose quiet seed chip (budget, _budget_argv) jobs log resume shard
+      timeout retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
     let grid =
@@ -644,15 +759,17 @@ let tune_cmd =
           ("budget", Core.Budget.to_json budget) ]
     in
     guarded (fun () ->
-        with_ledger ~campaign:"tune" ~seed ~jobs ~grid ~log ~resume
+        with_ledger ?shard ~campaign:"tune" ~seed ~jobs ~grid ~log ~resume
           ~kind:"tuning" ~encode:tuning_to_json (fun journal ->
             let r =
               Core.Tuning.run ~backend:(backend_of jobs) ?journal ~chip ~seed
                 ~budget ()
             in
             let minutes = r.Core.Tuning.elapsed_s /. 60.0 in
-            Core.Report.table2 Fmt.stdout [ (r, minutes) ];
-            Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences;
+            if shard = None then begin
+              Core.Report.table2 Fmt.stdout [ (r, minutes) ];
+              Core.Report.table3 Fmt.stdout r.Core.Tuning.sequences
+            end;
             [ (r, minutes) ]));
     conclude_supervised ()
   in
@@ -661,7 +778,7 @@ let tune_cmd =
        ~doc:"Run the full Sec. 3 tuning pipeline for one chip.")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ budget_term $ jobs_term
-      $ log_term $ resume_term $ timeout_term $ retries_term
+      $ log_term $ resume_term $ shard_term $ timeout_term $ retries_term
       $ keep_going_term)
 
 let test_cmd =
@@ -675,8 +792,8 @@ let test_cmd =
   let env_name =
     Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
   in
-  let run verbose quiet seed chip app runs env_name jobs log resume strict
-      timeout retries keep_going =
+  let run verbose quiet seed chip app runs env_name jobs log resume shard
+      strict timeout retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
@@ -698,36 +815,75 @@ let test_cmd =
             ("apps", json_strs (app_names apps));
             ("runs", Core.Json.Int runs) ]
       in
+      (* Campaign-scale work defaults to the process backend: worker
+         subprocesses dodge OCaml 5's shared stop-the-world minor GC,
+         which caps the in-process domain pool below 1x on this
+         workload.  GPUWMM_PROCS=off restores the domain pool. *)
+      let procs_n =
+        let n =
+          match jobs with
+          | Some n -> Core.Exec.clamp_jobs n
+          | None -> Core.Exec.default_jobs ()
+        in
+        if n >= 2 && shard = None && resume = None && procs_enabled () then
+          Some n
+        else None
+      in
+      let child_argv n ~k ~path =
+        [ Sys.executable_name; "test";
+          "--chip"; chip.Gpusim.Chip.name;
+          "--runs"; string_of_int runs;
+          "--env"; env_name;
+          "--seed"; string_of_int seed;
+          "-j"; "1"; "-q";
+          "--shard"; Printf.sprintf "%d/%d" k n;
+          "--log"; path ]
+        @ (match app with
+          | Some a -> [ "--app"; a.Apps.App.name ]
+          | None -> [])
+        @ (if strict then [ "--strict" ] else [])
+        @ (match timeout with
+          | Some t -> [ "--timeout"; string_of_float t ]
+          | None -> [])
+        @ (if retries > 0 then [ "--retries"; string_of_int retries ] else [])
+        @ if keep_going then [ "--keep-going" ] else []
+      in
+      let backend =
+        match procs_n with
+        | Some n -> Core.Exec.Processes n
+        | None -> backend_of jobs
+      in
       guarded (fun () ->
-          with_ledger ~campaign:"test" ~seed ~jobs ~grid ~log ~resume
-            ~kind:"campaign" ~encode:Core.Campaign.rows_to_json
-            (fun journal ->
+          with_ledger ?shard
+            ?procs:(Option.map (fun n -> (n, child_argv n)) procs_n)
+            ~campaign:"test" ~seed ~jobs ~grid ~log ~resume ~kind:"campaign"
+            ~encode:Core.Campaign.rows_to_json (fun journal ->
               let rows =
-                Core.Campaign.run ~backend:(backend_of jobs) ?journal
-                  ~chips:[ chip ]
+                Core.Campaign.run ~backend ?journal ~chips:[ chip ]
                   ~environments_for:(fun _ -> [ env ])
                   ~apps ~runs ~seed ()
               in
-              List.iter
-                (fun row ->
-                  List.iter
-                    (fun cell ->
-                      match cell.Core.Campaign.quarantined with
-                      | Some reason ->
-                        Fmt.pr "%-12s %s %s: QUARANTINED (%s)@."
-                          cell.Core.Campaign.app chip.Gpusim.Chip.name
-                          env_name reason
-                      | None ->
-                        Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
-                          cell.Core.Campaign.app chip.Gpusim.Chip.name
-                          env_name cell.Core.Campaign.errors
-                          cell.Core.Campaign.runs
-                          (match Core.Campaign.dominant cell with
-                          | None -> ""
-                          | Some (msg, n) ->
-                            Printf.sprintf "  (dominant: %s x%d)" msg n))
-                    row.Core.Campaign.cells)
-                rows;
+              if shard = None then
+                List.iter
+                  (fun row ->
+                    List.iter
+                      (fun cell ->
+                        match cell.Core.Campaign.quarantined with
+                        | Some reason ->
+                          Fmt.pr "%-12s %s %s: QUARANTINED (%s)@."
+                            cell.Core.Campaign.app chip.Gpusim.Chip.name
+                            env_name reason
+                        | None ->
+                          Fmt.pr "%-12s %s %s: %d/%d erroneous runs%s@."
+                            cell.Core.Campaign.app chip.Gpusim.Chip.name
+                            env_name cell.Core.Campaign.errors
+                            cell.Core.Campaign.runs
+                            (match Core.Campaign.dominant cell with
+                            | None -> ""
+                            | Some (msg, n) ->
+                              Printf.sprintf "  (dominant: %s x%d)" msg n))
+                      row.Core.Campaign.cells)
+                  rows;
               rows));
       conclude_supervised ()
   in
@@ -737,8 +893,8 @@ let test_cmd =
              and count erroneous runs (Sec. 4).")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ app_term $ runs $ env_name
-      $ jobs_term $ log_term $ resume_term $ strict_term $ timeout_term
-      $ retries_term $ keep_going_term)
+      $ jobs_term $ log_term $ resume_term $ shard_term $ strict_term
+      $ timeout_term $ retries_term $ keep_going_term)
 
 let harden_cmd =
   let app_term =
@@ -750,7 +906,7 @@ let harden_cmd =
   let stability =
     Arg.(value & opt int 200 & info [ "stability-runs" ] ~docv:"N")
   in
-  let run verbose quiet seed chip app stability jobs log resume timeout
+  let run verbose quiet seed chip app stability jobs log resume shard timeout
       retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
@@ -764,24 +920,26 @@ let harden_cmd =
           ("stability_runs", Core.Json.Int stability) ]
     in
     guarded (fun () ->
-        with_ledger ~campaign:"harden" ~seed ~jobs ~grid ~log ~resume
+        with_ledger ?shard ~campaign:"harden" ~seed ~jobs ~grid ~log ~resume
           ~kind:"harden" ~encode:Core.Harden.results_to_json (fun journal ->
             let r =
               Core.Harden.insert ~chip ~config ~backend:(backend_of jobs)
                 ?journal ~app ~seed ()
             in
-            Core.Report.table6 Fmt.stdout [ r ];
-            (* Show the hardened kernels. *)
-            List.iter
-              (fun k ->
-                let fenced =
-                  Apps.App.apply_fencing (Apps.App.Sites r.Core.Harden.fences)
-                    k
-                in
-                if Gpusim.Kernel.fence_sites fenced <> [] then
-                  Fmt.pr "@.%s@."
-                    (Gpusim.Kernel_pp.to_string ~sids:true fenced))
-              app.Apps.App.kernels;
+            if shard = None then begin
+              Core.Report.table6 Fmt.stdout [ r ];
+              (* Show the hardened kernels. *)
+              List.iter
+                (fun k ->
+                  let fenced =
+                    Apps.App.apply_fencing
+                      (Apps.App.Sites r.Core.Harden.fences) k
+                  in
+                  if Gpusim.Kernel.fence_sites fenced <> [] then
+                    Fmt.pr "@.%s@."
+                      (Gpusim.Kernel_pp.to_string ~sids:true fenced))
+                app.Apps.App.kernels
+            end;
             [ r ]));
     conclude_supervised ()
   in
@@ -790,8 +948,8 @@ let harden_cmd =
        ~doc:"Empirical fence insertion (Alg. 1) for one application.")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ app_term $ stability
-      $ jobs_term $ log_term $ resume_term $ timeout_term $ retries_term
-      $ keep_going_term)
+      $ jobs_term $ log_term $ resume_term $ shard_term $ timeout_term
+      $ retries_term $ keep_going_term)
 
 let inspect_cmd =
   let app_term =
@@ -1046,18 +1204,53 @@ let table_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-6).")
   in
   let runs = Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N") in
-  let run verbose quiet seed chips all number budget runs jobs log resume
-      strict timeout retries keep_going =
+  let run verbose quiet seed chips all number (budget, budget_argv) runs jobs
+      log resume shard strict timeout retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
     let chips = resolve_chips chips all in
-    let backend = backend_of jobs in
     let grid =
       Core.Json.Assoc
         [ ("chips", json_strs (chip_names chips));
           ("budget", Core.Budget.to_json budget);
           ("runs", Core.Json.Int runs) ]
+    in
+    (* Only the Table 5 campaign is a flat independent grid today, so it
+       alone defaults to the process backend (see `test`); the adaptive
+       tables keep the domain pool. *)
+    let procs_n =
+      let n =
+        match jobs with
+        | Some n -> Core.Exec.clamp_jobs n
+        | None -> Core.Exec.default_jobs ()
+      in
+      if
+        number = 5 && n >= 2 && shard = None && resume = None
+        && procs_enabled ()
+      then Some n
+      else None
+    in
+    let child_argv n ~k ~path =
+      [ Sys.executable_name; "table"; string_of_int number;
+        "--chips"; String.concat "," (chip_names chips);
+        "--runs"; string_of_int runs;
+        "--seed"; string_of_int seed;
+        "-j"; "1"; "-q";
+        "--shard"; Printf.sprintf "%d/%d" k n;
+        "--log"; path ]
+      @ budget_argv
+      @ (if strict then [ "--strict" ] else [])
+      @ (match timeout with
+        | Some t -> [ "--timeout"; string_of_float t ]
+        | None -> [])
+      @ (if retries > 0 then [ "--retries"; string_of_int retries ] else [])
+      @ if keep_going then [ "--keep-going" ] else []
+    in
+    let backend =
+      match procs_n with
+      | Some n -> Core.Exec.Processes n
+      | None -> backend_of jobs
     in
     let ledgered :
         type a.
@@ -1067,7 +1260,8 @@ let table_cmd =
         unit =
      fun ~kind ~encode f ->
       guarded (fun () ->
-          with_ledger
+          with_ledger ?shard
+            ?procs:(Option.map (fun n -> (n, child_argv n)) procs_n)
             ~campaign:(Printf.sprintf "table%d" number)
             ~seed ~jobs ~grid ~log ~resume ~kind ~encode f);
       conclude_supervised ()
@@ -1120,7 +1314,7 @@ let table_cmd =
               ~environments_for:tuned_envs ~apps:Apps.Registry.all ~runs
               ~seed ()
           in
-          Core.Report.table5 Fmt.stdout rows;
+          if shard = None then Core.Report.table5 Fmt.stdout rows;
           rows)
     | 6 ->
       ledgered ~kind:"harden" ~encode:Core.Harden.results_to_json
@@ -1152,7 +1346,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce a table of the paper.")
     Term.(
       const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
-      $ budget_term $ runs $ jobs_term $ log_term $ resume_term
+      $ budget_term $ runs $ jobs_term $ log_term $ resume_term $ shard_term
       $ strict_term $ timeout_term $ retries_term $ keep_going_term)
 
 let figure_cmd =
@@ -1160,8 +1354,8 @@ let figure_cmd =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (3-5).")
   in
   let runs = Arg.(value & opt int 30 & info [ "runs" ] ~docv:"N") in
-  let run verbose quiet seed chips all number budget runs csv jobs log resume
-      strict timeout retries keep_going =
+  let run verbose quiet seed chips all number (budget, _budget_argv) runs csv
+      jobs log resume shard strict timeout retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
@@ -1181,7 +1375,7 @@ let figure_cmd =
         unit =
      fun ~kind ~encode f ->
       guarded (fun () ->
-          with_ledger
+          with_ledger ?shard
             ~campaign:(Printf.sprintf "figure%d" number)
             ~seed ~jobs ~grid ~log ~resume ~kind ~encode f);
       conclude_supervised ()
@@ -1252,7 +1446,8 @@ let figure_cmd =
     Term.(
       const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
       $ budget_term $ runs $ csv_out $ jobs_term $ log_term $ resume_term
-      $ strict_term $ timeout_term $ retries_term $ keep_going_term)
+      $ shard_term $ strict_term $ timeout_term $ retries_term
+      $ keep_going_term)
 
 (* ------------------------------------------------------------------ *)
 (* Chaos testing: deterministic fault injection                         *)
@@ -1594,6 +1789,51 @@ let chaos_cmd =
 (* ------------------------------------------------------------------ *)
 (* Ledger-backed reporting and comparison                               *)
 
+let merge_cmd =
+  let inputs =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"SHARD"
+          ~doc:"Shard ledgers to combine — the full 1/N .. N/N set.")
+  in
+  let out_term =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the merged ledger to $(docv).")
+  in
+  let run verbose paths out =
+    setup_log verbose;
+    match Core.Merge.merge ~out paths with
+    | Error e ->
+      Fmt.epr "merge failed: %s@." e;
+      exit 2
+    | Ok o ->
+      Fmt.pr "merged %d shards (%d job records) into %s%s@."
+        o.Core.Merge.shards o.Core.Merge.jobs o.Core.Merge.out_path
+        (if o.Core.Merge.quarantined > 0 then
+           Printf.sprintf
+             " — %d quarantined job(s); finish it with --resume %s"
+             o.Core.Merge.quarantined o.Core.Merge.out_path
+         else if not o.Core.Merge.result_written then
+           " — no result record yet; finish it with --resume"
+         else "");
+      if o.Core.Merge.quarantined > 0 then exit exit_degraded
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Combine the shard ledgers of a $(b,--shard)-partitioned campaign \
+          into one canonical ledger.  Under \
+          $(b,GPUWMM_LEDGER_DETERMINISTIC) the output is byte-identical to \
+          a single-process run of the same campaign, so $(b,report), \
+          $(b,compare) and $(b,--resume) work on it unchanged.  Fails \
+          closed — writing nothing — on a missing or duplicated shard, \
+          overlapping or missing jobs (resume the interrupted shard \
+          first), or shards whose plan headers disagree.")
+    Term.(const run $ verbose $ inputs $ out_term)
+
 let report_cmd =
   let from_term =
     Arg.(
@@ -1691,6 +1931,6 @@ let main =
     [ chips_cmd; litmus_cmd; run_litmus_cmd; check_cmd; tune_cmd; test_cmd;
       harden_cmd;
       target_cmd; trace_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd;
-      chaos_cmd; report_cmd; compare_cmd ]
+      chaos_cmd; merge_cmd; report_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main)

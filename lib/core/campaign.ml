@@ -70,7 +70,7 @@ let merge_histograms hs =
   |> List.sort (fun (m1, n1) (m2, n2) ->
          match Int.compare n2 n1 with 0 -> String.compare m1 m2 | c -> c)
 
-let summarise ~chip ~env cells =
+let summarise_names ~chip ~env cells =
   let capable = List.length (List.filter (fun c -> c.errors > 0) cells) in
   let effective =
     List.length
@@ -80,8 +80,42 @@ let summarise ~chip ~env cells =
            > effectiveness_threshold *. float_of_int c.runs)
          cells)
   in
-  { chip = chip.Gpusim.Chip.name; environment = env.Environment.label; cells;
-    capable; effective }
+  { chip; environment = env; cells; capable; effective }
+
+let summarise ~chip ~env cells =
+  summarise_names ~chip:chip.Gpusim.Chip.name ~env:env.Environment.label cells
+
+(* Rebuild the reduced row list from a flat plan-order cell list — what
+   `gpuwmm merge` uses to reconstruct a merged ledger's result record
+   without re-running anything.  Row nesting matches [run]'s plan:
+   chips x envs, [apps_per_row] cells each. *)
+let rows_of_cells ~chips ~envs ~apps_per_row cells =
+  let expect = List.length chips * List.length envs * apps_per_row in
+  if apps_per_row <= 0 then Error "rows_of_cells: no applications in grid"
+  else if List.length cells <> expect then
+    Error
+      (Printf.sprintf "rows_of_cells: %d cell(s) for a %d-cell grid"
+         (List.length cells) expect)
+  else
+    let rec take n acc cells =
+      if n = 0 then (List.rev acc, cells)
+      else
+        match cells with
+        | [] -> assert false (* length checked above *)
+        | c :: cells -> take (n - 1) (c :: acc) cells
+    in
+    let rows, rest =
+      List.fold_left
+        (fun (acc, cells) chip ->
+          List.fold_left
+            (fun (acc, cells) env ->
+              let row_cells, cells = take apps_per_row [] cells in
+              (summarise_names ~chip ~env row_cells :: acc, cells))
+            (acc, cells) envs)
+        ([], cells) chips
+    in
+    assert (rest = []);
+    Ok (List.rev rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ledger codecs                                                        *)
@@ -182,6 +216,12 @@ let run ?backend ?journal ~chips ~environments_for ~apps ~runs ~seed () =
       ~quarantine:(fun (_, _, app) (fl : Exec.failure) ->
         { app = app.Apps.App.name; errors = 0; runs = 0; example = "";
           histogram = []; quarantined = Some fl.Exec.f_reason })
+        (* Cells are independent, so a k/N shard can skip the cells it
+           does not own outright; the placeholder rows a shard's reduce
+           produces are discarded (a shard ledger records no result). *)
+      ~shard_placeholder:(fun (_, _, app) ->
+        { app = app.Apps.App.name; errors = 0; runs = 0; example = "";
+          histogram = []; quarantined = None })
       ~f:(fun ~seed (chip, env, app) -> test_app ~chip ~env ~app ~runs ~seed)
       grid
   in

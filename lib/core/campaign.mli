@@ -56,6 +56,24 @@ val merge_histograms : (string * int) list list -> (string * int) list
 (** Order-independent merge of error histograms (summed counts, sorted by
     descending count then message). *)
 
+val summarise_names :
+  chip:string -> env:string -> cell list -> row
+(** Summarise one row from already-computed cells, identified by name
+    only (no chip/environment values needed — what ledger-level tooling
+    has). *)
+
+val rows_of_cells :
+  chips:string list ->
+  envs:string list ->
+  apps_per_row:int ->
+  cell list ->
+  (row list, string) result
+(** Rebuild the reduced row list from a flat plan-order cell list
+    (chips x envs nesting, [apps_per_row] cells per row).  [gpuwmm
+    merge] uses this to reconstruct a merged ledger's result record
+    from its job records; errors out when the cell count does not match
+    the grid. *)
+
 val run :
   ?backend:Exec.backend ->
   ?journal:Runlog.journal ->

@@ -1,4 +1,4 @@
-type backend = Serial | Parallel of int
+type backend = Serial | Parallel of int | Processes of int
 
 let serial = Serial
 
@@ -14,7 +14,17 @@ let clamp_jobs ?(warn = true) n =
 let backend_of_jobs n =
   if n <= 1 then Serial else Parallel (clamp_jobs ~warn:false n)
 
-let jobs_of_backend = function Serial -> 1 | Parallel n -> Int.max 1 n
+let jobs_of_backend = function
+  | Serial -> 1
+  | Parallel n | Processes n -> Int.max 1 n
+
+(* [Processes n] is executed in-process as a single domain: the fan-out
+   across n worker subprocesses happens a layer above (Procs), where the
+   command line needed to self-exec is known.  A child, and the parent's
+   final replay-from-shard-caches pass, both land here. *)
+let domains_of_backend = function
+  | Serial | Processes _ -> 1
+  | Parallel n -> Int.max 1 n
 
 let default_jobs () =
   match Sys.getenv_opt "GPUWMM_JOBS" with
@@ -433,7 +443,7 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
   let arr = Array.of_list jobs in
   let len = Array.length arr in
   let tick = make_ticker ~label ~execs_per_job ~total:len ~cached:0 in
-  let domains = Int.min (jobs_of_backend backend) (Int.max 1 len) in
+  let domains = Int.min (domains_of_backend backend) (Int.max 1 len) in
   let exec = instrumented ?label ~f ~queued_at:(Unix.gettimeofday ()) in
   if domains <= 1 then
     List.mapi
@@ -457,7 +467,7 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
   end
 
 let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
-    ?quarantine ~seed ~f payloads =
+    ?quarantine ?shard_placeholder ~seed ~f payloads =
   tune_gc ();
   let jobs = plan ~seed payloads in
   let arr = Array.of_list jobs in
@@ -465,6 +475,20 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
   let results = Array.make len None in
   let errors = Atomic.make 0 in
   let count_errors = Option.is_some codec in
+  (* Under an ambient k/N shard, only the owned slice of the plan is
+     journalled (at its dense shard-local flush rank); with a
+     [shard_placeholder] the non-owned jobs are not even executed — the
+     driver's reduce sees placeholders there, and the real values are
+     reconstructed from the sibling shards at merge time. *)
+  let shard = Shard.ambient () in
+  let journal_pos j_index =
+    match shard with
+    | None -> Some None
+    | Some sh ->
+      if Shard.owns sh ~total:len j_index then
+        Some (Some (Shard.rank sh ~total:len j_index))
+      else None
+  in
   (* Resolve cached jobs from the resume ledger up front: their results
      are replayed into the new ledger verbatim and their executions are
      skipped entirely. *)
@@ -476,7 +500,9 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
         | Some (v, r) ->
           results.(j.index) <- Some v;
           ignore (Atomic.fetch_and_add errors r.Runlog.errors);
-          Runlog.replay jn r
+          (match journal_pos j.index with
+          | Some pos -> Runlog.replay ?pos jn r
+          | None -> ())
         | None -> ())
       arr
   | Some _, None -> invalid_arg "Exec.run: ~journal requires ~codec"
@@ -490,8 +516,24 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
   | Some l when cached > 0 ->
     info (Printf.sprintf "%s: resuming with %d/%d cached job(s)" l cached len)
   | _ -> ());
-  let tick = make_ticker ~label ~execs_per_job ~total:len ~cached in
-  let completed = Atomic.make cached in
+  let skipped = ref 0 in
+  (match (shard, shard_placeholder) with
+  | Some sh, Some ph ->
+    Array.iter
+      (fun j ->
+        if
+          (not (Shard.owns sh ~total:len j.index))
+          && Option.is_none results.(j.index)
+        then begin
+          results.(j.index) <- Some (ph j.payload);
+          incr skipped
+        end)
+      arr
+  | _ -> ());
+  let tick =
+    make_ticker ~label ~execs_per_job ~total:len ~cached:(cached + !skipped)
+  in
+  let completed = Atomic.make (cached + !skipped) in
   let fresh =
     Array.of_list (List.filter (fun j -> Option.is_none results.(j.index)) jobs)
   in
@@ -518,13 +560,13 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
       let errs =
         match codec with Some c -> c.Runlog.errors_of v | None -> 0
       in
-      (match journal with
-      | Some jn ->
+      (match (journal, journal_pos j.index) with
+      | Some jn, Some pos ->
         let c = Option.get codec in
-        Runlog.record jn ~index:j.index ~seed:j.seed ~errors:errs ~duration_s
-          ~attempts
+        Runlog.record jn ?pos ~index:j.index ~seed:j.seed ~errors:errs
+          ~duration_s ~attempts
           (c.Runlog.encode v)
-      | None -> ());
+      | _ -> ());
       results.(j.index) <- Some v;
       if count_errors then ignore (Atomic.fetch_and_add errors errs);
       tick
@@ -532,7 +574,7 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
         (if count_errors then Some (Atomic.get errors) else None)
     in
     let sup = Atomic.get supervision_hook in
-    let domains = Int.min (jobs_of_backend backend) flen in
+    let domains = Int.min (domains_of_backend backend) flen in
     let slots =
       match sup with
       | Some _ -> Array.init (Int.max 1 domains) (fun _ -> make_slot ())
@@ -565,12 +607,13 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
                plan-order stream whole (and is re-run on resume), the
                caller's fallback value keeps the reduction total. *)
             note_quarantine fl;
-            (match journal with
-            | Some jn ->
-              Runlog.record_failure jn ~index:j.index ~seed:j.seed ~attempts
+            (match (journal, journal_pos j.index) with
+            | Some jn, Some pos ->
+              Runlog.record_failure jn ?pos ~index:j.index ~seed:j.seed
+                ~attempts
                 ~duration_s:(Unix.gettimeofday () -. t0)
                 reason
-            | None -> ());
+            | _ -> ());
             let v = q j.payload fl in
             results.(j.index) <- Some v;
             if count_errors then
@@ -603,7 +646,7 @@ let for_all ?(backend = Serial) ~seed ~f payloads =
   if njobs = 0 then true
   else begin
     let sup = Atomic.get supervision_hook in
-    let domains = Int.min (jobs_of_backend backend) njobs in
+    let domains = Int.min (domains_of_backend backend) njobs in
     let slots =
       match sup with
       | Some _ -> Array.init (Int.max 1 domains) (fun _ -> make_slot ())

@@ -30,6 +30,15 @@ type backend =
   | Parallel of int
       (** [Parallel n]: a pool of [n] domains (the caller participates);
           [Parallel 1] behaves like [Serial] *)
+  | Processes of int
+      (** [Processes n]: the campaign is sharded across [n] worker
+          {e subprocesses}, each with its own GC — the escape hatch from
+          OCaml 5's stop-the-world shared minor collector.  The fan-out
+          itself happens a layer above this module ({!Procs}, driven by
+          the CLI, which knows the command line to self-exec with
+          [--shard k/n]); inside [Exec] this backend executes on a
+          single domain, which is exactly what a worker child and the
+          parent's final replay-from-shard-caches pass need. *)
 
 val serial : backend
 
@@ -45,6 +54,8 @@ val backend_of_jobs : int -> backend
     [n] silently clamped to {!max_jobs}. *)
 
 val jobs_of_backend : backend -> int
+(** The advertised parallel width ([n] for both [Parallel n] and
+    [Processes n], 1 for [Serial]). *)
 
 val default_jobs : unit -> int
 (** The [GPUWMM_JOBS] environment variable if set to an integer (clamped
@@ -53,6 +64,11 @@ val default_jobs : unit -> int
 
 val default_backend : unit -> backend
 (** [backend_of_jobs (default_jobs ())]. *)
+
+val default_minor_heap_words : int
+(** The minor-heap size {!tune_gc} installs by default (16 MiB per
+    domain).  {!Procs} divides it across worker subprocesses so a
+    process-sharded campaign keeps the same total memory budget. *)
 
 val tune_gc : unit -> unit
 (** Tune the calling domain's GC for campaign throughput (idempotent per
@@ -114,6 +130,7 @@ val run :
   ?journal:Runlog.journal ->
   ?codec:'b Runlog.codec ->
   ?quarantine:('a -> failure -> 'b) ->
+  ?shard_placeholder:('a -> 'b) ->
   seed:int ->
   f:(seed:int -> 'a -> 'b) ->
   'a list ->
@@ -142,7 +159,19 @@ val run :
     a [failed] record is written to the journal, the failure is added to
     the degradation summary ({!drain_summary}) and the campaign
     continues.  Without [keep_going] (or without a fallback) the engine
-    raises {!Job_failed}. *)
+    raises {!Job_failed}.
+
+    Under an ambient {!Shard.set_ambient} [k/N] shard, only the owned
+    slice of the plan is journalled, each record keyed at its dense
+    shard-local flush rank ({!Shard.rank}) so the shard ledger streams
+    gap-free; per-job seeds are the unsharded ones.  With
+    [~shard_placeholder] the non-owned jobs are not executed at all —
+    their result slots are filled with the (cheap, never-journalled)
+    placeholder, which is what gives a shard its [1/N] runtime; the true
+    values are reassembled from the sibling shards by [gpuwmm merge].
+    Drivers whose later phases depend on every result (the adaptive
+    finders) simply omit it: every shard then executes the full plan but
+    still journals only its own slice. *)
 
 val for_all :
   ?backend:backend ->

@@ -1,0 +1,185 @@
+(* Process-level fan-out for sharded campaigns.
+
+   OCaml 5 domains share one stop-the-world minor collector, so for
+   allocation-heavy simulation the domain pool stops scaling almost
+   immediately (bench: speedup_j2 < 1).  The escape hatch is processes:
+   the CLI re-executes itself once per shard ([--shard k/N]), each child
+   a plain single-domain run with its own heap, and the parent
+   reassembles the shard ledgers.  This module owns the mechanics —
+   spawning, GC budgeting, ledger-tail progress, reaping and one-shot
+   crash recovery — using nothing beyond stdlib [Unix].
+
+   Why this is safe with domains: [Unix.create_process] forks and execs
+   immediately, so the child never runs OCaml code in the forked image
+   (fork without exec is unsafe once domains have been spawned). *)
+
+type status =
+  | Completed  (** exit 0 *)
+  | Degraded  (** exit 3: quarantined jobs, ledger still whole *)
+  | Failed of string  (** crashed twice; its slice re-runs in the parent *)
+
+type outcome = {
+  k : int;
+  path : string;  (** the shard's ledger *)
+  status : status;
+  retried : bool;  (** the shard crashed once and was resumed *)
+}
+
+let shard_paths ?log ~n () =
+  List.init n (fun i ->
+      let k = i + 1 in
+      match log with
+      | Some l -> Printf.sprintf "%s.shard%d" l k
+      | None ->
+        let f = Filename.temp_file "gpuwmm-shard" ".jsonl" in
+        (* temp_file creates the file; a stale empty ledger would fail
+           the child's header parse on --resume paths, so remove it and
+           let the child create it. *)
+        Sys.remove f;
+        f)
+
+(* Each worker gets [1/n] of the default per-domain minor heap (floored
+   at 1 MiB) unless the operator pinned GPUWMM_GC, so a process-sharded
+   campaign keeps roughly the single-process memory budget. *)
+let child_env ~n =
+  let base = Unix.environment () in
+  let has_gc =
+    Array.exists (fun kv -> String.length kv >= 10 && String.sub kv 0 10 = "GPUWMM_GC=") base
+  in
+  if has_gc then base
+  else
+    let words = Int.max 262144 (Exec.default_minor_heap_words / Int.max 1 n) in
+    Array.append base [| Printf.sprintf "GPUWMM_GC=%d" words |]
+
+(* Count the job records a shard has durably flushed — the ledger tail
+   is the only progress channel a worker needs (children run quiet). *)
+let jobs_on_disk path =
+  match open_in path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if
+           String.length line >= 14
+           && String.sub line 0 14 = {|{"rec":"job","|}
+         then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+
+type child = {
+  c_k : int;
+  c_path : string;
+  mutable c_pid : int;
+  mutable c_retried : bool;
+  mutable c_status : status option;
+}
+
+let describe_exit = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+let fan_out ?(exe = Sys.executable_name) ~n ~paths ~argv_of () =
+  if List.length paths <> n then
+    invalid_arg "Procs.fan_out: paths length <> n";
+  let env = child_env ~n in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let spawn argv =
+    Unix.create_process_env exe (Array.of_list argv) env devnull devnull
+      devnull
+  in
+  let children =
+    List.mapi
+      (fun i path ->
+        let k = i + 1 in
+        { c_k = k; c_path = path;
+          c_pid = spawn (argv_of ~k ~path);
+          c_retried = false; c_status = None })
+      paths
+  in
+  let running () =
+    List.filter (fun c -> c.c_status = None) children
+  in
+  let last_line = ref 0.0 in
+  let progress () =
+    let now = Unix.gettimeofday () in
+    if now -. !last_line >= 1.0 then begin
+      last_line := now;
+      let jobs =
+        List.fold_left (fun acc c -> acc + jobs_on_disk c.c_path) 0 children
+      in
+      Exec.info
+        (Printf.sprintf "workers: %d job record(s) across %d shard(s), %d running"
+           jobs n
+           (List.length (running ())))
+    end
+  in
+  let reap c =
+    match Unix.waitpid [ Unix.WNOHANG ] c.c_pid with
+    | 0, _ -> ()
+    | _, Unix.WEXITED 0 -> c.c_status <- Some Completed
+    | _, Unix.WEXITED 3 -> c.c_status <- Some Degraded
+    | _, st ->
+      if c.c_retried then begin
+        c.c_status <- Some (Failed (describe_exit st));
+        Exec.info
+          (Printf.sprintf
+             "worker %d/%d %s again; its slice falls back to the parent"
+             c.c_k n (describe_exit st))
+      end
+      else begin
+        c.c_retried <- true;
+        Exec.info
+          (Printf.sprintf "worker %d/%d %s; resuming it from %s" c.c_k n
+             (describe_exit st) c.c_path);
+        (* The shard ledger survives the crash (torn tails are dropped
+           on load), so a resume replays the flushed jobs and only the
+           remainder re-runs. *)
+        c.c_pid <-
+          spawn (argv_of ~k:c.c_k ~path:c.c_path @ [ "--resume"; c.c_path ])
+      end
+  in
+  let rec drain () =
+    match running () with
+    | [] -> ()
+    | live ->
+      List.iter reap live;
+      progress ();
+      if running () <> [] then begin
+        ignore (Unix.select [] [] [] 0.1);
+        drain ()
+      end
+  in
+  Fun.protect ~finally:(fun () -> Unix.close devnull) drain;
+  List.map
+    (fun c ->
+      { k = c.c_k; path = c.c_path;
+        status = Option.value c.c_status ~default:(Failed "not reaped");
+        retried = c.c_retried })
+    children
+
+(* Union resume cache over whatever shard ledgers made it to disk.  A
+   shard that crashed twice may be unreadable or half-written; its jobs
+   simply stay uncached and re-run in the parent under the parent's own
+   supervision, which is the crash-reaping story: no shard failure mode
+   can lose a campaign, only slow it down. *)
+let merged_cache paths =
+  let ledgers =
+    List.filter_map
+      (fun p ->
+        match Runlog.load p with
+        | Ok l -> Some l
+        | Error e ->
+          Exec.info
+            (Printf.sprintf "shard ledger %s unreadable (%s); its jobs re-run"
+               p e);
+          None)
+      paths
+  in
+  Runlog.cache_of_ledgers ledgers
+
+let cleanup paths = List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths

@@ -1,0 +1,59 @@
+(** Process-level fan-out for sharded campaigns (the [Processes n]
+    backend's engine room).
+
+    OCaml 5 domains share a stop-the-world minor collector, so the
+    domain pool does not scale for allocation-heavy simulation; worker
+    {e subprocesses} (self-exec with [--shard k/N]) each get their own
+    runtime.  The parent spawns them, budgets their GC, follows their
+    ledger tails for the live ticker, reaps crashes (one resume retry,
+    then the parent re-runs the lost slice itself from the merged
+    cache), and unions the shard ledgers into a resume cache.
+
+    Uses stdlib [Unix] only.  Safe in the presence of domains because
+    [Unix.create_process] forks and execs atomically. *)
+
+type status =
+  | Completed  (** worker exited 0 *)
+  | Degraded
+      (** worker exited 3 — quarantined jobs under [--keep-going]; its
+          ledger is whole and usable *)
+  | Failed of string
+      (** crashed, was resumed once, crashed again; whatever jobs its
+          ledger holds are still cached, the rest re-run in the parent *)
+
+type outcome = {
+  k : int;
+  path : string;  (** the shard's ledger file *)
+  status : status;
+  retried : bool;
+}
+
+val shard_paths : ?log:string -> n:int -> unit -> string list
+(** Ledger path per shard [1..n]: [LOG.shard<k>] next to a requested
+    [--log] (durable, uploadable artifacts), fresh temp files
+    otherwise. *)
+
+val fan_out :
+  ?exe:string ->
+  n:int ->
+  paths:string list ->
+  argv_of:(k:int -> path:string -> string list) ->
+  unit ->
+  outcome list
+(** Spawn one worker per shard with [argv_of ~k ~path] (the full argv
+    including [argv.(0)]; [exe] defaults to [Sys.executable_name]),
+    stdin/stdout/stderr on [/dev/null], and [GPUWMM_GC] set to
+    [default_minor_heap_words / n] (floored at 1 MiB) unless the
+    operator pinned it.  Blocks until every worker is reaped, emitting
+    a ledger-tail progress line about once a second through
+    {!Exec.info}.  A worker that exits with anything other than 0 or 3
+    is respawned once with [--resume <its ledger>] appended. *)
+
+val merged_cache : string list -> Runlog.cache
+(** Union resume cache over the shard ledgers that load (torn tails
+    dropped, unreadable ledgers skipped with a notice) — the parent's
+    final pass replays cached jobs and re-executes only what the
+    workers failed to flush. *)
+
+val cleanup : string list -> unit
+(** Best-effort removal of temp shard ledgers. *)

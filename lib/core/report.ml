@@ -341,7 +341,15 @@ let provenance ppf ~path (h : Runlog.header) =
         tm.Unix.tm_sec
   in
   Fmt.pf ppf "# created: %s | git: %s@." created
-    (Option.value h.Runlog.git ~default:"-")
+    (Option.value h.Runlog.git ~default:"-");
+  (match h.Runlog.shard with
+  | None -> ()
+  | Some s -> Fmt.pf ppf "# shard: %s (partial ledger; combine with gpuwmm merge)@." s);
+  match h.Runlog.merged with
+  | None -> ()
+  | Some srcs ->
+    Fmt.pf ppf "# merged %d shards: %s@." (List.length srcs)
+      (String.concat " " srcs)
 
 let table5_csv rows =
   let buf = Buffer.create 1024 in

@@ -49,7 +49,9 @@ val cost_csv : Cost.point list -> string
 val provenance : Format.formatter -> path:string -> Runlog.header -> unit
 (** ['#']-prefixed provenance stamp (valid as CSV comment lines):
     ledger path, schema, campaign kind, seed, jobs, argv, creation time
-    and git version. *)
+    and git version; shard ledgers are flagged as partial, and a merged
+    ledger (outside deterministic mode) names every contributing shard
+    ledger. *)
 
 val table5_csv : Campaign.row list -> string
 (** One line per (chip, environment, app) cell: errors, runs, error

@@ -66,6 +66,8 @@ type header = {
   grid : Json.t;
   git : string option;
   created : float;
+  shard : string option;
+  merged : string list option;
 }
 
 let git_describe () =
@@ -80,28 +82,44 @@ let git_describe () =
     | _ -> None
   with _ -> None
 
-let make_header ?argv ?(jobs = 1) ~campaign ~seed ~grid () =
+(* [shard] survives deterministic zeroing — it is part of the plan, not
+   of the wall clock — so shard ledgers of the same shard are still
+   byte-comparable across runs. *)
+let make_header ?argv ?(jobs = 1) ?shard ~campaign ~seed ~grid () =
   if deterministic_mode () then
     { schema = schema_version; campaign; argv = []; seed; jobs = 0; grid;
-      git = None; created = 0.0 }
+      git = None; created = 0.0; shard; merged = None }
   else
     let argv =
       match argv with Some a -> a | None -> Array.to_list Sys.argv
     in
     { schema = schema_version; campaign; argv; seed; jobs; grid;
-      git = git_describe (); created = Unix.gettimeofday () }
+      git = git_describe (); created = Unix.gettimeofday (); shard;
+      merged = None }
 
+(* [shard]/[merged] are emitted only away from [None] so unsharded
+   ledgers — including the CI golden one — keep their historical bytes,
+   and a merged deterministic ledger stays byte-identical to the
+   single-process run (merge provenance only exists outside
+   deterministic mode). *)
 let header_to_json h =
   Json.Assoc
-    [ ("rec", Json.String "header");
-      ("schema", Json.Int h.schema);
-      ("campaign", Json.String h.campaign);
-      ("seed", Json.Int h.seed);
-      ("jobs", Json.Int h.jobs);
-      ("argv", Json.List (List.map (fun a -> Json.String a) h.argv));
-      ("git", match h.git with Some g -> Json.String g | None -> Json.Null);
-      ("created", Json.Float h.created);
-      ("grid", h.grid) ]
+    ([ ("rec", Json.String "header");
+       ("schema", Json.Int h.schema);
+       ("campaign", Json.String h.campaign);
+       ("seed", Json.Int h.seed);
+       ("jobs", Json.Int h.jobs);
+       ("argv", Json.List (List.map (fun a -> Json.String a) h.argv));
+       ("git", match h.git with Some g -> Json.String g | None -> Json.Null);
+       ("created", Json.Float h.created);
+       ("grid", h.grid) ]
+    @ (match h.shard with
+      | Some s -> [ ("shard", Json.String s) ]
+      | None -> [])
+    @ (match h.merged with
+      | Some srcs ->
+        [ ("merged", Json.List (List.map (fun s -> Json.String s) srcs)) ]
+      | None -> []))
 
 let header_of_json j =
   let* schema = int "schema" j in
@@ -123,7 +141,26 @@ let header_of_json j =
     let* git = opt_str "git" j in
     let* created = float "created" j in
     let* grid = field "grid" j in
-    Ok { schema; campaign; argv; seed; jobs; grid; git; created }
+    let* shard = opt_str "shard" j in
+    let* merged =
+      match Json.member "merged" j with
+      | None | Some Json.Null -> Ok None
+      | Some v -> (
+        match Json.to_list v with
+        | None -> Error "mistyped list field \"merged\""
+        | Some xs ->
+          let* srcs =
+            all
+              (fun s ->
+                match Json.to_str s with
+                | Some s -> Ok s
+                | None -> Error "mistyped merged element")
+              xs
+          in
+          Ok (Some srcs))
+    in
+    Ok { schema; campaign; argv; seed; jobs; grid; git; created; shard;
+         merged }
 
 type job = {
   phase : string;
@@ -210,7 +247,7 @@ type t = {
   mu : Mutex.t;
   deterministic : bool;
   mutable phase : string;
-  mutable next : int;  (* lowest plan index of [phase] not yet on disk *)
+  mutable next : int;  (* lowest flush rank of [phase] not yet on disk *)
   pending : (int, job) Hashtbl.t;  (* completed but blocked by a gap *)
   mutable jobs_written : int;
   mutable errors_sum : int;
@@ -244,7 +281,13 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let append_job t (job : job) =
+(* [pos] is the record's flush rank within its phase: the reorder
+   buffer releases rank r only once ranks 0..r-1 are on disk.  It
+   defaults to the plan index — for an unsharded run they coincide —
+   but a k/N shard writes only the indices it owns, so its dense
+   shard-local rank (Shard.rank) keys the buffer while the record keeps
+   the global plan index. *)
+let append_job ?pos t (job : job) =
   locked t @@ fun () ->
   if t.closed then invalid_arg "Runlog.append_job: ledger is closed";
   if job.phase <> t.phase then begin
@@ -258,7 +301,7 @@ let append_job t (job : job) =
     t.next <- 0
   end;
   let job = if t.deterministic then { job with duration_s = 0.0 } else job in
-  Hashtbl.replace t.pending job.index job;
+  Hashtbl.replace t.pending (Option.value pos ~default:job.index) job;
   let drained = ref false in
   while Hashtbl.mem t.pending t.next do
     let j = Hashtbl.find t.pending t.next in
@@ -383,6 +426,19 @@ let cache_of_ledger l =
   List.iter (fun (j : job) -> Hashtbl.replace c (j.phase, j.index) j) l.jobs;
   c
 
+(* Union cache over several (typically shard) ledgers.  Keys never
+   overlap for well-formed shards; if they do, the last ledger wins,
+   which `merge` independently rejects fail-closed. *)
+let cache_of_ledgers ls =
+  let c = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (j : job) -> Hashtbl.replace c (j.phase, j.index) j)
+        l.jobs)
+    ls;
+  c
+
 let cache_size = Hashtbl.length
 
 type journal = {
@@ -447,29 +503,36 @@ let cached_value jn ~codec ~index ~seed =
           (Printf.sprintf "%s: cached job %s/%d does not decode: %s"
              (origin_name jn) jn.phase index e)))
 
-let replay jn r = Option.iter (fun s -> append_job s r) jn.sink
+let replay ?pos jn r = Option.iter (fun s -> append_job ?pos s r) jn.sink
 
-let record jn ?(attempts = 1) ~index ~seed ~errors ~duration_s result =
+let record jn ?pos ?(attempts = 1) ~index ~seed ~errors ~duration_s result =
   Option.iter
     (fun s ->
-      append_job s
+      append_job ?pos s
         { phase = jn.phase; index; seed; errors; duration_s; result;
           attempts; failed = None })
     jn.sink
 
-let record_failure jn ~index ~seed ~attempts ~duration_s reason =
+let record_failure jn ?pos ~index ~seed ~attempts ~duration_s reason =
   Option.iter
     (fun s ->
-      append_job s
+      append_job ?pos s
         { phase = jn.phase; index; seed; errors = 0; duration_s;
           result = Json.Null; attempts; failed = Some reason })
     jn.sink
 
 (* One-stop resume validation with messages that name the ledger and
    both sides of every mismatch (golden-tested wording; keep stable). *)
-let validate_resume (l : ledger) ~path ~campaign ~seed ~grid =
+let validate_resume ?shard (l : ledger) ~path ~campaign ~seed ~grid =
   let h = l.header in
-  if h.campaign <> campaign then
+  let shard_name = function None -> "unsharded" | Some s -> "shard " ^ s in
+  if h.shard <> shard then
+    Error
+      (Printf.sprintf
+         "%s: shard mismatch: the ledger records an %s run, this \
+          invocation is %s"
+         path (shard_name h.shard) (shard_name shard))
+  else if h.campaign <> campaign then
     Error
       (Printf.sprintf
          "%s: campaign kind mismatch: the ledger records a %S campaign, \
@@ -489,7 +552,16 @@ let validate_resume (l : ledger) ~path ~campaign ~seed ~grid =
          path (Json.to_string h.grid) (Json.to_string grid))
   else Ok ()
 
+(* Adaptive sequential streams (hardening's check sequence) cannot be
+   partitioned — every shard must execute them to reach the same next
+   step — so under an ambient shard only shard 1 journals them: the
+   merged ledger then carries the stream exactly once. *)
 let memo journal ~codec ~index ~seed f =
+  let journal =
+    match Shard.ambient () with
+    | Some s when s.Shard.k <> 1 -> None
+    | _ -> journal
+  in
   match journal with
   | None -> f ()
   | Some jn -> (

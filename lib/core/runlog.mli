@@ -57,14 +57,22 @@ type header = {
   grid : Json.t;  (** the parameter grid (chips, envs, apps, budget) *)
   git : string option;  (** [git describe --always --dirty] if available *)
   created : float;  (** unix time *)
+  shard : string option;
+      (** [Some "k/N"] marks a shard ledger (see {!Shard}); serialised
+          only when present, and preserved in deterministic mode — a
+          shard's identity is part of the plan, not of the wall clock *)
+  merged : string list option;
+      (** contributing shard-ledger paths, stamped by [gpuwmm merge]
+          outside deterministic mode only (a merged deterministic
+          ledger must stay byte-identical to the single-process run) *)
 }
 
 val make_header :
-  ?argv:string list -> ?jobs:int -> campaign:string -> seed:int ->
-  grid:Json.t -> unit -> header
+  ?argv:string list -> ?jobs:int -> ?shard:string -> campaign:string ->
+  seed:int -> grid:Json.t -> unit -> header
 (** Stamp a header for a fresh run.  [argv] defaults to [Sys.argv]; in
     {!deterministic_mode} the [argv], [git], [created] and [jobs] fields
-    are zeroed as documented above. *)
+    are zeroed as documented above ([shard] is kept). *)
 
 type job = {
   phase : string;
@@ -116,11 +124,14 @@ val create : ?deterministic:bool -> path:string -> header -> t
 
 val path : t -> string
 
-val append_job : t -> job -> unit
+val append_job : ?pos:int -> t -> job -> unit
 (** Buffer one completed job; flush it (and any unblocked successors) to
-    disk once all lower indexes of its phase have been written.  Phases
-    must be written contiguously: switching phase with out-of-order
-    records still pending raises [Invalid_argument]. *)
+    disk once all lower flush ranks of its phase have been written.  The
+    flush rank [pos] defaults to the job's plan index; a [k/N] shard
+    passes its dense shard-local rank ({!Shard.rank}) instead, since it
+    only writes the plan indices it owns.  Phases must be written
+    contiguously: switching phase with out-of-order records still
+    pending raises [Invalid_argument]. *)
 
 val append_result : t -> kind:string -> Json.t -> unit
 (** Write the reduced campaign result record. *)
@@ -147,6 +158,13 @@ type cache
 (** Completed job records keyed by (phase, index). *)
 
 val cache_of_ledger : ledger -> cache
+
+val cache_of_ledgers : ledger list -> cache
+(** Union cache over several ledgers (the process backend resolves its
+    children's shard ledgers through this before the final in-process
+    pass).  Well-formed shards never collide; on a collision the last
+    ledger wins — [merge] independently rejects overlaps fail-closed. *)
+
 val cache_size : cache -> int
 
 (** {1 Journals}
@@ -171,16 +189,19 @@ val extend : journal -> string -> journal
 (** [extend j s] appends [s] to the phase prefix. *)
 
 val validate_resume :
+  ?shard:string ->
   ledger ->
   path:string ->
   campaign:string ->
   seed:int ->
   grid:Json.t ->
   (unit, string) result
-(** Check a loaded ledger against this invocation's campaign kind, seed
-    and parameter grid before resuming from it.  Each error message
-    names [path] and both the recorded and the planned value (the
-    wording is golden-tested in [test/test_runlog.ml]). *)
+(** Check a loaded ledger against this invocation's campaign kind, seed,
+    parameter grid and shard ([shard] is this invocation's [--shard]
+    spec, [None] for an unsharded run; it must equal the ledger's)
+    before resuming from it.  Each error message names [path] and both
+    the recorded and the planned value (the wording is golden-tested in
+    [test/test_runlog.ml]). *)
 
 (** {1 Codecs} *)
 
@@ -207,19 +228,21 @@ val cached_value : journal -> codec:'a codec -> index:int -> seed:int ->
     ledger belongs to a different campaign) or its payload does not
     decode — resuming must never silently corrupt results. *)
 
-val replay : journal -> job -> unit
+val replay : ?pos:int -> journal -> job -> unit
 (** Re-append a cached record verbatim to the sink (no-op without one),
-    so a resumed ledger contains the full job history. *)
+    so a resumed ledger contains the full job history.  [pos] is the
+    flush rank as for {!append_job}. *)
 
 val record :
-  journal -> ?attempts:int -> index:int -> seed:int -> errors:int ->
-  duration_s:float -> Json.t -> unit
+  journal -> ?pos:int -> ?attempts:int -> index:int -> seed:int ->
+  errors:int -> duration_s:float -> Json.t -> unit
 (** Append a freshly computed job record under the journal's phase.
-    [attempts] (default 1) is the supervised attempt count. *)
+    [attempts] (default 1) is the supervised attempt count; [pos] is
+    the flush rank as for {!append_job}. *)
 
 val record_failure :
-  journal -> index:int -> seed:int -> attempts:int -> duration_s:float ->
-  string -> unit
+  journal -> ?pos:int -> index:int -> seed:int -> attempts:int ->
+  duration_s:float -> string -> unit
 (** Append a quarantined-job record: [Null] result, zero errors, the
     failure reason in [failed]. *)
 
@@ -229,7 +252,10 @@ val memo :
 (** Journal one sequential computation: replay it from cache when
     available, otherwise run it, record it, and return it.  Used by
     drivers whose unit of work is not an [Exec.run] job (hardening's
-    adaptive check sequence). *)
+    adaptive check sequence).  Under an ambient {!Shard} other than
+    shard 1 the journal is ignored — adaptive streams cannot be
+    partitioned, so every shard executes them but only shard 1 journals
+    them (the merged ledger then carries the stream exactly once). *)
 
 (** {1 Decoding helpers}
 

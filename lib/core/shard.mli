@@ -1,0 +1,53 @@
+(** Deterministic partitioning of an {!Exec} plan into [k/N] shards.
+
+    Every plan index belongs to exactly one of the [N] shards, and
+    per-job seeds are untouched (they are derived from the plan index
+    by {!Exec.plan}), so the union of the shard runs is observationally
+    identical to the unsharded run.  [rank] gives an owned index's
+    position in the shard's own ledger stream; `gpuwmm merge`
+    interleaves shard ledgers back into plan order. *)
+
+type strategy =
+  | Stride  (** shard [k] of [N] owns indices congruent to [k-1] mod [N] *)
+  | Contiguous  (** shard [k] owns the [k]-th of [N] contiguous chunks *)
+
+type t = private { k : int; n : int; strategy : strategy }
+
+val max_shards : int
+(** Upper bound on [N] (matches the Exec jobs clamp). *)
+
+val make : ?strategy:strategy -> k:int -> n:int -> unit -> t
+(** Raises [Invalid_argument] unless [1 <= k <= n <= max_shards]. *)
+
+val parse : string -> (t, string) result
+(** Parse ["k/N"], ["k/N:stride"], ["k/N:contiguous"] (or [:contig]). *)
+
+val to_string : t -> string
+(** Canonical rendering; [parse (to_string t) = Ok t].  Stride shards
+    render as ["k/N"], contiguous ones as ["k/N:contiguous"]. *)
+
+val strategy_name : strategy -> string
+
+val owns : t -> total:int -> int -> bool
+(** [owns t ~total i]: does this shard own plan index [i] of a
+    [total]-job plan? *)
+
+val rank : t -> total:int -> int -> int
+(** Position of an owned index within the shard's own job stream
+    (0-based, dense).  Raises [Invalid_argument] if the shard does not
+    own the index. *)
+
+val count : t -> total:int -> int
+(** Number of indices this shard owns. *)
+
+val indices : t -> total:int -> int list
+(** The owned indices in increasing order. *)
+
+val set_ambient : t option -> unit
+(** Install (or clear) the process-wide ambient shard.  {!Exec.run}
+    consults it to restrict which jobs are journalled (and, for drivers
+    that pass a placeholder, which are executed); {!Runlog.memo}
+    consults it so adaptive sequential streams are journalled by shard
+    1 only. *)
+
+val ambient : unit -> t option

@@ -16,8 +16,11 @@ let run_once ~chip ~seed ?(env = Gpusim.Sim.no_environment) inst =
   Gpusim.Sim.write sim out (-1);
   Gpusim.Sim.write sim (out + 1) (-1);
   let result =
-    Gpusim.Sim.launch sim ~max_ticks:litmus_max_ticks ~grid:2 ~block:1
-      (Test.kernel inst)
+    (* Litmus kernels touch no shared memory, so size the per-block
+       shared arrays at one word instead of the 64-word default — two
+       app blocks per run, at hundreds of millions of runs. *)
+    Gpusim.Sim.launch sim ~max_ticks:litmus_max_ticks ~shared_words:1
+      ~grid:2 ~block:1 (Test.kernel inst)
       ~args:[ ("x", x); ("out", out) ]
   in
   let r1 = Gpusim.Sim.read sim out in

@@ -33,7 +33,7 @@ let observer inst ~x ~y =
   | SB ->
     [ store y (int 1); load "r2" x; store (param "out" + int 1) (reg "r2") ]
 
-let kernel inst =
+let build_kernel inst =
   let open Gpusim.Kbuild in
   let x = param "x" in
   let y = param "x" + int (offset_y inst) in
@@ -41,6 +41,27 @@ let kernel inst =
     (Printf.sprintf "%s_d%d" (idiom_name inst.idiom) inst.distance)
     ~params:[ "x"; "out" ]
     [ if_ (bid = int 0) (writer inst ~x ~y) (observer inst ~x ~y) ]
+
+(* The kernel AST is a pure function of the instance, yet tuning
+   campaigns rebuild it for every one of their millions of launches over
+   a handful of distinct instances.  Memoised under a mutex, like
+   {!Core.Stress.kernel}; the AST is immutable, so sharing one value
+   across worker domains is safe. *)
+let kernel_memo : (idiom * int, Gpusim.Kernel.t) Hashtbl.t = Hashtbl.create 16
+let kernel_mu = Mutex.create ()
+
+let kernel inst =
+  let key = (inst.idiom, inst.distance) in
+  Mutex.lock kernel_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock kernel_mu)
+    (fun () ->
+      match Hashtbl.find_opt kernel_memo key with
+      | Some k -> k
+      | None ->
+        let k = build_kernel inst in
+        Hashtbl.add kernel_memo key k;
+        k)
 
 let weak inst ~r1 ~r2 =
   match inst.idiom with

@@ -84,12 +84,14 @@ let test_reset_equals_create () =
   done
 
 (* The committed per-run minor-heap budget, in words.  Measured at
-   ~1.6k words/run when the budget was committed (ring-buffer queues,
-   recycled simulator); the ceiling leaves ~4x headroom for noise and
-   compiler drift but fails on any structural regression — per-run
-   device creation alone costs >2k words of arrays, and list-based
-   pending queues cost a cons per memory access. *)
-let per_run_budget_words = 6_000.0
+   ~0.8k words/run when the budget was last tightened (ring-buffer
+   queues, recycled simulator, memoised kernel ASTs, per-sim compiled
+   code cache, one-word shared arrays for the shared-memory-free litmus
+   kernels); the ceiling leaves ~3x headroom for noise and compiler
+   drift but fails on any structural regression — per-run kernel
+   compilation alone costs several hundred words, and per-run device
+   creation >2k words of arrays. *)
+let per_run_budget_words = 2_500.0
 
 let batch_runs = 400
 

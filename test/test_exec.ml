@@ -339,7 +339,7 @@ let test_cached_run_never_calls_f () =
   let header =
     { Core.Runlog.schema = Core.Runlog.schema_version; campaign = "test";
       argv = []; seed = 3; jobs = 0; grid = Core.Json.Null; git = None;
-      created = 0.0 }
+      created = 0.0; shard = None; merged = None }
   in
   let sink = Core.Runlog.create ~deterministic:true ~path header in
   let r1 =

@@ -189,7 +189,7 @@ let test_provenance_stamp () =
   let h =
     { Core.Runlog.schema = 1; campaign = "test"; argv = [ "gpuwmm"; "test" ];
       seed = 7; jobs = 4; grid = Core.Json.Null; git = Some "abc123";
-      created = 0.0 }
+      created = 0.0; shard = None; merged = None }
   in
   let s =
     render (fun ppf -> Core.Report.provenance ppf ~path:"runs/a.jsonl" h)

@@ -22,7 +22,7 @@ let take n l = List.filteri (fun i _ -> i < n) l
 let header ~campaign ~seed =
   { Core.Runlog.schema = Core.Runlog.schema_version;
     campaign; argv = []; seed; jobs = 0; grid = Core.Json.Null;
-    git = None; created = 0.0 }
+    git = None; created = 0.0; shard = None; merged = None }
 
 let cache_of path =
   match Core.Runlog.load path with
