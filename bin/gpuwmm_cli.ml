@@ -3,7 +3,13 @@
 
 open Cmdliner
 
+(* Set by setup_log; lets non-ticker informational messages (shard
+   completion notes, listen banners) honour --quiet too — a shard
+   worker spawned with -q must stay silent unconditionally. *)
+let quiet_flag = ref false
+
 let setup_log ?(quiet = false) verbose =
+  quiet_flag := quiet;
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning);
@@ -187,6 +193,29 @@ let shard_term =
            just this shard's jobs, at their unsharded seeds, and carries no \
            result record.  Combine the N shard ledgers with $(b,gpuwmm \
            merge) into one canonical ledger.")
+
+let listen_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve live campaign observability on http://127.0.0.1:$(docv) \
+           while the campaign runs: $(b,/metrics) (Prometheus text \
+           exposition of the telemetry registry plus fleet gauges), \
+           $(b,/status) (JSON fleet snapshot, the $(b,gpuwmm status --json) \
+           document) and $(b,/healthz).  $(docv) 0 picks a free port and \
+           prints it.")
+
+let spans_term =
+  Arg.(
+    value & flag
+    & info [ "spans" ]
+        ~doc:
+          "Record per-job execution spans and write a Chrome trace-event \
+           sidecar $(b,LEDGER.spans.json) next to the ledger (requires \
+           $(b,--log)).  Under the process backend each worker writes its \
+           own sidecar; unify them with $(b,gpuwmm trace --merge).")
 
 (* Escape hatch for the process backend: GPUWMM_PROCS=off forces the
    in-process domain pool even at campaign scale. *)
@@ -472,9 +501,17 @@ let render_ledger_result ?(format = `Ascii) ~path (l : Core.Runlog.ledger) =
    cached jobs replay, anything a crashed worker failed to flush re-runs
    here, and the resulting ledger is indistinguishable from a
    single-process run.  Fan-out is skipped under --resume/--shard and
-   when GPUWMM_PROCS=off. *)
-let with_ledger ?shard ?procs ~campaign ~seed ~jobs ~grid ~log ~resume ~kind
-    ~encode f =
+   when GPUWMM_PROCS=off.
+
+   Observability, all opt-in and result-neutral: every ledgered process
+   beats on a <ledger>.hb sidecar (Core.Heartbeat; GPUWMM_HEARTBEAT=off
+   disables); ~listen serves /metrics, /status and /healthz over the
+   known sidecars for the campaign's duration; ~spans records per-job
+   spans and writes a Chrome trace sidecar <ledger>.spans.json with
+   absolute timestamps, mergeable across workers by `gpuwmm trace
+   --merge`. *)
+let with_ledger ?shard ?procs ?listen ?(spans = false) ~campaign ~seed ~jobs
+    ~grid ~log ~resume ~kind ~encode f =
   let shard =
     match shard with
     | None -> None
@@ -491,12 +528,56 @@ let with_ledger ?shard ?procs ~campaign ~seed ~jobs ~grid ~log ~resume ~kind
       "--shard requires --log: the shard ledger is the shard's only output@.";
     exit 2
   | _ -> ());
+  (match (spans, log, resume) with
+  | true, None, None ->
+    Fmt.epr "--spans requires --log: the trace sidecar lives next to it@.";
+    exit 2
+  | _ -> ());
   let shard_spec = Option.map Core.Shard.to_string shard in
+  if spans then Core.Telemetry.set_spans true;
+  (* Heartbeat sidecars this campaign is known to write: the worker
+     shard set under fan-out, plus this process's own once its ledger
+     path is settled.  The HTTP handler reads the ref live, so a
+     mid-campaign scrape sees whatever streams exist right now. *)
+  let hb_paths = ref [] in
+  let observability_handler req =
+    let now =
+      if Core.Runlog.deterministic_mode () then 0.0 else Unix.gettimeofday ()
+    in
+    match req with
+    | "/metrics" ->
+      let fleet = Core.Fleetview.load ~now !hb_paths in
+      Core.Httpd.respond
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Core.Telemetry.prometheus (Core.Telemetry.snapshot ())
+        ^ Core.Fleetview.prometheus fleet)
+    | "/" | "/status" ->
+      let fleet = Core.Fleetview.load ~now !hb_paths in
+      Core.Httpd.respond ~content_type:"application/json"
+        (Core.Json.to_string (Core.Fleetview.render_json fleet) ^ "\n")
+    | "/healthz" -> Core.Httpd.respond "ok\n"
+    | _ -> Core.Httpd.respond ~status:404 "not found\n"
+  in
+  let server =
+    match listen with
+    | None -> None
+    | Some port -> (
+      match Core.Httpd.start ~port observability_handler with
+      | s ->
+        if not !quiet_flag then
+          Fmt.epr "serving /metrics and /status on http://127.0.0.1:%d@."
+            (Core.Httpd.port s);
+        Some s
+      | exception Unix.Unix_error (e, _, _) ->
+        Fmt.epr "--listen %d: %s@." port (Unix.error_message e);
+        exit 2)
+  in
   let procs_cache, procs_tmp =
     match procs with
     | Some (n, argv_of)
       when n >= 2 && shard = None && resume = None && procs_enabled () ->
       let paths = Core.Procs.shard_paths ?log ~n () in
+      hb_paths := List.map Core.Heartbeat.hb_path paths;
       Logs.info (fun f -> f "fanning out %d worker processes" n);
       let outcomes = Core.Procs.fan_out ~n ~paths ~argv_of () in
       List.iter
@@ -512,7 +593,9 @@ let with_ledger ?shard ?procs ~campaign ~seed ~jobs ~grid ~log ~resume ~kind
     | _ -> (None, [])
   in
   Fun.protect
-    ~finally:(fun () -> Core.Procs.cleanup procs_tmp)
+    ~finally:(fun () ->
+      Option.iter Core.Httpd.stop server;
+      Core.Procs.cleanup procs_tmp)
     (fun () ->
       match (log, resume) with
       | None, None -> (
@@ -588,9 +671,28 @@ let with_ledger ?shard ?procs ~campaign ~seed ~jobs ~grid ~log ~resume ~kind
           let sink = Core.Runlog.create ~path header in
           let journal = Core.Runlog.journal ~sink ?cache ~origin:path "" in
           Core.Shard.set_ambient shard;
+          hb_paths := !hb_paths @ [ Core.Heartbeat.hb_path path ];
+          let emitter =
+            if Core.Heartbeat.enabled () then
+              Some
+                (Core.Heartbeat.start ?shard:shard_spec
+                   ~path:(Core.Heartbeat.hb_path path) ())
+            else None
+          in
+          let write_spans () =
+            if spans then
+              write_file (path ^ ".spans.json")
+                (Core.Json.to_string
+                   (Core.Telemetry.chrome_trace ~pid:(Unix.getpid ())
+                      ?shard:shard_spec ~span_base:0.0
+                      ~spans:(Core.Telemetry.spans ()) [])
+                ^ "\n")
+          in
           match
             Fun.protect
-              ~finally:(fun () -> Core.Shard.set_ambient None)
+              ~finally:(fun () ->
+                Core.Shard.set_ambient None;
+                Option.iter Core.Heartbeat.stop emitter)
               (fun () -> f (Some journal))
           with
           | v -> (
@@ -599,14 +701,17 @@ let with_ledger ?shard ?procs ~campaign ~seed ~jobs ~grid ~log ~resume ~kind
               (* A shard ledger carries no result record: its reduce saw
                  placeholder values for the cells it did not own. *)
               Core.Runlog.close sink;
+              write_spans ();
               Logs.info (fun f -> f "shard ledger written to %s" path);
-              Fmt.epr
-                "shard %s of campaign written to %s; combine the full shard \
-                 set with `gpuwmm merge ... --out LEDGER`@."
-                spec path
+              if not !quiet_flag then
+                Fmt.epr
+                  "shard %s of campaign written to %s; combine the full \
+                   shard set with `gpuwmm merge ... --out LEDGER`@."
+                  spec path
             | None ->
               Core.Runlog.append_result sink ~kind (encode v);
               Core.Runlog.close sink;
+              write_spans ();
               Logs.info (fun f -> f "ledger written to %s" path))
           | exception e ->
             Core.Runlog.abort sink;
@@ -793,7 +898,7 @@ let test_cmd =
     Arg.(value & opt string "sys-str+" & info [ "env" ] ~docv:"ENV")
   in
   let run verbose quiet seed chip app runs env_name jobs log resume shard
-      strict timeout retries keep_going =
+      listen spans strict timeout retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
@@ -841,6 +946,7 @@ let test_cmd =
         @ (match app with
           | Some a -> [ "--app"; a.Apps.App.name ]
           | None -> [])
+        @ (if spans then [ "--spans" ] else [])
         @ (if strict then [ "--strict" ] else [])
         @ (match timeout with
           | Some t -> [ "--timeout"; string_of_float t ]
@@ -856,6 +962,7 @@ let test_cmd =
       guarded (fun () ->
           with_ledger ?shard
             ?procs:(Option.map (fun n -> (n, child_argv n)) procs_n)
+            ?listen ~spans
             ~campaign:"test" ~seed ~jobs ~grid ~log ~resume ~kind:"campaign"
             ~encode:Core.Campaign.rows_to_json (fun journal ->
               let rows =
@@ -893,8 +1000,9 @@ let test_cmd =
              and count erroneous runs (Sec. 4).")
     Term.(
       const run $ verbose $ quiet $ seed $ chip $ app_term $ runs $ env_name
-      $ jobs_term $ log_term $ resume_term $ shard_term $ strict_term
-      $ timeout_term $ retries_term $ keep_going_term)
+      $ jobs_term $ log_term $ resume_term $ shard_term $ listen_term
+      $ spans_term $ strict_term $ timeout_term $ retries_term
+      $ keep_going_term)
 
 let harden_cmd =
   let app_term =
@@ -1026,12 +1134,95 @@ let target_cmd =
        ~doc:"Detect an application's communication locations with the              dynamic race detector and stress exactly their memory              partitions (the paper's future-work item (e)).")
     Term.(const run $ verbose $ seed $ chip $ app_term $ runs)
 
+(* Union several Chrome trace-event files (one per campaign process,
+   written with absolute span timestamps) into one timeline: collect
+   every traceEvents entry, rebase the time axis so the earliest
+   non-metadata event is 0, and re-sort.  Metadata events (ph "M",
+   track labels) float to the front untouched. *)
+let merge_chrome_traces inputs =
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let events =
+    List.concat_map
+      (fun p ->
+        let fail msg =
+          Fmt.epr "%s: %s@." p msg;
+          exit 2
+        in
+        match Core.Json.of_string (read_file p) with
+        | exception Sys_error e -> fail e
+        | Error e -> fail e
+        | Ok j -> (
+          match Core.Json.member "traceEvents" j with
+          | Some (Core.Json.List evs) -> evs
+          | _ -> fail "not a Chrome trace-event file (no traceEvents array)"))
+      inputs
+  in
+  let is_meta = function
+    | Core.Json.Assoc kvs ->
+      List.assoc_opt "ph" kvs = Some (Core.Json.String "M")
+    | _ -> false
+  in
+  let ts_of = function
+    | Core.Json.Assoc kvs -> (
+      match List.assoc_opt "ts" kvs with
+      | Some (Core.Json.Int t) -> Some t
+      | _ -> None)
+    | _ -> None
+  in
+  let metas, timed = List.partition is_meta events in
+  let base =
+    List.fold_left
+      (fun acc ev ->
+        match ts_of ev with Some t -> Int.min acc t | None -> acc)
+      max_int timed
+  in
+  let base = if base = max_int then 0 else base in
+  let rebase = function
+    | Core.Json.Assoc kvs ->
+      Core.Json.Assoc
+        (List.map
+           (function
+             | "ts", Core.Json.Int t -> ("ts", Core.Json.Int (t - base))
+             | kv -> kv)
+           kvs)
+    | ev -> ev
+  in
+  let timed = List.map rebase timed in
+  let timed =
+    List.stable_sort
+      (fun a b -> compare (ts_of a) (ts_of b))
+      timed
+  in
+  Core.Json.Assoc [ ("traceEvents", Core.Json.List (metas @ timed)) ]
+
 let trace_cmd =
   let app_term =
     Arg.(
-      required
+      value
       & opt (some app_conv) None
       & info [ "app" ] ~docv:"APP" ~doc:"Application to trace.")
+  in
+  let merge =
+    Arg.(
+      value & flag
+      & info [ "merge" ]
+          ~doc:
+            "Merge mode: instead of tracing an application, union the \
+             Chrome trace files given as positional arguments (e.g. the \
+             $(b,LEDGER.spans.json) sidecars each $(b,--spans) worker \
+             wrote) into one timeline at $(b,--out), rebasing timestamps \
+             to the earliest event.")
+  in
+  let merge_inputs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:"Chrome trace-event files to merge (with $(b,--merge)).")
   in
   let env_name =
     Arg.(
@@ -1063,8 +1254,29 @@ let trace_cmd =
             "Trace ring-buffer capacity; when a run emits more events, the \
              oldest are dropped.")
   in
-  let run verbose seed chip app env_name out jsonl_out capacity =
+  let run verbose seed chip app env_name out jsonl_out capacity merge
+      merge_inputs =
     setup_log verbose;
+    if merge then begin
+      if merge_inputs = [] then begin
+        Fmt.epr "--merge needs at least one trace file@.";
+        exit 1
+      end;
+      write_file out
+        (Core.Json.to_string (merge_chrome_traces merge_inputs) ^ "\n")
+    end
+    else begin
+    if merge_inputs <> [] then begin
+      Fmt.epr "positional trace files are only meaningful with --merge@.";
+      exit 1
+    end;
+    let app =
+      match app with
+      | Some a -> a
+      | None ->
+        Fmt.epr "either --app APP (trace a run) or --merge FILES is required@.";
+        exit 1
+    in
     if capacity <= 0 then begin
       Fmt.epr "--capacity must be positive@.";
       exit 1
@@ -1096,6 +1308,7 @@ let trace_cmd =
       Option.iter
         (fun p -> write_file p (Core.Telemetry.jsonl records))
         jsonl_out
+    end
   in
   Cmd.v
     (Cmd.info "trace"
@@ -1103,10 +1316,11 @@ let trace_cmd =
          "Execute one application with the event tracer enabled and export \
           the recorded simulator events (instruction issue and commit, \
           reorders, fences, barriers, contention samples) as a Chrome \
-          trace-event file.")
+          trace-event file; or, with $(b,--merge), union per-worker trace \
+          files into one timeline.")
     Term.(
       const run $ verbose $ seed $ chip $ app_term $ env_name $ out
-      $ jsonl_out $ capacity)
+      $ jsonl_out $ capacity $ merge $ merge_inputs)
 
 let ablate_cmd =
   let runs = Arg.(value & opt int 150 & info [ "runs" ] ~docv:"N") in
@@ -1205,7 +1419,7 @@ let table_cmd =
   in
   let runs = Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N") in
   let run verbose quiet seed chips all number (budget, budget_argv) runs jobs
-      log resume shard strict timeout retries keep_going =
+      log resume shard listen spans strict timeout retries keep_going =
     setup_log ~quiet verbose;
     setup_supervision ~timeout ~retries ~keep_going ();
     Core.Tuning.set_strict strict;
@@ -1240,6 +1454,7 @@ let table_cmd =
         "--shard"; Printf.sprintf "%d/%d" k n;
         "--log"; path ]
       @ budget_argv
+      @ (if spans then [ "--spans" ] else [])
       @ (if strict then [ "--strict" ] else [])
       @ (match timeout with
         | Some t -> [ "--timeout"; string_of_float t ]
@@ -1262,6 +1477,7 @@ let table_cmd =
       guarded (fun () ->
           with_ledger ?shard
             ?procs:(Option.map (fun n -> (n, child_argv n)) procs_n)
+            ?listen ~spans
             ~campaign:(Printf.sprintf "table%d" number)
             ~seed ~jobs ~grid ~log ~resume ~kind ~encode f);
       conclude_supervised ()
@@ -1347,7 +1563,8 @@ let table_cmd =
     Term.(
       const run $ verbose $ quiet $ seed $ chips $ all_chips $ number
       $ budget_term $ runs $ jobs_term $ log_term $ resume_term $ shard_term
-      $ strict_term $ timeout_term $ retries_term $ keep_going_term)
+      $ listen_term $ spans_term $ strict_term $ timeout_term $ retries_term
+      $ keep_going_term)
 
 let figure_cmd =
   let number =
@@ -1922,6 +2139,113 @@ let compare_cmd =
           effectiveness); exits 1 when any regression is found, for CI.")
     Term.(const run $ verbose $ tolerance_term $ base_term $ cand_term)
 
+(* `gpuwmm status`: the operator's live view of a running (or finished)
+   fleet, reassembled from the .hb heartbeat sidecars alone — no
+   connection to the campaign process needed, so it works on a
+   campaign started elsewhere, after the driver died, or on sidecars
+   copied off the machine. *)
+let status_cmd =
+  let paths_term =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "What to watch: a directory (scanned for $(b,*.hb) sidecars), \
+             a $(b,.hb) stream, or a campaign ledger (its $(b,.hb) sidecar \
+             is looked up next to it).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print one snapshot and exit (exit 1 if any worker is dead) \
+             instead of watching live.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the snapshot as JSON (the /status document) on stdout; \
+             implies $(b,--once).")
+  in
+  let interval_term =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh interval of the live view.")
+  in
+  let resolve path =
+    if Sys.file_exists path && Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".hb")
+      |> List.map (Filename.concat path)
+      |> List.sort compare
+    else if Filename.check_suffix path ".hb" then [ path ]
+    else [ Core.Heartbeat.hb_path path ]
+  in
+  let run verbose paths once json interval =
+    setup_log verbose;
+    let hb_paths = List.concat_map resolve paths in
+    if hb_paths = [] then begin
+      Fmt.epr "no heartbeat streams found under %s@."
+        (String.concat ", " paths);
+      exit 1
+    end;
+    let det = Core.Runlog.deterministic_mode () in
+    let now () = if det then 0.0 else Unix.gettimeofday () in
+    let load () = Core.Fleetview.load ~now:(now ()) hb_paths in
+    if json then begin
+      let fleet = load () in
+      print_string
+        (Core.Json.to_string (Core.Fleetview.render_json fleet) ^ "\n");
+      if fleet.Core.Fleetview.f_dead > 0 then exit 1
+    end
+    else if once then begin
+      let fleet = load () in
+      print_string (Core.Fleetview.render_ascii fleet);
+      if fleet.Core.Fleetview.f_dead > 0 then exit 1
+    end
+    else begin
+      let interval = Float.max 0.2 interval in
+      let tty = Unix.isatty Unix.stdout in
+      let rec watch () =
+        let fleet = load () in
+        if tty then print_string "\027[H\027[2J";
+        print_string (Core.Fleetview.render_ascii fleet);
+        flush stdout;
+        (* Stop once every stream has delivered its orderly final beat
+           (or died): the fleet is over and the view is final. *)
+        let settled =
+          fleet.Core.Fleetview.workers <> []
+          && List.for_all
+               (fun w ->
+                 match w.Core.Fleetview.w_liveness with
+                 | Core.Heartbeat.Done | Core.Heartbeat.Dead -> true
+                 | _ -> false)
+               fleet.Core.Fleetview.workers
+        in
+        if settled then begin
+          if fleet.Core.Fleetview.f_dead > 0 then exit 1
+        end
+        else begin
+          Unix.sleepf interval;
+          watch ()
+        end
+      in
+      watch ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Show live per-shard progress of a running campaign from its \
+          heartbeat sidecars: progress bars, rates, ETAs, stragglers, and \
+          dead-worker detection (a worker quiet for two heartbeat \
+          intervals is flagged dead).")
+    Term.(const run $ verbose $ paths_term $ once $ json $ interval_term)
+
 let main =
   Cmd.group
     (Cmd.info "gpuwmm" ~version:"1.0.0"
@@ -1931,6 +2255,6 @@ let main =
     [ chips_cmd; litmus_cmd; run_litmus_cmd; check_cmd; tune_cmd; test_cmd;
       harden_cmd;
       target_cmd; trace_cmd; ablate_cmd; inspect_cmd; table_cmd; figure_cmd;
-      chaos_cmd; merge_cmd; report_cmd; compare_cmd ]
+      chaos_cmd; status_cmd; merge_cmd; report_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -122,6 +122,14 @@ let note_quarantine fl =
 
 type summary = { retried : int; quarantined : failure list }
 
+(* Non-draining view for the heartbeat emitter: the CLI's end-of-campaign
+   [drain_summary] must still see everything. *)
+let summary_counts () =
+  Mutex.lock sup_mu;
+  let q = List.length !quarantine_log in
+  Mutex.unlock sup_mu;
+  (Atomic.get retried_count, q)
+
 let drain_summary () =
   Mutex.lock sup_mu;
   let q = !quarantine_log in
@@ -275,6 +283,40 @@ let format_eta seconds =
     if s >= 3600 then Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
     else Printf.sprintf "%02d:%02d" (s / 60) (s mod 60)
 
+(* The published progress of the newest campaign phase in this process:
+   the cross-process observability channel.  The ticker keeps it fresh
+   (about once a second) even when no progress reporter is installed, so
+   quiet shard workers still expose live state to their heartbeat
+   emitter and the /status endpoint.  Under an ambient shard the
+   counts are shard-local: placeholder-skipped jobs are excluded from
+   both [p_done] and [p_total], so summing worker snapshots yields the
+   campaign plan's totals. *)
+type progress = {
+  p_label : string;
+  p_total : int;
+  p_done : int;
+  p_cached : int;  (** jobs replayed from a resume cache *)
+  p_errors : int;
+  p_rate : float;  (** EWMA jobs/s; 0.0 until warm *)
+  p_eta_s : float option;
+  p_updated : float;  (** wall clock of the last update *)
+}
+
+let progress_cell : progress option Atomic.t = Atomic.make None
+
+let progress () = Atomic.get progress_cell
+
+let clear_progress () = Atomic.set progress_cell None
+
+(* An ETA needs a warm EWMA *and* at least two live (non-cached)
+   completions: the first inter-tick sample extrapolates a whole
+   campaign from a single job, which produced wild initial estimates on
+   slow campaigns. *)
+let eta_of ~live_done ~remaining ~ewma =
+  if live_done >= 2 && ewma > 0.0 then
+    Some (float_of_int remaining /. ewma)
+  else None
+
 (* A rate-limited per-campaign reporter, safe to call from any worker
    domain.  Throttling state lives behind a mutex; the job counter the
    callers pass in is maintained with atomics by the executor.  The
@@ -282,15 +324,27 @@ let format_eta seconds =
    over all completed executions when the campaign's codec can count
    errors, and an ETA from an exponentially weighted moving average of
    the inter-tick completion rate.  [cached] jobs (replayed from a
-   resume ledger) are excluded from the throughput and ETA basis. *)
-let make_ticker ~label ~execs_per_job ~total ~cached =
-  match (Atomic.get progress_hook, label) with
-  | None, _ | _, None -> fun _ _ -> ()
-  | Some rep, Some label ->
+   resume ledger) are excluded from the throughput and ETA basis, and
+   [skipped] jobs (shard placeholders) from the displayed counts
+   entirely — a shard worker reports only the slice it owns.  Each
+   tick also refreshes {!progress_cell}, with or without a reporter. *)
+let make_ticker ~label ~execs_per_job ~total ~cached ~skipped =
+  match label with
+  | None -> fun _ _ -> ()
+  | Some label ->
+    let rep = Atomic.get progress_hook in
     let t0 = Unix.gettimeofday () in
+    (* Publish the campaign's shape immediately: observers (heartbeats,
+       /status) see the planned total from the first beat, not only
+       after the first job lands — jobs can take many seconds. *)
+    Atomic.set progress_cell
+      (Some
+         { p_label = label; p_total = total - skipped; p_done = cached;
+           p_cached = cached; p_errors = 0; p_rate = 0.0; p_eta_s = None;
+           p_updated = t0 });
     let mu = Mutex.create () in
     let last = ref t0 in
-    let last_done = ref cached in
+    let last_done = ref (cached + skipped) in
     let ewma = ref 0.0 in
     fun jobs_done errors ->
       let now = Unix.gettimeofday () in
@@ -306,33 +360,47 @@ let make_ticker ~label ~execs_per_job ~total ~cached =
           last := now;
           last_done := jobs_done;
           let elapsed = now -. t0 in
-          let live_execs = (jobs_done - cached) * execs_per_job in
+          (* Shard-local view: placeholders are not work. *)
+          let own_done = jobs_done - skipped in
+          let own_total = total - skipped in
+          let live_done = own_done - cached in
+          let live_execs = live_done * execs_per_job in
           let rate =
             if elapsed > 0.0 then float_of_int live_execs /. elapsed else 0.0
           in
-          let err =
-            match errors with
-            | None -> ""
-            | Some e ->
-              let execs = jobs_done * execs_per_job in
-              if execs = 0 then ""
+          let eta =
+            eta_of ~live_done ~remaining:(own_total - own_done) ~ewma:!ewma
+          in
+          Atomic.set progress_cell
+            (Some
+               { p_label = label; p_total = own_total; p_done = own_done;
+                 p_cached = cached;
+                 p_errors = (match errors with Some e -> e | None -> 0);
+                 p_rate = !ewma; p_eta_s = eta; p_updated = now });
+          match rep with
+          | None -> ()
+          | Some rep ->
+            let err =
+              match errors with
+              | None -> ""
+              | Some e ->
+                let execs = own_done * execs_per_job in
+                if execs = 0 then ""
+                else
+                  Printf.sprintf " | err %.2f%%"
+                    (100.0 *. float_of_int e /. float_of_int execs)
+            in
+            let tail =
+              if final then Printf.sprintf " | %.1fs" elapsed
               else
-                Printf.sprintf " | err %.2f%%"
-                  (100.0 *. float_of_int e /. float_of_int execs)
-          in
-          let tail =
-            if final then Printf.sprintf " | %.1fs" elapsed
-            else
-              Printf.sprintf " | ETA %s"
-                (format_eta
-                   (if !ewma > 0.0 then
-                      float_of_int (total - jobs_done) /. !ewma
-                    else infinity))
-          in
-          rep.line
-            (Printf.sprintf "%s: %d/%d jobs (%.0f execs/s)%s%s" label
-               jobs_done total rate err tail);
-          if final then rep.finished ()
+                Printf.sprintf " | ETA %s"
+                  (format_eta
+                     (match eta with Some s -> s | None -> infinity))
+            in
+            rep.line
+              (Printf.sprintf "%s: %d/%d jobs (%.0f execs/s)%s%s" label
+                 own_done own_total rate err tail);
+            if final then rep.finished ()
         end;
         Mutex.unlock mu
       end
@@ -442,7 +510,7 @@ let map ?(backend = Serial) ?label ?(execs_per_job = 1) ~f jobs =
   tune_gc ();
   let arr = Array.of_list jobs in
   let len = Array.length arr in
-  let tick = make_ticker ~label ~execs_per_job ~total:len ~cached:0 in
+  let tick = make_ticker ~label ~execs_per_job ~total:len ~cached:0 ~skipped:0 in
   let domains = Int.min (domains_of_backend backend) (Int.max 1 len) in
   let exec = instrumented ?label ~f ~queued_at:(Unix.gettimeofday ()) in
   if domains <= 1 then
@@ -531,7 +599,7 @@ let run ?(backend = Serial) ?label ?(execs_per_job = 1) ?journal ?codec
       arr
   | _ -> ());
   let tick =
-    make_ticker ~label ~execs_per_job ~total:len ~cached:(cached + !skipped)
+    make_ticker ~label ~execs_per_job ~total:len ~cached ~skipped:!skipped
   in
   let completed = Atomic.make (cached + !skipped) in
   let fresh =

@@ -249,6 +249,10 @@ val drain_summary : unit -> summary
     this once per campaign to print the summary and pick the exit
     code. *)
 
+val summary_counts : unit -> int * int
+(** [(retried, quarantined)] so far, without draining — the heartbeat
+    emitter's periodic view; {!drain_summary} still sees everything. *)
+
 type reporter = {
   line : string -> unit;
       (** one rate-limited progress line: completed/total jobs,
@@ -268,3 +272,39 @@ val info : string -> unit
 (** Forward one message to the progress sink, if installed.  For the few
     driver-level milestones that are not per-job (e.g. hardening
     rounds). *)
+
+val format_eta : float -> string
+(** Human-readable duration (["02:35"], ["1h05m"]); ["-"] for negative
+    or non-finite values. *)
+
+(** {1 Published progress}
+
+    The engine's live view of the newest campaign phase, refreshed by
+    the progress ticker about once a second {e whether or not} a
+    reporter is installed — quiet shard workers still publish, which is
+    what their heartbeat stream ({!Heartbeat}) and the [/status]
+    endpoint sample. *)
+
+type progress = {
+  p_label : string;  (** campaign label *)
+  p_total : int;  (** planned jobs (shard-local under an ambient shard) *)
+  p_done : int;  (** completed jobs, including cached replays *)
+  p_cached : int;  (** jobs replayed from a resume cache *)
+  p_errors : int;  (** erroneous executions so far (0 when uncountable) *)
+  p_rate : float;  (** EWMA jobs/s; 0.0 until warm *)
+  p_eta_s : float option;
+      (** ETA in seconds; [None] until the estimate has a basis (at
+          least two live completions) *)
+  p_updated : float;  (** wall clock of the last refresh *)
+}
+
+val progress : unit -> progress option
+(** The most recent snapshot, or [None] before any ticked campaign. *)
+
+val clear_progress : unit -> unit
+
+val eta_of : live_done:int -> remaining:int -> ewma:float -> float option
+(** The ticker's ETA rule: [Some (remaining / ewma)] only once at least
+    two live (non-cached) jobs completed and the EWMA is warm —
+    guarding against the wild single-sample estimates a cold start used
+    to print on slow campaigns. *)

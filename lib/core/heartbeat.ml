@@ -1,0 +1,311 @@
+(* Worker heartbeats: the cross-process half of campaign progress.
+
+   A campaign ledger records *results*; it says nothing about the
+   health of the process writing it.  Each campaign process therefore
+   appends a small JSONL heartbeat record to a sidecar stream
+   ([<ledger>.hb]) about once a second: pid and shard, jobs done/total,
+   the EWMA rate and ETA the ticker already maintains, retry and
+   quarantine counts, GC pressure, and the deltas of the telemetry
+   counters since the previous beat.  Readers (the parent's fleet
+   ticker, `gpuwmm status`, the /status and /metrics endpoints) join
+   the sidecars back into one fleet view — and classify a worker whose
+   stream has gone quiet for two intervals as dead, which is how a
+   `kill -9`'d worker is flagged without waiting on the parent's
+   waitpid.
+
+   The stream is append-only and crash-tolerant like the ledger itself:
+   each beat is one line, written with a single [output_string] on a
+   freshly opened descriptor, and readers drop unparseable (torn)
+   lines.  Heartbeats never influence results; under
+   [GPUWMM_LEDGER_DETERMINISTIC] every wall-clock-derived field is
+   zeroed so test fixtures stay byte-stable. *)
+
+type liveness = Running | Stale | Dead | Done
+
+type record = {
+  pid : int;
+  shard : string option;  (* "k/N" for shard workers, None for drivers *)
+  seq : int;
+  t : float;  (* wall clock of the beat; 0.0 in deterministic mode *)
+  interval_s : float;
+  final : bool;  (* last beat of a completed process *)
+  label : string;  (* current campaign phase, "" before the first job *)
+  jobs_done : int;
+  jobs_total : int;
+  cached : int;
+  errors : int;
+  rate : float;  (* EWMA jobs/s; 0.0 until warm or in deterministic mode *)
+  eta_s : float option;
+  retried : int;
+  quarantined : int;
+  minor_words : float;
+  minor_collections : int;
+  major_collections : int;
+  counters : (string * int) list;  (* telemetry counter deltas, sorted *)
+}
+
+let hb_path ledger = ledger ^ ".hb"
+
+(* GPUWMM_HEARTBEAT=off disables the sidecar; a numeric value overrides
+   the beat interval in seconds. *)
+let enabled () =
+  match Sys.getenv_opt "GPUWMM_HEARTBEAT" with
+  | Some ("0" | "off" | "no" | "false") -> false
+  | _ -> true
+
+let default_interval = 1.0
+
+let interval () =
+  match Sys.getenv_opt "GPUWMM_HEARTBEAT" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0.0 -> f
+    | _ -> default_interval)
+  | None -> default_interval
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                                *)
+
+let to_json r =
+  let open Json in
+  Assoc
+    (("rec", String "hb") :: ("pid", Int r.pid)
+    :: (match r.shard with Some s -> [ ("shard", String s) ] | None -> [])
+    @ [ ("seq", Int r.seq); ("t", Float r.t);
+        ("interval_s", Float r.interval_s) ]
+    @ (if r.final then [ ("final", Bool true) ] else [])
+    @ [ ("label", String r.label); ("done", Int r.jobs_done);
+        ("total", Int r.jobs_total); ("cached", Int r.cached);
+        ("errors", Int r.errors); ("rate", Float r.rate) ]
+    @ (match r.eta_s with Some e -> [ ("eta_s", Float e) ] | None -> [])
+    @ [ ("retried", Int r.retried); ("quarantined", Int r.quarantined);
+        ("minor_words", Float r.minor_words);
+        ("minor_collections", Int r.minor_collections);
+        ("major_collections", Int r.major_collections);
+        ("counters", Assoc (List.map (fun (k, v) -> (k, Int v)) r.counters))
+      ])
+
+let of_json j =
+  let open Runlog.Dec in
+  let opt_float k =
+    match Json.member k j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "field %s is not a number" k))
+  in
+  let opt_bool k ~default =
+    match Json.member k j with
+    | None -> Ok default
+    | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %s is not a boolean" k))
+  in
+  let* tag = str "rec" j in
+  if tag <> "hb" then Error (Printf.sprintf "not a heartbeat record: %S" tag)
+  else
+    let* pid = int "pid" j in
+    let* shard = opt_str "shard" j in
+    let* seq = int "seq" j in
+    let* t = float "t" j in
+    let* interval_s = float "interval_s" j in
+    let* final = opt_bool "final" ~default:false in
+    let* label = str "label" j in
+    let* jobs_done = int "done" j in
+    let* jobs_total = int "total" j in
+    let* cached = int "cached" j in
+    let* errors = int "errors" j in
+    let* rate = float "rate" j in
+    let* eta_s = opt_float "eta_s" in
+    let* retried = int "retried" j in
+    let* quarantined = int "quarantined" j in
+    let* minor_words = float "minor_words" j in
+    let* minor_collections = int "minor_collections" j in
+    let* major_collections = int "major_collections" j in
+    let* counters =
+      match Json.member "counters" j with
+      | Some (Json.Assoc kvs) ->
+        all
+          (fun (k, v) ->
+            match Json.to_int v with
+            | Some n -> Ok (k, n)
+            | None -> Error (Printf.sprintf "non-integer counter %s" k))
+          kvs
+      | _ -> Error "missing or mistyped field counters"
+    in
+    Ok
+      { pid; shard; seq; t; interval_s; final; label; jobs_done; jobs_total;
+        cached; errors; rate; eta_s; retried; quarantined; minor_words;
+        minor_collections; major_collections; counters }
+
+(* ------------------------------------------------------------------ *)
+(* Stream I/O                                                           *)
+
+(* One open-append-write-close per beat: the line lands in one write so
+   a concurrent reader never sees half a record except after a crash
+   mid-write, and crashes leave no dangling descriptor. *)
+let append ~path r =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json r) ^ "\n");
+      flush oc)
+
+(* Every parseable record of a stream, oldest first.  Torn or foreign
+   lines are skipped, mirroring the ledger reader's crash tolerance. *)
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let acc = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match Json.of_string line with
+           | Error _ -> ()
+           | Ok j -> (
+             match of_json j with Ok r -> acc := r :: !acc | Error _ -> ())
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+
+let latest path =
+  match load path with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Staleness                                                            *)
+
+(* A worker that stops beating is flagged [Stale] after 1.5 intervals
+   (one missed beat plus scheduling slack) and [Dead] at 2 — the bound
+   `gpuwmm status` promises for a kill -9'd worker.  A final beat marks
+   orderly completion and never ages into Dead. *)
+let classify ~now r =
+  if r.final then Done
+  else if r.interval_s <= 0.0 then Running
+  else
+    let age = now -. r.t in
+    if age >= 2.0 *. r.interval_s then Dead
+    else if age > 1.5 *. r.interval_s then Stale
+    else Running
+
+let liveness_name = function
+  | Running -> "running"
+  | Stale -> "stale"
+  | Dead -> "dead"
+  | Done -> "done"
+
+(* ------------------------------------------------------------------ *)
+(* The emitter                                                          *)
+
+type emitter = {
+  e_stop : bool Atomic.t;
+  e_domain : unit Domain.t;
+}
+
+(* Snapshot the process into one record.  Wall-clock-derived fields
+   (timestamp, rate, ETA, GC stats) are zeroed in deterministic mode so
+   sidecars written by test fixtures stay byte-stable; the campaign
+   counters are real either way. *)
+let sample ~det ~shard ~interval_s ~seq ~final ~prev_counters () =
+  let p = Exec.progress () in
+  let retried, quarantined = Exec.summary_counts () in
+  let gc = Gc.quick_stat () in
+  let snap = (Telemetry.snapshot ()).Telemetry.counters in
+  let deltas =
+    List.filter_map
+      (fun (k, v) ->
+        let d =
+          v - (match List.assoc_opt k !prev_counters with Some o -> o | None -> 0)
+        in
+        if d <> 0 then Some (k, d) else None)
+      snap
+  in
+  prev_counters := snap;
+  let label, jobs_done, jobs_total, cached, errors, rate, eta_s =
+    match p with
+    | None -> ("", 0, 0, 0, 0, 0.0, None)
+    | Some p ->
+      ( p.Exec.p_label, p.Exec.p_done, p.Exec.p_total, p.Exec.p_cached,
+        p.Exec.p_errors, p.Exec.p_rate, p.Exec.p_eta_s )
+  in
+  { pid = Unix.getpid ();
+    shard;
+    seq;
+    t = (if det then 0.0 else Unix.gettimeofday ());
+    interval_s;
+    final;
+    label;
+    jobs_done;
+    jobs_total;
+    cached;
+    errors;
+    rate = (if det then 0.0 else rate);
+    eta_s = (if det then None else eta_s);
+    retried;
+    quarantined;
+    minor_words = (if det then 0.0 else gc.Gc.minor_words);
+    minor_collections = (if det then 0 else gc.Gc.minor_collections);
+    major_collections = (if det then 0 else gc.Gc.major_collections);
+    counters = deltas }
+
+let start ?(interval_s = interval ()) ?shard ~path () =
+  let det = Runlog.deterministic_mode () in
+  let stop = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        let prev_counters = ref [] in
+        let seq = ref 0 in
+        let beat ~final =
+          match
+            append ~path
+              (sample ~det ~shard ~interval_s ~seq:!seq ~final ~prev_counters
+                 ())
+          with
+          | () -> incr seq
+          | exception Sys_error _ -> ()
+        in
+        beat ~final:false;
+        (* The seq-0 beat usually predates the campaign plan (the
+           emitter starts before Exec builds its ticker), so it reports
+           0/0.  Announce the plan the moment it appears rather than a
+           full interval later: observers summing shard totals then see
+           the whole fleet's plan within the workers' startup skew. *)
+        let announced = ref (Exec.progress () <> None) in
+        let rec loop () =
+          if not (Atomic.get stop) then begin
+            (* Sleep in short slices so stop is honoured promptly and the
+               final beat lands before the process exits. *)
+            let deadline = Unix.gettimeofday () +. interval_s in
+            let announce = ref false in
+            while
+              (not (Atomic.get stop))
+              && (not !announce)
+              && Unix.gettimeofday () < deadline
+            do
+              Unix.sleepf 0.02;
+              if (not !announced) && Exec.progress () <> None then begin
+                announced := true;
+                announce := true
+              end
+            done;
+            if not (Atomic.get stop) then begin
+              beat ~final:false;
+              loop ()
+            end
+          end
+        in
+        loop ();
+        beat ~final:true)
+  in
+  { e_stop = stop; e_domain = dom }
+
+let stop e =
+  Atomic.set e.e_stop true;
+  Domain.join e.e_domain

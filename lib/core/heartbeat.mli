@@ -1,0 +1,98 @@
+(** Worker heartbeats: periodic per-process progress/health records on a
+    sidecar JSONL stream next to the campaign ledger.
+
+    Each campaign process (shard workers and the driving parent alike)
+    appends one {!record} about every {!interval} seconds to
+    [<ledger>.hb]: pid and shard spec, the engine's live progress
+    ({!Exec.progress}), retry/quarantine counts, GC pressure from
+    [Gc.quick_stat], and the deltas of the {!Telemetry} counters since
+    the previous beat.  Readers ({!Fleetview}, `gpuwmm status`, the
+    {!Httpd} endpoints) reassemble the sidecars into a fleet view and
+    use beat {e staleness} to flag dead workers: a stream quiet for two
+    intervals is classified {!Dead}, so a [kill -9]'d worker is exposed
+    without waiting on the parent's [waitpid].
+
+    Under [GPUWMM_LEDGER_DETERMINISTIC] every wall-clock-derived field
+    (timestamp, rate, ETA, GC stats) is written as zero, keeping test
+    fixtures byte-stable.  Heartbeats never affect campaign results or
+    ledger bytes. *)
+
+type liveness =
+  | Running  (** last beat within 1.5 intervals *)
+  | Stale  (** between 1.5 and 2 intervals — one missed beat *)
+  | Dead  (** quiet for ≥ 2 intervals without a final beat *)
+  | Done  (** the stream ends with an orderly final beat *)
+
+type record = {
+  pid : int;
+  shard : string option;  (** ["k/N"] for shard workers, [None] for drivers *)
+  seq : int;  (** 0-based beat number within the stream *)
+  t : float;  (** wall clock of the beat; [0.0] in deterministic mode *)
+  interval_s : float;  (** the emitter's beat interval *)
+  final : bool;  (** last beat of a completed process *)
+  label : string;  (** current campaign phase, [""] before the first job *)
+  jobs_done : int;  (** completed jobs (shard-local under [--shard]) *)
+  jobs_total : int;  (** planned jobs (shard-local under [--shard]) *)
+  cached : int;  (** jobs replayed from a resume cache *)
+  errors : int;  (** erroneous executions so far, when countable *)
+  rate : float;  (** EWMA jobs/s; [0.0] until warm *)
+  eta_s : float option;  (** ETA; [None] until ≥ 2 live completions *)
+  retried : int;  (** retry attempts performed so far *)
+  quarantined : int;  (** jobs quarantined so far *)
+  minor_words : float;  (** [Gc.quick_stat] cumulative minor words *)
+  minor_collections : int;
+  major_collections : int;
+  counters : (string * int) list;
+      (** telemetry counter deltas since the previous beat, sorted by
+          name, zero deltas omitted *)
+}
+
+val hb_path : string -> string
+(** The sidecar stream path for a ledger: [<ledger>.hb]. *)
+
+val enabled : unit -> bool
+(** [false] iff [GPUWMM_HEARTBEAT] is [off]/[0]/[no]/[false]. *)
+
+val default_interval : float
+(** 1.0 second. *)
+
+val interval : unit -> float
+(** The beat interval: a positive numeric [GPUWMM_HEARTBEAT] value, else
+    {!default_interval}. *)
+
+val to_json : record -> Json.t
+
+val of_json : Json.t -> (record, string) result
+(** Exact inverse of {!to_json}; optional fields ([shard], [final],
+    [eta_s]) are omitted at their defaults. *)
+
+val append : path:string -> record -> unit
+(** Append one record (one line, one write) to the stream, creating it
+    if needed. *)
+
+val load : string -> record list
+(** Every parseable record, oldest first.  A missing file is an empty
+    stream; torn or foreign lines are skipped. *)
+
+val latest : string -> record option
+(** The newest parseable record of a stream. *)
+
+val classify : now:float -> record -> liveness
+(** Liveness of the worker behind a stream's newest record at [now]. *)
+
+val liveness_name : liveness -> string
+(** ["running"], ["stale"], ["dead"] or ["done"]. *)
+
+(** {1 The emitter} *)
+
+type emitter
+
+val start : ?interval_s:float -> ?shard:string -> path:string -> unit -> emitter
+(** Spawn a background domain that appends one beat immediately and then
+    one per interval, sampling {!Exec.progress}, {!Exec.summary_counts},
+    [Gc.quick_stat] and the telemetry counters.  The emitter never
+    raises into the campaign: write failures are swallowed. *)
+
+val stop : emitter -> unit
+(** Stop the emitter and wait for it; a last record with [final = true]
+    is appended so readers can distinguish completion from death. *)

@@ -1,0 +1,196 @@
+(* A deliberately tiny HTTP/1.0 server over Unix sockets — just enough
+   to expose /metrics and /status on a campaign without pulling in a
+   web stack.  One accept-loop domain, one short-lived connection per
+   request, Connection: close.  Observability must never take the
+   campaign down: every per-connection failure is swallowed, and
+   [stop] wakes the accept loop through a self-pipe so shutdown cannot
+   hang on a quiet port. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
+    =
+  { status; content_type; body }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stop_r : Unix.file_descr;  (* self-pipe: read side lives in the loop *)
+  stop_w : Unix.file_descr;
+  dom : unit Domain.t;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_response fd r =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      r.status (status_text r.status) r.content_type
+      (String.length r.body)
+  in
+  let msg = head ^ r.body in
+  let n = String.length msg in
+  let pos = ref 0 in
+  while !pos < n do
+    let written = Unix.write_substring fd msg !pos (n - !pos) in
+    if written = 0 then pos := n else pos := !pos + written
+  done
+
+(* Read until the end of the request head (or a size cap — we never
+   accept bodies) and return the request line's path. *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      let seen = Buffer.contents buf in
+      let have_head =
+        let rec find i =
+          if i + 3 >= String.length seen then false
+          else if String.sub seen i 4 = "\r\n\r\n" then true
+          else find (i + 1)
+        in
+        String.length seen >= 4 && find 0
+      in
+      if have_head then Some seen
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> None
+  in
+  match go () with
+  | None -> None
+  | Some raw -> (
+    match String.index_opt raw '\n' with
+    | None -> None
+    | Some i ->
+      let line = String.trim (String.sub raw 0 i) in
+      (match String.split_on_char ' ' line with
+      | meth :: path :: _ ->
+        (* Strip any query string — the endpoints take none. *)
+        let path =
+          match String.index_opt path '?' with
+          | Some q -> String.sub path 0 q
+          | None -> path
+        in
+        Some (meth, path)
+      | _ -> None))
+
+let serve_connection handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request fd with
+      | None -> ()
+      | Some (meth, path) ->
+        let resp =
+          if meth <> "GET" && meth <> "HEAD" then
+            respond ~status:405 "method not allowed\n"
+          else
+            match handler path with
+            | r -> r
+            | exception _ -> respond ~status:500 "internal error\n"
+        in
+        let resp = if meth = "HEAD" then { resp with body = "" } else resp in
+        (try write_response fd resp with Unix.Unix_error _ -> ()))
+
+let start ?(addr = "127.0.0.1") ~port handler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let dom =
+    Domain.spawn (fun () ->
+        let running = ref true in
+        while !running do
+          match Unix.select [ sock; stop_r ] [] [] (-1.0) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, _, _ ->
+            if List.mem stop_r readable then running := false
+            else if List.mem sock readable then begin
+              match Unix.accept sock with
+              | fd, _ -> serve_connection handler fd
+              | exception Unix.Unix_error _ -> ()
+            end
+        done)
+  in
+  { sock; port; stop_r; stop_w; dom }
+
+let port t = t.port
+
+let stop t =
+  (* One byte on the self-pipe wakes the select; then reap and close. *)
+  (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+   with Unix.Unix_error _ -> ());
+  Domain.join t.dom;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.sock; t.stop_r; t.stop_w ]
+
+(* ------------------------------------------------------------------ *)
+(* A matching micro-client, for tests and the bench harness.           *)
+
+let fetch ?(addr = "127.0.0.1") ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> (
+          match int_of_string_opt code with Some c -> c | None -> 0)
+        | _ -> 0
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub raw start (String.length raw - start)
+      in
+      (status, body))

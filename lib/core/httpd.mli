@@ -1,0 +1,38 @@
+(** A minimal HTTP/1.0 server (Unix sockets only) for campaign
+    observability endpoints.
+
+    One background domain accepts loopback connections and serves each
+    with a single handler call; connections are closed after every
+    response ([Connection: close]).  Failures inside a connection are
+    swallowed — the server exists to observe a campaign, never to
+    interrupt one.  [stop] wakes the accept loop through a self-pipe,
+    so shutdown is prompt even when no request ever arrives. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val respond : ?status:int -> ?content_type:string -> string -> response
+(** [respond body] is a [200] [text/plain] response by default. *)
+
+type t
+
+val start : ?addr:string -> port:int -> (string -> response) -> t
+(** [start ~port handler] binds [addr] (default loopback) on [port]
+    — [0] picks a free port, see {!port} — and serves [GET]/[HEAD]
+    requests by calling [handler path] (query strings stripped).  A
+    handler exception becomes a [500]; other methods get a [405].
+    Raises [Unix.Unix_error] if the bind fails. *)
+
+val port : t -> int
+(** The actually bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Stop accepting, join the server domain and close the socket. *)
+
+val fetch : ?addr:string -> port:int -> string -> int * string
+(** Blocking micro-client for tests and benches: [fetch ~port path]
+    performs one [GET] and returns [(status, body)].  Raises
+    [Unix.Unix_error] if the connection fails. *)

@@ -51,25 +51,6 @@ let child_env ~n =
     let words = Int.max 262144 (Exec.default_minor_heap_words / Int.max 1 n) in
     Array.append base [| Printf.sprintf "GPUWMM_GC=%d" words |]
 
-(* Count the job records a shard has durably flushed — the ledger tail
-   is the only progress channel a worker needs (children run quiet). *)
-let jobs_on_disk path =
-  match open_in path with
-  | exception Sys_error _ -> 0
-  | ic ->
-    let n = ref 0 in
-    (try
-       while true do
-         let line = input_line ic in
-         if
-           String.length line >= 14
-           && String.sub line 0 14 = {|{"rec":"job","|}
-         then incr n
-       done
-     with End_of_file -> ());
-    close_in ic;
-    !n
-
 type child = {
   c_k : int;
   c_path : string;
@@ -105,17 +86,30 @@ let fan_out ?(exe = Sys.executable_name) ~n ~paths ~argv_of () =
     List.filter (fun c -> c.c_status = None) children
   in
   let last_line = ref 0.0 in
+  (* Progress goes through the heartbeat sidecars when the workers are
+     beating — per-shard rates, a fleet ETA, dead-worker flags — and
+     falls back to the blind ledger-tail count until the first beat
+     lands (or when heartbeats are disabled). *)
   let progress () =
     let now = Unix.gettimeofday () in
     if now -. !last_line >= 1.0 then begin
       last_line := now;
-      let jobs =
-        List.fold_left (fun acc c -> acc + jobs_on_disk c.c_path) 0 children
+      let hb_paths =
+        List.map (fun c -> Heartbeat.hb_path c.c_path) children
       in
-      Exec.info
-        (Printf.sprintf "workers: %d job record(s) across %d shard(s), %d running"
-           jobs n
-           (List.length (running ())))
+      let fleet = Fleetview.load ~now hb_paths in
+      if fleet.Fleetview.workers <> [] then
+        Exec.info (Fleetview.summary_line fleet)
+      else
+        let jobs =
+          List.fold_left
+            (fun acc c -> acc + Runlog.count_job_records c.c_path)
+            0 children
+        in
+        Exec.info
+          (Printf.sprintf
+             "workers: %d job record(s) across %d shard(s), %d running" jobs n
+             (List.length (running ())))
     end
   in
   let reap c =
@@ -182,4 +176,12 @@ let merged_cache paths =
   in
   Runlog.cache_of_ledgers ledgers
 
-let cleanup paths = List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths
+let cleanup paths =
+  let rm p = try Sys.remove p with Sys_error _ -> () in
+  List.iter
+    (fun p ->
+      rm p;
+      (* Observability sidecars ride along with temp shard ledgers. *)
+      rm (Heartbeat.hb_path p);
+      rm (p ^ ".spans.json"))
+    paths

@@ -45,9 +45,11 @@ val fan_out :
     stdin/stdout/stderr on [/dev/null], and [GPUWMM_GC] set to
     [default_minor_heap_words / n] (floored at 1 MiB) unless the
     operator pinned it.  Blocks until every worker is reaped, emitting
-    a ledger-tail progress line about once a second through
-    {!Exec.info}.  A worker that exits with anything other than 0 or 3
-    is respawned once with [--resume <its ledger>] appended. *)
+    a fleet progress line ({!Fleetview.summary_line} over the workers'
+    heartbeat sidecars; a blind ledger-tail count until the first beat)
+    about once a second through {!Exec.info}.  A worker that exits with
+    anything other than 0 or 3 is respawned once with
+    [--resume <its ledger>] appended. *)
 
 val merged_cache : string list -> Runlog.cache
 (** Union resume cache over the shard ledgers that load (torn tails
@@ -56,4 +58,5 @@ val merged_cache : string list -> Runlog.cache
     workers failed to flush. *)
 
 val cleanup : string list -> unit
-(** Best-effort removal of temp shard ledgers. *)
+(** Best-effort removal of temp shard ledgers and their observability
+    sidecars ([.hb] heartbeats, [.spans.json] traces). *)

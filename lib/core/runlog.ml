@@ -416,6 +416,27 @@ let load file =
   | exception Sys_error e -> Error e
   | text -> parse text
 
+(* A cheap live progress probe: count durably flushed job records by
+   their line prefix, without parsing.  Safe against a concurrent
+   writer because job lines are single [output_string] appends — the
+   only torn line can be the last, which the prefix test then skips. *)
+let count_job_records path =
+  match open_in path with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let prefix = {|{"rec":"job","|} in
+    let plen = String.length prefix in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= plen && String.sub line 0 plen = prefix
+         then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+
 (* ------------------------------------------------------------------ *)
 (* Resumption                                                           *)
 

@@ -154,6 +154,12 @@ val parse : string -> (ledger, string) result
 val load : string -> (ledger, string) result
 (** {!parse} the file at a path. *)
 
+val count_job_records : string -> int
+(** Count the job records durably flushed to a (possibly still growing)
+    ledger by line prefix, without parsing.  [0] for a missing file.
+    The fan-out parent's fallback progress probe when a worker has not
+    yet produced a heartbeat. *)
+
 type cache
 (** Completed job records keyed by (phase, index). *)
 

@@ -343,11 +343,23 @@ let record_of_json j =
   | r -> Ok r
   | exception Decode msg -> Error msg
 
-let jsonl records =
+(* Provenance stamp for multi-process exports: prepended fields, so a
+   merged stream still says which worker each line came from.
+   [record_of_json] ignores unknown fields, keeping the round-trip
+   lossless. *)
+let stamp ?pid ?shard = function
+  | Json.Assoc kvs ->
+    Json.Assoc
+      ((match pid with Some p -> [ ("pid", Json.Int p) ] | None -> [])
+      @ (match shard with Some s -> [ ("shard", Json.String s) ] | None -> [])
+      @ kvs)
+  | j -> j
+
+let jsonl ?pid ?shard records =
   let buf = Buffer.create 4096 in
   List.iter
     (fun r ->
-      Buffer.add_string buf (Json.to_string (record_to_json r));
+      Buffer.add_string buf (Json.to_string (stamp ?pid ?shard (record_to_json r)));
       Buffer.add_char buf '\n')
     records;
   Buffer.contents buf
@@ -371,7 +383,7 @@ let jsonl_parse text =
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                            *)
 
-let chrome_of_record r =
+let chrome_of_record ~rec_pid r =
   let { Gpusim.Trace.tick; event } = r in
   let open Json in
   match event with
@@ -379,7 +391,8 @@ let chrome_of_record r =
     (* Counter tracks: one per partition, plotted by the trace viewer. *)
     Assoc
       [ ("name", String (Printf.sprintf "contention.p%d" part));
-        ("ph", String "C"); ("ts", Int tick); ("pid", Int 0); ("tid", Int 0);
+        ("ph", String "C"); ("ts", Int tick); ("pid", Int rec_pid);
+        ("tid", Int 0);
         ("args", Assoc [ ("read", Float read); ("write", Float write) ]) ]
   | event ->
     let tid =
@@ -393,15 +406,15 @@ let chrome_of_record r =
     Assoc
       [ ("name", String (Gpusim.Trace.event_name event));
         ("ph", String "i"); ("s", String "t"); ("ts", Int tick);
-        ("pid", Int 0); ("tid", Int tid); ("args", Assoc args) ]
+        ("pid", Int rec_pid); ("tid", Int tid); ("args", Assoc args) ]
 
-let chrome_of_span base s =
+let chrome_of_span ~span_pid base s =
   let us t = int_of_float ((t -. base) *. 1e6) in
   Json.Assoc
     [ ("name", Json.String s.label); ("ph", Json.String "X");
       ("ts", Json.Int (us s.started_at));
       ("dur", Json.Int (Int.max 0 (us s.ended_at - us s.started_at)));
-      ("pid", Json.Int 1); ("tid", Json.Int s.worker);
+      ("pid", Json.Int span_pid); ("tid", Json.Int s.worker);
       ( "args",
         Json.Assoc
           [ ("index", Json.Int s.index);
@@ -413,12 +426,79 @@ let ts_of = function
     match List.assoc_opt "ts" kvs with Some (Json.Int t) -> t | _ -> 0)
   | _ -> 0
 
-let chrome_trace ?(spans = []) records =
+let chrome_trace ?pid ?shard ?span_base ?(spans = []) records =
+  (* Without an explicit pid, simulator records and wall-clock spans
+     live on the traditional synthetic tracks 0 and 1.  With ?pid (a
+     worker writing its own span file) both carry the real pid, and a
+     process_name metadata event labels the track — that is what makes
+     `gpuwmm trace --merge` able to union worker files into one
+     timeline without colliding tracks. *)
+  let rec_pid = match pid with Some p -> p | None -> 0 in
+  let span_pid = match pid with Some p -> p | None -> 1 in
   let base =
-    List.fold_left (fun acc s -> Float.min acc s.queued_at) infinity spans
+    match span_base with
+    | Some b -> b
+    | None ->
+      List.fold_left (fun acc s -> Float.min acc s.queued_at) infinity spans
+  in
+  let meta =
+    match pid with
+    | None -> []
+    | Some p ->
+      let name =
+        Printf.sprintf "gpuwmm pid %d%s" p
+          (match shard with Some s -> " shard " ^ s | None -> "")
+      in
+      [ Json.Assoc
+          [ ("name", Json.String "process_name"); ("ph", Json.String "M");
+            ("pid", Json.Int p); ("tid", Json.Int 0);
+            ("args", Json.Assoc [ ("name", Json.String name) ]) ] ]
   in
   let events =
-    List.map chrome_of_record records @ List.map (chrome_of_span base) spans
+    List.map (chrome_of_record ~rec_pid) records
+    @ List.map (chrome_of_span ~span_pid base) spans
   in
   let events = List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) events in
-  Json.Assoc [ ("traceEvents", Json.List events) ]
+  Json.Assoc [ ("traceEvents", Json.List (meta @ events)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                           *)
+
+(* Metric names: registry names are dotted ("exec.jobs"); Prometheus
+   wants [a-zA-Z0-9_:] with a namespace prefix. *)
+let prom_name n =
+  "gpuwmm_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      n
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prometheus (s : snapshot) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    s.counters;
+  List.iter
+    (fun (name, (h : histogram_snapshot)) ->
+      let n = prom_name name ^ "_seconds" in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      List.iter
+        (fun (bound, cum) ->
+          let le =
+            if Float.is_finite bound then prom_float bound else "+Inf"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=%S} %d\n" n le cum))
+        h.buckets;
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (prom_float h.sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.count))
+    s.histograms;
+  Buffer.contents b

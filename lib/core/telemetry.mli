@@ -104,18 +104,42 @@ val record_to_json : Gpusim.Trace.record -> Json.t
 val record_of_json : Json.t -> (Gpusim.Trace.record, string) result
 (** Exact inverse of {!record_to_json}. *)
 
-val jsonl : Gpusim.Trace.record list -> string
-(** One {!record_to_json} object per line, newline-terminated. *)
+val jsonl : ?pid:int -> ?shard:string -> Gpusim.Trace.record list -> string
+(** One {!record_to_json} object per line, newline-terminated.  [?pid]
+    and [?shard] prepend provenance fields to every line, so lines from
+    several worker processes stay attributable after concatenation;
+    {!record_of_json} ignores them, keeping the round-trip lossless. *)
 
 val jsonl_parse : string -> (Gpusim.Trace.record list, string) result
 (** Inverse of {!jsonl}; blank lines are skipped. *)
 
-val chrome_trace : ?spans:span list -> Gpusim.Trace.record list -> Json.t
+val chrome_trace :
+  ?pid:int ->
+  ?shard:string ->
+  ?span_base:float ->
+  ?spans:span list ->
+  Gpusim.Trace.record list ->
+  Json.t
 (** A Chrome trace-event file: [{"traceEvents": [...]}].  Simulator
     records become instant events (ph ["i"], ts = device tick in µs,
-    pid 0, tid = issuing thread) except {!Gpusim.Trace.Contention}
-    samples, which become counter events (ph ["C"], one track per
-    partition).  Spans become complete events (ph ["X"], pid 1,
-    tid = worker, dur = run time, with queue wait in args); span
-    timestamps are rebased so the earliest [queued_at] is 0.  Events are
-    sorted by ts, so timestamps are monotone within every track. *)
+    tid = issuing thread) except {!Gpusim.Trace.Contention} samples,
+    which become counter events (ph ["C"], one track per partition).
+    Spans become complete events (ph ["X"], tid = worker, dur = run
+    time, with queue wait in args).  Events are sorted by ts, so
+    timestamps are monotone within every track.
+
+    Without [?pid], records sit on synthetic track 0 and spans on
+    track 1, and span timestamps are rebased so the earliest
+    [queued_at] is 0 — the traditional single-process layout.  With
+    [?pid] (a campaign process writing its own file) both use the real
+    pid and a [process_name] metadata event labels the track with pid
+    and [?shard]; pass [~span_base:0.0] to keep span timestamps
+    absolute (Unix µs) so [gpuwmm trace --merge] can union files from
+    several processes onto one timeline. *)
+
+val prometheus : snapshot -> string
+(** Prometheus text exposition of the registry: each counter as a
+    [counter] metric and each histogram as a [histogram] with
+    [_bucket{le=...}]/[_sum]/[_count] series, names prefixed
+    [gpuwmm_] with non-alphanumerics mapped to [_]
+    (["exec.jobs"] → ["gpuwmm_exec_jobs"]). *)
