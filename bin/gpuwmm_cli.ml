@@ -537,22 +537,23 @@ let with_ledger ?shard ?procs ?listen ?(spans = false) ~campaign ~seed ~jobs
   if spans then Core.Telemetry.set_spans true;
   (* Heartbeat sidecars this campaign is known to write: the worker
      shard set under fan-out, plus this process's own once its ledger
-     path is settled.  The HTTP handler reads the ref live, so a
-     mid-campaign scrape sees whatever streams exist right now. *)
-  let hb_paths = ref [] in
+     path is settled.  The HTTP handler domain reads the list live on
+     every scrape while this domain updates it, so it lives in an
+     Atomic (like Exec's progress cell) rather than a plain ref. *)
+  let hb_paths = Atomic.make [] in
   let observability_handler req =
     let now =
       if Core.Runlog.deterministic_mode () then 0.0 else Unix.gettimeofday ()
     in
     match req with
     | "/metrics" ->
-      let fleet = Core.Fleetview.load ~now !hb_paths in
+      let fleet = Core.Fleetview.load ~now (Atomic.get hb_paths) in
       Core.Httpd.respond
         ~content_type:"text/plain; version=0.0.4; charset=utf-8"
         (Core.Telemetry.prometheus (Core.Telemetry.snapshot ())
         ^ Core.Fleetview.prometheus fleet)
     | "/" | "/status" ->
-      let fleet = Core.Fleetview.load ~now !hb_paths in
+      let fleet = Core.Fleetview.load ~now (Atomic.get hb_paths) in
       Core.Httpd.respond ~content_type:"application/json"
         (Core.Json.to_string (Core.Fleetview.render_json fleet) ^ "\n")
     | "/healthz" -> Core.Httpd.respond "ok\n"
@@ -577,7 +578,7 @@ let with_ledger ?shard ?procs ?listen ?(spans = false) ~campaign ~seed ~jobs
     | Some (n, argv_of)
       when n >= 2 && shard = None && resume = None && procs_enabled () ->
       let paths = Core.Procs.shard_paths ?log ~n () in
-      hb_paths := List.map Core.Heartbeat.hb_path paths;
+      Atomic.set hb_paths (List.map Core.Heartbeat.hb_path paths);
       Logs.info (fun f -> f "fanning out %d worker processes" n);
       let outcomes = Core.Procs.fan_out ~n ~paths ~argv_of () in
       List.iter
@@ -671,7 +672,8 @@ let with_ledger ?shard ?procs ?listen ?(spans = false) ~campaign ~seed ~jobs
           let sink = Core.Runlog.create ~path header in
           let journal = Core.Runlog.journal ~sink ?cache ~origin:path "" in
           Core.Shard.set_ambient shard;
-          hb_paths := !hb_paths @ [ Core.Heartbeat.hb_path path ];
+          Atomic.set hb_paths
+            (Atomic.get hb_paths @ [ Core.Heartbeat.hb_path path ]);
           let emitter =
             if Core.Heartbeat.enabled () then
               Some
@@ -1167,10 +1169,15 @@ let merge_chrome_traces inputs =
       List.assoc_opt "ph" kvs = Some (Core.Json.String "M")
     | _ -> false
   in
+  (* ts is microseconds; our sidecars write ints but foreign tools
+     legally emit floats, so both must rebase and sort.  Integer events
+     keep their kind when the base offset is integral (gpuwmm-only
+     merges stay byte-stable). *)
   let ts_of = function
     | Core.Json.Assoc kvs -> (
       match List.assoc_opt "ts" kvs with
-      | Some (Core.Json.Int t) -> Some t
+      | Some (Core.Json.Int t) -> Some (float_of_int t)
+      | Some (Core.Json.Float t) -> Some t
       | _ -> None)
     | _ -> None
   in
@@ -1178,16 +1185,21 @@ let merge_chrome_traces inputs =
   let base =
     List.fold_left
       (fun acc ev ->
-        match ts_of ev with Some t -> Int.min acc t | None -> acc)
-      max_int timed
+        match ts_of ev with Some t -> Float.min acc t | None -> acc)
+      infinity timed
   in
-  let base = if base = max_int then 0 else base in
+  let base = if base = infinity then 0.0 else base in
+  let int_base = Float.is_integer base in
   let rebase = function
     | Core.Json.Assoc kvs ->
       Core.Json.Assoc
         (List.map
            (function
-             | "ts", Core.Json.Int t -> ("ts", Core.Json.Int (t - base))
+             | "ts", Core.Json.Int t when int_base ->
+               ("ts", Core.Json.Int (t - int_of_float base))
+             | "ts", Core.Json.Int t ->
+               ("ts", Core.Json.Float (float_of_int t -. base))
+             | "ts", Core.Json.Float t -> ("ts", Core.Json.Float (t -. base))
              | kv -> kv)
            kvs)
     | ev -> ev

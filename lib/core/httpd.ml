@@ -114,6 +114,11 @@ let serve_connection handler fd =
         (try write_response fd resp with Unix.Unix_error _ -> ()))
 
 let start ?(addr = "127.0.0.1") ~port handler =
+  (* A client that disconnects mid-response must surface as an EPIPE
+     [Unix_error] (swallowed by the per-connection handlers below), not
+     as a SIGPIPE whose default action kills the whole campaign. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -138,7 +143,19 @@ let start ?(addr = "127.0.0.1") ~port handler =
             if List.mem stop_r readable then running := false
             else if List.mem sock readable then begin
               match Unix.accept sock with
-              | fd, _ -> serve_connection handler fd
+              | fd, _ ->
+                (* Connections are served synchronously on this domain:
+                   a client that stalls mid-request would otherwise
+                   block every other scraper and wedge [stop]'s
+                   Domain.join (the self-pipe wakes the select, not an
+                   in-flight read).  Bound each read/write instead;
+                   timeouts surface as EAGAIN [Unix_error]s, which the
+                   handlers treat as a dropped client. *)
+                (try
+                   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+                   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+                 with Unix.Unix_error _ -> ());
+                serve_connection handler fd
               | exception Unix.Unix_error _ -> ()
             end
         done)

@@ -5,8 +5,12 @@
     with a single handler call; connections are closed after every
     response ([Connection: close]).  Failures inside a connection are
     swallowed — the server exists to observe a campaign, never to
-    interrupt one.  [stop] wakes the accept loop through a self-pipe,
-    so shutdown is prompt even when no request ever arrives. *)
+    interrupt one: [start] ignores [SIGPIPE] process-wide so a client
+    disconnecting mid-response surfaces as a swallowed [EPIPE] rather
+    than killing the campaign, and every accepted socket carries short
+    receive/send timeouts so a stalled client cannot starve other
+    scrapers.  [stop] wakes the accept loop through a self-pipe, so
+    shutdown is prompt even when no request ever arrives. *)
 
 type response = {
   status : int;
